@@ -1,0 +1,57 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints the rows/series of one paper table or figure. Benches
+// default to scaled-down runs that finish quickly on one core; pass --full
+// (or set XPASS_FULL=1) for paper-scale parameters. EXPERIMENTS.md records
+// paper-vs-measured values from the default runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/expresspass.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+#include "stats/fairness.hpp"
+#include "workload/generators.hpp"
+
+namespace xpass::bench {
+
+inline bool full_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  const char* env = std::getenv("XPASS_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s)\n", title, paper_ref);
+  std::printf("================================================================\n");
+}
+
+// Goodput fraction of the ExpressPass data ceiling (95% of line rate).
+inline double data_ceiling_bps(double link_bps) {
+  return link_bps * static_cast<double>(net::kMaxWireBytes) /
+         static_cast<double>(net::kCreditCycleBytes);
+}
+
+struct FlowSpecBuilder {
+  uint32_t next_id = 1;
+  transport::FlowSpec make(net::Host* src, net::Host* dst, uint64_t bytes,
+                           sim::Time start = sim::Time::zero()) {
+    transport::FlowSpec s;
+    s.id = next_id++;
+    s.src = src;
+    s.dst = dst;
+    s.size_bytes = bytes;
+    s.start_time = start;
+    return s;
+  }
+};
+
+}  // namespace xpass::bench

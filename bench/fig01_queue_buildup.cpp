@@ -1,0 +1,86 @@
+// Fig 1: data queue length under partition/aggregate fan-in, vs number of
+// concurrent flows, for (a) a hypothetically ideal rate control, (b) DCTCP,
+// and (c) the credit-based scheme.
+//
+// An 8-ary fat tree (128 hosts, 10G) hosts the workers; everyone sends to
+// one master host. Even the oracle — exact fair shares, perfect pacing —
+// builds a queue that grows with the flow count because independently paced
+// packets coincide; DCTCP is worse (min cwnd 2 per flow); the credit scheme
+// bounds the queue regardless of fan-out because the credit arrival order
+// schedules data arrivals.
+#include "bench/common.hpp"
+#include "transport/ideal.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+namespace {
+
+struct Cell {
+  uint64_t max_queue_bytes;
+  uint64_t drops;
+};
+
+Cell run(const char* kind, size_t fanout, bool full) {
+  sim::Simulator sim(77);
+  net::Topology topo(sim);
+  const runner::Protocol proto = std::string_view(kind) == "dctcp"
+                                     ? runner::Protocol::kDctcp
+                                     : runner::Protocol::kExpressPass;
+  const auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
+  auto ft = net::build_fat_tree(topo, full ? 8 : 4, link, link);
+  for (auto* h : ft.hosts) {
+    h->set_delay_model(net::HostDelayModel::hardware());
+  }
+  net::Host* master = ft.hosts[0];
+
+  std::unique_ptr<transport::Transport> t;
+  if (std::string_view(kind) == "ideal") {
+    t = std::make_unique<transport::IdealTransport>(sim, topo, 1.0);
+  } else {
+    t = runner::make_transport(proto, sim, topo, Time::us(100));
+  }
+  runner::FlowDriver driver(sim, *t);
+  std::vector<net::Host*> workers(ft.hosts.begin() + 1, ft.hosts.end());
+  auto specs = workload::incast_flows(workers, master,
+                                      transport::kLongRunning, fanout);
+  driver.add_all(specs);
+  sim.run_until(Time::ms(full ? 20 : 10));
+  // The bottleneck is the master's ToR downlink: the peer port of its NIC.
+  net::Port* down = master->nic().peer();
+  Cell c;
+  c.max_queue_bytes = down->data_queue().stats().max_bytes;
+  c.drops = topo.data_drops();
+  driver.stop_all();
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_mode(argc, argv);
+  bench::header("Fig 1: data queue vs concurrent flows (partition/aggregate)",
+                "Fig 1, SIGCOMM'17 (shape: ideal & DCTCP queues grow with "
+                "fan-out and overflow; credit-based stays bounded)");
+  const std::vector<size_t> fanouts =
+      full ? std::vector<size_t>{32, 64, 128, 256, 512, 1024, 2048}
+           : std::vector<size_t>{32, 64, 128, 256, 512};
+  std::printf("%8s %18s %18s %18s %10s\n", "flows", "ideal maxQ(pkts)",
+              "dctcp maxQ(pkts)", "credit maxQ(pkts)", "drops(i/d/c)");
+  for (size_t f : fanouts) {
+    Cell ideal = run("ideal", f, full);
+    Cell dctcp = run("dctcp", f, full);
+    Cell credit = run("credit", f, full);
+    std::printf("%8zu %18.1f %18.1f %18.1f  %zu/%zu/%zu\n", f,
+                ideal.max_queue_bytes / 1538.0, dctcp.max_queue_bytes / 1538.0,
+                credit.max_queue_bytes / 1538.0,
+                static_cast<size_t>(ideal.drops),
+                static_cast<size_t>(dctcp.drops),
+                static_cast<size_t>(credit.drops));
+  }
+  std::printf(
+      "\nShape check: ideal/DCTCP columns grow with flow count (DCTCP "
+      "saturating at the\nqueue capacity of 250 pkts with drops); the credit "
+      "column stays flat and small.\n");
+  return 0;
+}

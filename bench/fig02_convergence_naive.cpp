@@ -1,0 +1,81 @@
+// Fig 2: convergence of a second flow joining a 10G bottleneck.
+//   (a) naive credit-based: converges within ~1 RTT (paper: 25us)
+//   (b) TCP Cubic: ~47ms
+//   (c) DCTCP: ~70ms
+// We print the time for the joining flow to first reach 40% of the
+// bottleneck (i.e. ~85% of its fair share) and a short rate trace.
+#include "bench/common.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+namespace {
+
+struct Result {
+  double converge_us = -1;
+  std::vector<std::pair<double, double>> trace;  // (t_us, flow2 Gbps)
+};
+
+Result run(runner::Protocol proto, Time sample, int n_samples,
+           bool naive_credit) {
+  sim::Simulator sim(5);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
+  auto d = net::build_dumbbell(topo, 2, link, link);
+  core::ExpressPassConfig xp;
+  xp.naive = naive_credit;
+  auto t = runner::make_transport(proto, sim, topo, Time::us(100), &xp);
+  runner::FlowDriver driver(sim, *t);
+  bench::FlowSpecBuilder fb;
+  driver.add(fb.make(d.senders[0], d.receivers[0], transport::kLongRunning));
+  const Time join = sample * 5;
+  driver.add(
+      fb.make(d.senders[1], d.receivers[1], transport::kLongRunning, join));
+
+  Result res;
+  for (int k = 0; k < n_samples; ++k) {
+    sim.run_until(sample * (k + 1));
+    auto rates = driver.rates().snapshot_rates_by_flow(sample);
+    const double t_us = sim.now().to_us();
+    res.trace.push_back({t_us, rates[2] / 1e9});
+    if (res.converge_us < 0 && sim.now() > join && rates[2] > 4e9) {
+      res.converge_us = (sim.now() - join).to_us();
+    }
+  }
+  driver.stop_all();
+  return res;
+}
+
+void report(const char* name, const Result& r, const char* paper) {
+  if (r.converge_us >= 0) {
+    std::printf("%-22s converged in %10.1f us   [paper: %s]\n", name,
+                r.converge_us, paper);
+  } else {
+    std::printf("%-22s did not converge in the run  [paper: %s]\n", name,
+                paper);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_mode(argc, argv);
+  bench::header("Fig 2: convergence time of a joining flow @10G",
+                "Fig 2, SIGCOMM'17");
+  auto naive = run(runner::Protocol::kExpressPassNaive, Time::us(25), 40,
+                   true);
+  auto cubic = run(runner::Protocol::kCubic, Time::ms(2),
+                   full ? 100 : 50, false);
+  auto dctcp = run(runner::Protocol::kDctcp, Time::ms(2),
+                   full ? 250 : 75, false);
+  report("naive credit-based", naive, "~25us (one RTT)");
+  report("TCP Cubic", cubic, "~47ms");
+  report("DCTCP", dctcp, "~70ms");
+
+  std::printf("\nJoining-flow rate trace, naive credit (Gbps):\n");
+  for (size_t i = 4; i < 16 && i < naive.trace.size(); ++i) {
+    std::printf("  t=%6.0fus  %5.2f\n", naive.trace[i].first,
+                naive.trace[i].second);
+  }
+  return 0;
+}

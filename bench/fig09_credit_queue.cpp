@@ -1,0 +1,61 @@
+// Fig 9: credit queue capacity vs utilization. N flows from different
+// ingress ports converge on one egress; with a too-small credit queue,
+// credit bursts arriving simultaneously from different ports are dropped
+// and the data link goes idle. A capacity of ~8 credits suffices (the
+// paper's recommended setting).
+#include "bench/common.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+namespace {
+
+double under_utilization(size_t credit_q, size_t n_flows) {
+  sim::Simulator sim(19);
+  net::Topology topo(sim);
+  auto link = runner::protocol_link_config(runner::Protocol::kExpressPass,
+                                           10e9, Time::us(1));
+  link.credit_queue_pkts = credit_q;
+  // N senders behind one switch, one receiver: flows enter the switch on
+  // different physical ports and their data departs through one port (the
+  // credit contention is on that port's reverse direction).
+  auto star = net::build_star(topo, n_flows + 1, link);
+  auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  bench::FlowSpecBuilder fb;
+  for (size_t i = 1; i <= n_flows; ++i) {
+    driver.add(
+        fb.make(star.hosts[i], star.hosts[0], transport::kLongRunning));
+  }
+  sim.run_until(Time::ms(10));
+  net::Port* down = star.hosts[0]->nic().peer();
+  const uint64_t before = down->tx_data_bytes();
+  sim.run_until(Time::ms(30));
+  const uint64_t bytes = down->tx_data_bytes() - before;
+  driver.stop_all();
+  const double max_data = bench::data_ceiling_bps(10e9) / 8.0 * 20e-3;
+  return 1.0 - static_cast<double>(bytes) / max_data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_mode(argc, argv);
+  bench::header("Fig 9: credit queue capacity vs under-utilization",
+                "Fig 9, SIGCOMM'17 (shape: deep under-utilization for 1-2 "
+                "credit buffers, near zero by ~8)");
+  const std::vector<size_t> flows = full ? std::vector<size_t>{2, 8, 32}
+                                         : std::vector<size_t>{2, 8, 16};
+  std::printf("%10s", "creditQ");
+  for (size_t n : flows) std::printf("  %6zu flows", n);
+  std::printf("\n");
+  for (size_t q : {1, 2, 4, 8, 16, 32}) {
+    std::printf("%10zu", q);
+    for (size_t n : flows) {
+      std::printf("  %10.2f%%", 100.0 * under_utilization(q, n));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig 10: parking-lot utilization. One long flow crosses N bottlenecks;
+// one cross flow per link. Naive max-rate credits waste reverse-path
+// bandwidth (83.3% at N=2 sliding toward 60%); the feedback loop holds
+// ~98% (normalized to the max data rate).
+#include "bench/common.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+namespace {
+
+double link1_utilization(size_t n_links, bool naive) {
+  sim::Simulator sim(61);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  auto p = net::build_parking_lot(topo, n_links, link, link);
+  core::ExpressPassConfig cfg;
+  cfg.naive = naive;
+  auto t = runner::make_transport(naive ? runner::Protocol::kExpressPassNaive
+                                        : runner::Protocol::kExpressPass,
+                                  sim, topo, Time::us(100), &cfg);
+  runner::FlowDriver driver(sim, *t);
+  bench::FlowSpecBuilder fb;
+  driver.add(fb.make(p.long_src, p.long_dst, transport::kLongRunning));
+  for (size_t i = 0; i < n_links; ++i) {
+    driver.add(
+        fb.make(p.cross_srcs[i], p.cross_dsts[i], transport::kLongRunning));
+  }
+  sim.run_until(Time::ms(15));
+  const uint64_t before = p.data_links[0]->tx_data_bytes();
+  sim.run_until(Time::ms(40));
+  const uint64_t bytes = p.data_links[0]->tx_data_bytes() - before;
+  driver.stop_all();
+  const double max_data = bench::data_ceiling_bps(10e9) / 8.0 * 25e-3;
+  return static_cast<double>(bytes) / max_data;
+}
+
+}  // namespace
+
+int main(int, char**) {
+  bench::header("Fig 10: parking-lot utilization of link 1",
+                "Fig 10b, SIGCOMM'17 (paper: naive 83.3%..60%, feedback "
+                "98%..97.8%)");
+  std::printf("%14s %14s %16s\n", "bottlenecks", "naive", "with feedback");
+  for (size_t n = 1; n <= 6; ++n) {
+    std::printf("%14zu %13.1f%% %15.1f%%\n", n,
+                100.0 * link1_utilization(n, true),
+                100.0 * link1_utilization(n, false));
+  }
+  std::printf(
+      "\nShape check: the naive column decays with depth; the feedback\n"
+      "column stays flat near full utilization.\n");
+  return 0;
+}

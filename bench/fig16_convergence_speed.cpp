@@ -1,0 +1,89 @@
+// Fig 16: convergence time in RTTs at 10G and 100G bottlenecks, with base
+// RTT 100us. ExpressPass converges in a handful of RTTs *independent of
+// link speed*; DCTCP's additive increase needs hundreds of RTTs at 10G and
+// thousands at 100G; RCP's explicit rate converges in a few RTTs.
+#include "bench/common.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+namespace {
+
+// A flow joins a loaded link; returns RTTs until both flows hold within
+// 25% of the fair share for 3 consecutive RTTs (the paper's notion of
+// "converged" — a transient slow-start burst does not count).
+double converge_rtts(runner::Protocol proto, double rate_bps, double alpha,
+                     int max_rtts) {
+  sim::Simulator sim(9);
+  net::Topology topo(sim);
+  // Links get 4us prop + host 1us-ish to make a ~100us RTT fabric as in the
+  // paper's simulation setup.
+  auto link = runner::protocol_link_config(proto, rate_bps, Time::us(12));
+  auto d = net::build_dumbbell(topo, 2, link, link);
+  const Time rtt = Time::us(100);
+  core::ExpressPassConfig xp;
+  xp.alpha_init = alpha;
+  xp.w_init = alpha >= 0.5 ? 0.5 : alpha;
+  auto t = runner::make_transport(proto, sim, topo, rtt, &xp);
+  runner::FlowDriver driver(sim, *t);
+  bench::FlowSpecBuilder fb;
+  driver.add(fb.make(d.senders[0], d.receivers[0], transport::kLongRunning));
+  const Time join = rtt * 20;
+  driver.add(
+      fb.make(d.senders[1], d.receivers[1], transport::kLongRunning, join));
+  sim.run_until(join);
+  driver.rates().snapshot_rates_by_flow(join);
+  const double fair = 0.475 * rate_bps;  // data ceiling / 2
+  int streak = 0;
+  for (int k = 1; k <= max_rtts; ++k) {
+    sim.run_until(join + rtt * k);
+    auto rates = driver.rates().snapshot_rates_by_flow(rtt);
+    const bool fair_now = rates[1] > 0.75 * fair && rates[1] < 1.35 * fair &&
+                          rates[2] > 0.75 * fair && rates[2] < 1.35 * fair;
+    streak = fair_now ? streak + 1 : 0;
+    if (streak >= 3) {
+      driver.stop_all();
+      return k - 2;
+    }
+  }
+  driver.stop_all();
+  return -1;
+}
+
+void row(const char* name, runner::Protocol p, double alpha, int cap10,
+         int cap100, const char* paper) {
+  const double r10 = converge_rtts(p, 10e9, alpha, cap10);
+  const double r100 = converge_rtts(p, 100e9, alpha, cap100);
+  char b10[32], b100[32];
+  if (r10 < 0) {
+    std::snprintf(b10, sizeof b10, ">%d", cap10);
+  } else {
+    std::snprintf(b10, sizeof b10, "%.0f", r10);
+  }
+  if (r100 < 0) {
+    std::snprintf(b100, sizeof b100, ">%d", cap100);
+  } else {
+    std::snprintf(b100, sizeof b100, "%.0f", r100);
+  }
+  std::printf("%-28s %10s %10s   [paper: %s]\n", name, b10, b100, paper);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_mode(argc, argv);
+  bench::header("Fig 16: convergence time in RTTs (RTT=100us)",
+                "Fig 16, SIGCOMM'17");
+  std::printf("%-28s %10s %10s\n", "protocol", "@10G", "@100G");
+  row("ExpressPass (a=1/2)", runner::Protocol::kExpressPass, 0.5, 40, 40,
+      "3 RTTs @10G and @100G");
+  row("ExpressPass (a=1/16)", runner::Protocol::kExpressPass, 1.0 / 16, 60,
+      60, "6 RTTs @10G and @100G");
+  row("RCP", runner::Protocol::kRcp, 0, 40, 40, "3 RTTs");
+  row("DCTCP", runner::Protocol::kDctcp, 0, full ? 1000 : 600,
+      full ? 6000 : 1200, "260 RTTs @10G, 2350 @100G");
+  std::printf(
+      "\nShape check: ExpressPass/RCP converge in a few RTTs at both\n"
+      "speeds; DCTCP needs O(BDP) RTTs and degrades ~10x from 10G->100G.\n");
+  return 0;
+}

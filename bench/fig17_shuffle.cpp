@@ -1,0 +1,69 @@
+// Fig 17: MapReduce-style shuffle under a single ToR — all-to-all transfers
+// between tasks on every host. Paper (40 hosts x 8 tasks x 1MB): DCTCP has
+// a slightly better median FCT, but ExpressPass is 1.51x better at the 99th
+// percentile and 6.65x better at the tail, because DCTCP's stragglers pile
+// onto a few hosts and hit RTO-driven timeouts.
+#include "bench/workload_runner.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+namespace {
+
+stats::FctCollector run(runner::Protocol proto, size_t hosts, size_t tasks,
+                        uint64_t bytes) {
+  sim::Simulator sim(33);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
+  auto star = net::build_star(topo, hosts, link);
+  for (auto* h : star.hosts) {
+    h->set_delay_model(net::HostDelayModel::testbed());
+  }
+  auto t = runner::make_transport(proto, sim, topo, Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  auto specs = workload::shuffle_flows(star.hosts, tasks, bytes);
+  driver.add_all(specs);
+  driver.run_to_completion(Time::sec(60));
+  stats::FctCollector fcts = driver.fcts();
+  std::printf("  [%s: %zu/%zu flows completed, %zu data drops]\n",
+              std::string(runner::protocol_name(proto)).c_str(),
+              driver.completed(), driver.scheduled(),
+              static_cast<size_t>(topo.data_drops()));
+  driver.stop_all();
+  return fcts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_mode(argc, argv);
+  bench::header("Fig 17: shuffle workload FCT distribution",
+                "Fig 17, SIGCOMM'17 (paper: DCTCP median 2.05s vs XP 2.23s; "
+                "p99 XP 1.51x better; max XP 6.65x better)");
+  // Scaled: 16 hosts x 4 tasks x 250KB by default (40 x 8 x 1MB with
+  // --full). The scaled run must still oversubscribe each receiver with
+  // more concurrent flows (here 15*16 = 240) than the 250-packet queue can
+  // hold at DCTCP's minimum window, or the straggler/timeout tail the
+  // figure is about never materializes.
+  const size_t hosts = full ? 40 : 20;
+  const size_t tasks = full ? 8 : 6;
+  const uint64_t bytes = full ? 1'000'000 : 300'000;
+  std::printf("hosts=%zu tasks/host=%zu bytes/flow=%zu -> %zu flows/host\n",
+              hosts, tasks, bytes, (hosts - 1) * tasks * tasks);
+
+  auto xp = run(runner::Protocol::kExpressPass, hosts, tasks, bytes);
+  auto dctcp = run(runner::Protocol::kDctcp, hosts, tasks, bytes);
+
+  std::printf("\n%12s %12s %12s %10s\n", "percentile", "XP (s)", "DCTCP (s)",
+              "DCTCP/XP");
+  for (double p : {0.50, 0.90, 0.99, 1.0}) {
+    const double a = xp.all().percentile(p);
+    const double b = dctcp.all().percentile(p);
+    std::printf("%11.0f%% %12.3f %12.3f %10.2f\n", p * 100, a, b,
+                a > 0 ? b / a : 0.0);
+  }
+  std::printf(
+      "\nShape check: the ratio column rises with the percentile — DCTCP\n"
+      "competitive at the median, ExpressPass far better in the tail.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Micro-benchmarks of the simulator primitives (google-benchmark): event
+// queue throughput, symmetric hashing, queue operations, and a packed
+// end-to-end packet-forwarding rate. These bound how much simulated traffic
+// the experiment benches can afford.
+#include <benchmark/benchmark.h>
+
+#include "net/queue.hpp"
+#include "net/switch.hpp"
+#include "net/topology_builders.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace xpass;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      q.schedule(sim::Time::ns(i * 7 % 997), [&sink] { ++sink; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_SymmetricHash(benchmark::State& state) {
+  uint64_t acc = 0;
+  uint32_t i = 0;
+  for (auto _ : state) {
+    acc ^= net::Switch::symmetric_hash(i, i * 2654435761u, i * 40503u);
+    ++i;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SymmetricHash);
+
+void BM_DropTailQueueCycle(benchmark::State& state) {
+  net::DropTailQueue q;
+  sim::Time t;
+  uint64_t n = 0;
+  for (auto _ : state) {
+    t += sim::Time::ns(100);
+    net::Packet p = net::make_data(1, 0, 1, n++, net::kMssBytes);
+    q.enqueue(std::move(p), t);
+    benchmark::DoNotOptimize(q.dequeue(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailQueueCycle);
+
+void BM_PacketForwardingFatTree(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim(7);
+    net::Topology topo(sim);
+    net::LinkConfig link;
+    link.rate_bps = 10e9;
+    link.prop_delay = sim::Time::us(1);
+    auto ft = net::build_fat_tree(topo, 4, link, link);
+    state.ResumeTiming();
+    // Inject 1000 packets host0 -> hostN and run them through the fabric.
+    for (int i = 0; i < 1000; ++i) {
+      ft.hosts[0]->send(net::make_data(1, ft.hosts[0]->id(),
+                                       ft.hosts.back()->id(), i,
+                                       net::kMssBytes));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PacketForwardingFatTree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Feedback-loop anatomy: trace Algorithm 1's internal state (credit rate,
+// aggressiveness factor w, phase) for two competing flows, period by
+// period. Useful for understanding how the binary increase + adaptive w
+// produce fast convergence and a small steady-state oscillation.
+//
+// Build & run:  ./build/examples/feedback_trace
+#include <cstdio>
+
+#include "core/expresspass.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+int main() {
+  sim::Simulator sim(3);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  auto d = net::build_dumbbell(topo, 2, link, link);
+  core::ExpressPassConfig cfg;
+  cfg.update_period = Time::us(100);
+  core::ExpressPassTransport t(sim, cfg);
+  runner::FlowDriver driver(sim, t);
+  for (uint32_t i = 0; i < 2; ++i) {
+    transport::FlowSpec s;
+    s.id = i + 1;
+    s.src = d.senders[i];
+    s.dst = d.receivers[i];
+    s.size_bytes = transport::kLongRunning;
+    s.start_time = Time::us(500 * i);
+    driver.add(s);
+  }
+  auto* c1 =
+      dynamic_cast<core::ExpressPassConnection*>(driver.connections()[0].get());
+  auto* c2 =
+      dynamic_cast<core::ExpressPassConnection*>(driver.connections()[1].get());
+
+  std::printf("%8s | %10s %7s %5s | %10s %7s %5s | %10s\n", "t(us)",
+              "rate1(G)", "w1", "ph1", "rate2(G)", "w2", "ph2",
+              "goodput(G)");
+  for (int k = 1; k <= 30; ++k) {
+    sim.run_until(Time::us(100) * k);
+    auto rates = driver.rates().snapshot_rates_by_flow(Time::us(100));
+    std::printf("%8d | %10.2f %7.3f %5s | %10.2f %7.3f %5s | %10.2f\n",
+                100 * k, c1->credit_rate_bps() / 1e9, c1->feedback().w(),
+                c1->feedback().increasing() ? "inc" : "dec",
+                c2->credit_rate_bps() / 1e9, c2->feedback().w(),
+                c2->feedback().increasing() ? "inc" : "dec",
+                (rates[1] + rates[2]) / 1e9);
+  }
+  std::printf(
+      "\nReading the trace: flow 1 grabs the whole link; when flow 2 joins\n"
+      "at t=500us both see >10%% credit loss and cut; w halves on every\n"
+      "cut, so the oscillation shrinks; binary increase toward C keeps\n"
+      "utilization high while rates equalize.\n");
+  driver.stop_all();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Incast: the motivating scenario of §2. 64 partition/aggregate workers
+// respond to one master through a single ToR switch. We run the same burst
+// under DCTCP and under ExpressPass and compare the receiver-downlink queue,
+// drops, and completion times.
+//
+// Build & run:  ./build/examples/incast [fanout] [bytes_per_worker]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/expresspass.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+#include "workload/generators.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+namespace {
+
+void run(runner::Protocol proto, size_t fanout, uint64_t bytes) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
+  auto star = net::build_star(topo, 33, link);
+  for (auto* h : star.hosts) {
+    h->set_delay_model(net::HostDelayModel::testbed());
+  }
+  auto t = runner::make_transport(proto, sim, topo, Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  std::vector<net::Host*> workers(star.hosts.begin() + 1, star.hosts.end());
+  driver.add_all(
+      workload::incast_flows(workers, star.hosts[0], bytes, fanout));
+  const bool done = driver.run_to_completion(Time::sec(10));
+
+  net::Port* downlink = star.hosts[0]->nic().peer();
+  std::printf("%-14s  completed %3zu/%zu%s  maxQ %7.1f KB  drops %5zu  "
+              "p99 FCT %8.2f ms\n",
+              std::string(runner::protocol_name(proto)).c_str(),
+              driver.completed(), driver.scheduled(), done ? "" : " (!)",
+              downlink->data_queue().stats().max_bytes / 1e3,
+              static_cast<size_t>(topo.data_drops()),
+              driver.fcts().all().percentile(0.99) * 1e3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t fanout = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  const uint64_t bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                  : 100'000;
+  std::printf("incast: %zu workers -> 1 master, %llu bytes each, one 10G "
+              "ToR\n\n",
+              fanout, static_cast<unsigned long long>(bytes));
+  run(runner::Protocol::kDctcp, fanout, bytes);
+  run(runner::Protocol::kExpressPass, fanout, bytes);
+  std::printf(
+      "\nExpressPass keeps the receiver downlink queue bounded and never\n"
+      "drops data: the credit arrival order at the ToR schedules the\n"
+      "responses packet-by-packet.\n");
+  return 0;
+}

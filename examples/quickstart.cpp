@@ -1,0 +1,59 @@
+// Quickstart: the smallest useful ExpressPass simulation.
+//
+// Two hosts pairs share a 10Gbps dumbbell bottleneck. Flow 0 starts first;
+// flow 1 joins 500us later. We print per-100us goodput of both flows and
+// watch the credit feedback loop converge to the fair share within a few
+// RTTs, with zero data-packet drops.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/expresspass.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+
+using namespace xpass;
+
+int main() {
+  sim::Simulator sim(/*seed=*/1);
+  net::Topology topo(sim);
+
+  // 10G links, 1us propagation, paper-default queues (250 MTUs data,
+  // 8-credit credit queue shaped to ~5% of the link).
+  const auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, sim::Time::us(1));
+  auto d = net::build_dumbbell(topo, /*pairs=*/2, link, link);
+
+  auto transport = runner::make_transport(runner::Protocol::kExpressPass, sim,
+                                          topo,
+                                          /*base_rtt=*/sim::Time::us(100));
+  runner::FlowDriver driver(sim, *transport);
+
+  for (uint32_t i = 0; i < 2; ++i) {
+    transport::FlowSpec s;
+    s.id = i + 1;
+    s.src = d.senders[i];
+    s.dst = d.receivers[i];
+    s.size_bytes = transport::kLongRunning;
+    s.start_time = sim::Time::us(500 * i);
+    driver.add(s);
+  }
+
+  std::printf("%10s %12s %12s %14s\n", "time(us)", "flow1(Gbps)",
+              "flow2(Gbps)", "bottleneckQ(B)");
+  const sim::Time window = sim::Time::us(250);
+  for (int step = 1; step <= 28; ++step) {
+    sim.run_until(window * step);
+    auto rates = driver.rates().snapshot_rates_by_flow(window);
+    std::printf("%10.0f %12.3f %12.3f %14llu\n", sim.now().to_us(),
+                rates[1] / 1e9, rates[2] / 1e9,
+                static_cast<unsigned long long>(
+                    d.bottleneck->data_queue().bytes()));
+  }
+  std::printf("\ndata drops: %llu (ExpressPass guarantees zero)\n",
+              static_cast<unsigned long long>(topo.data_drops()));
+  std::printf("credit drops: %llu (that's the congestion signal)\n",
+              static_cast<unsigned long long>(topo.credit_drops()));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Realistic-workload FCT comparison on an oversubscribed Clos fabric —
+// a miniature of the paper's §6.3 evaluation, runnable in seconds.
+//
+// Build & run:  ./build/examples/workload_fct [webserver|websearch|
+//               cachefollower|datamining] [n_flows]
+#include <cstdio>
+#include <cstring>
+
+#include "core/expresspass.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+#include "stats/fct.hpp"
+#include "workload/flow_size_dist.hpp"
+#include "workload/generators.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+int main(int argc, char** argv) {
+  workload::WorkloadKind kind = workload::WorkloadKind::kWebServer;
+  if (argc > 1) {
+    const std::string_view arg = argv[1];
+    if (arg == "websearch") kind = workload::WorkloadKind::kWebSearch;
+    if (arg == "cachefollower") kind = workload::WorkloadKind::kCacheFollower;
+    if (arg == "datamining") kind = workload::WorkloadKind::kDataMining;
+  }
+  const size_t n_flows = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 800;
+
+  std::printf("workload %s, %zu flows, load 0.6, quarter-scale Clos "
+              "(48 hosts, 3:1 oversubscribed)\n\n",
+              std::string(workload::workload_name(kind)).c_str(), n_flows);
+  std::printf("%-14s %10s %14s %14s %12s\n", "protocol", "done",
+              "avg FCT (ms)", "p99 FCT (ms)", "data drops");
+
+  for (auto proto : {runner::Protocol::kExpressPass, runner::Protocol::kDctcp,
+                     runner::Protocol::kRcp}) {
+    sim::Simulator sim(11);
+    net::Topology topo(sim);
+    const auto host_link =
+        runner::protocol_link_config(proto, 10e9, Time::us(4));
+    const auto fabric_link =
+        runner::protocol_link_config(proto, 40e9, Time::us(4));
+    auto cl = net::build_clos(topo, 4, 4, 2, 2, 6, host_link, fabric_link);
+    auto t = runner::make_transport(proto, sim, topo, Time::us(100));
+    runner::FlowDriver driver(sim, *t);
+
+    auto dist = workload::FlowSizeDist::make(kind);
+    const double uplink_bps = cl.tor_uplinks.size() * 40e9;
+    const double lambda =
+        workload::lambda_for_load(0.6, uplink_bps, dist.mean());
+    driver.add_all(workload::poisson_flows(sim.rng(), cl.hosts, dist, lambda,
+                                           n_flows));
+    driver.run_to_completion(Time::sec(30));
+    std::printf("%-14s %6zu/%zu %14.3f %14.3f %12zu\n",
+                std::string(runner::protocol_name(proto)).c_str(),
+                driver.completed(), driver.scheduled(),
+                driver.fcts().all().mean() * 1e3,
+                driver.fcts().all().percentile(0.99) * 1e3,
+                static_cast<size_t>(topo.data_drops()));
+    driver.stop_all();
+  }
+  return 0;
+}

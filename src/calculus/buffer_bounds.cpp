@@ -1,0 +1,131 @@
+#include "calculus/buffer_bounds.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace xpass::calculus {
+
+namespace {
+
+using sim::Time;
+
+// Hop cost t(p,q): credit serialization toward the sender plus the returning
+// data serialization, plus propagation both ways and switching.
+Time hop_cost(double rate_bps, Time prop, Time switching) {
+  return sim::tx_time(net::kCreditWireBytes, rate_bps) +
+         sim::tx_time(net::kMaxWireBytes, rate_bps) + prop * 2 +
+         switching * 2;
+}
+
+// Worst-case credit queueing at an egress shaped to the credit rate of a
+// link: a full credit queue drains one credit per MTU-cycle.
+Time credit_queue_delay(size_t q_pkts, double rate_bps) {
+  return sim::tx_time(net::kCreditCycleBytes, rate_bps) *
+         static_cast<int64_t>(q_pkts);
+}
+
+struct ClassDelay {
+  Time min_d;
+  Time max_d;
+  Time data_q;  // d_data contribution when used as a next hop (= ∆d)
+  Time delta() const { return max_d - min_d; }
+};
+
+PortBound to_bound(const ClassDelay& c, double charge_rate_bps) {
+  PortBound b;
+  b.min_d = c.min_d;
+  b.max_d = c.max_d;
+  b.delta_d = c.delta();
+  b.buffer_bytes = b.delta_d.to_sec() * charge_rate_bps / 8.0;
+  return b;
+}
+
+// Compose a parent ingress class from its next-hop classes.
+ClassDelay compose(Time dcredit_max,
+                   const std::vector<std::pair<Time, ClassDelay>>& hops) {
+  ClassDelay out;
+  Time max_term = Time::zero();
+  Time min_term = Time::max();
+  for (const auto& [t, child] : hops) {
+    max_term = std::max(max_term, t + child.max_d + child.data_q);
+    min_term = std::min(min_term, t + child.min_d);
+  }
+  out.max_d = dcredit_max + max_term;
+  out.min_d = min_term;
+  out.data_q = out.delta();
+  return out;
+}
+
+// Core recursion without the Fig-5 breakdown (which would recurse forever).
+CalculusResult compute_bounds_only(const CalculusParams& p) {
+  const Time t_edge = hop_cost(p.edge_rate_bps, p.edge_prop,
+                               p.switching_delay);
+  const Time t_fabric = hop_cost(p.fabric_rate_bps, p.edge_prop,
+                                 p.switching_delay);
+  const Time t_core = hop_cost(p.fabric_rate_bps, p.core_prop,
+                               p.switching_delay);
+  const Time dc_edge = credit_queue_delay(p.credit_queue_pkts,
+                                          p.edge_rate_bps);
+  const Time dc_fabric = credit_queue_delay(p.credit_queue_pkts,
+                                            p.fabric_rate_bps);
+
+  // NIC: host credit-processing delay in [0, ∆d_host]; a host has no data
+  // queue (one MTU per credit), so its d_data contribution is zero.
+  ClassDelay nic{Time::zero(), p.delta_host, Time::zero()};
+
+  // ToR ingress from above: credits fan down to rack NICs via edge links.
+  ClassDelay tor_above = compose(dc_edge, {{t_edge, nic}});
+  // Aggregate ingress from above: down to ToRs.
+  ClassDelay aggr_above = compose(dc_fabric, {{t_fabric, tor_above}});
+  // Core ingress (always from an aggregate): down to aggregates.
+  ClassDelay core = compose(dc_fabric, {{t_core, aggr_above}});
+  // Aggregate ingress from below: down to sibling ToRs or up through cores.
+  ClassDelay aggr_below =
+      compose(dc_fabric, {{t_fabric, tor_above}, {t_core, core}});
+  // ToR ingress from below (the receiver's downlink — the incast port):
+  // down to rack NICs or up through the whole fabric. Credits may egress on
+  // the slow edge link, so the worst-case credit queueing uses it.
+  ClassDelay tor_below =
+      compose(std::max(dc_edge, dc_fabric), {{t_edge, nic},
+                                             {t_fabric, aggr_below}});
+
+  CalculusResult r;
+  r.nic = to_bound(nic, p.edge_rate_bps);
+  r.tor_up = to_bound(tor_above, p.edge_rate_bps);
+  r.aggr_up = to_bound(aggr_above, p.fabric_rate_bps);
+  r.core = to_bound(core, p.fabric_rate_bps);
+  r.aggr_down = to_bound(aggr_below, p.fabric_rate_bps);
+  r.tor_down = to_bound(tor_below, p.edge_rate_bps);
+
+  r.tor_switch_total_bytes =
+      static_cast<double>(p.ports_per_tor_down) * r.tor_down.buffer_bytes +
+      static_cast<double>(p.ports_per_tor_up) * r.tor_up.buffer_bytes;
+  return r;
+}
+
+}  // namespace
+
+CalculusResult compute_buffer_bounds(const CalculusParams& p) {
+  CalculusResult r = compute_bounds_only(p);
+
+  // Fig 5 breakdown: recompute the ToR total with one contributor zeroed at
+  // a time; the difference is that contributor's share.
+  CalculusParams no_cq = p;
+  no_cq.credit_queue_pkts = 0;
+  CalculusParams no_host = p;
+  no_host.delta_host = Time::zero();
+  const double without_cq = compute_bounds_only(no_cq).tor_switch_total_bytes;
+  const double without_host =
+      compute_bounds_only(no_host).tor_switch_total_bytes;
+  r.contribution_credit_queue = r.tor_switch_total_bytes - without_cq;
+  r.contribution_host_spread = r.tor_switch_total_bytes - without_host;
+  r.contribution_path_spread =
+      std::max(0.0, r.tor_switch_total_bytes - r.contribution_credit_queue -
+                        r.contribution_host_spread);
+  return r;
+}
+
+}  // namespace xpass::calculus

@@ -1,0 +1,64 @@
+// Network-calculus zero-loss buffer bounds (§3.1, Eq. 1, Table 1, Fig 5).
+//
+// For each credit-ingress port class p, the delay d_p between a credit
+// arriving and the corresponding data packet returning through the same
+// physical port is
+//     d_p = d_credit + t(p,q) + d_q + d_data(q)
+// and the spread
+//     ∆d_p = max(d_credit) + max_{q in N(p)} (t + d_q + ∆d_q)
+//                          - min_{q in N(p)} (t + d_q)
+// bounds the data buffer that port needs for zero loss. We evaluate the
+// recursion bottom-up over the port classes of a hierarchical (fat-tree /
+// 3-tier Clos) fabric:
+//   NIC -> ToR-from-above (ToR up port) -> Aggr-from-above ->
+//   Core -> Aggr-from-below -> ToR-from-below (ToR down port).
+// Uplink-ingress classes only reach downward (small spread); downlink-
+// ingress classes also reach upward through the whole fabric (large spread)
+// — hence ToR *down* ports dominate, exactly as Table 1 shows.
+//
+// Interpretation notes (documented substitutions): the sending host NIC has
+// no data queue (a host emits at most one MTU per credit), so d_data(NIC)=0;
+// the buffer in bytes charges ∆d at the rate of the link the data enters
+// from (host links for ToR port classes, fabric links for aggr/core).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace xpass::calculus {
+
+struct CalculusParams {
+  double edge_rate_bps = 10e9;     // host <-> ToR links
+  double fabric_rate_bps = 40e9;   // ToR <-> aggr <-> core links
+  sim::Time edge_prop = sim::Time::us(1);   // all non-core links
+  sim::Time core_prop = sim::Time::us(5);   // aggr <-> core links
+  size_t credit_queue_pkts = 8;
+  sim::Time delta_host = sim::Time::ns(5100);  // ∆d_host (testbed: 5.1us)
+  sim::Time switching_delay = sim::Time::zero();
+  size_t ports_per_tor_down = 16;  // k/2 in a k-ary fat tree (switch totals)
+  size_t ports_per_tor_up = 16;
+};
+
+struct PortBound {
+  sim::Time min_d;
+  sim::Time max_d;
+  sim::Time delta_d;      // max_d - min_d
+  double buffer_bytes = 0.0;
+};
+
+struct CalculusResult {
+  PortBound nic;
+  PortBound tor_up;      // credits ingress ToR from aggr
+  PortBound aggr_up;     // credits ingress aggr from core
+  PortBound core;        // credits ingress core from aggr
+  PortBound aggr_down;   // credits ingress aggr from ToR
+  PortBound tor_down;    // credits ingress ToR from host (dominant)
+  double tor_switch_total_bytes = 0.0;  // Fig 5: whole-ToR max buffer
+  // Fig 5 breakdown of the ToR total.
+  double contribution_credit_queue = 0.0;
+  double contribution_host_spread = 0.0;
+  double contribution_path_spread = 0.0;
+};
+
+CalculusResult compute_buffer_bounds(const CalculusParams& p);
+
+}  // namespace xpass::calculus

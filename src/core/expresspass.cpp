@@ -1,0 +1,246 @@
+#include "core/expresspass.hpp"
+
+#include <algorithm>
+
+namespace xpass::core {
+
+using net::Packet;
+using net::PktType;
+using transport::kLongRunning;
+
+namespace {
+FeedbackParams make_params(const ExpressPassConfig& cfg, double link_bps) {
+  FeedbackParams p;
+  p.max_rate = cfg.max_rate_bps > 0.0 ? cfg.max_rate_bps : link_bps;
+  p.init_rate = cfg.naive ? p.max_rate : cfg.alpha_init * p.max_rate;
+  p.w_init = cfg.w_init;
+  p.w_min = cfg.w_min;
+  p.w_max = cfg.w_max;
+  p.target_loss = cfg.target_loss;
+  return p;
+}
+}  // namespace
+
+ExpressPassConnection::ExpressPassConnection(
+    sim::Simulator& sim, const transport::FlowSpec& spec,
+    const ExpressPassConfig& cfg)
+    : Connection(sim, spec),
+      cfg_(cfg),
+      feedback_(make_params(cfg, spec.dst->nic().config().rate_bps)) {}
+
+ExpressPassConnection::~ExpressPassConnection() { stop(); }
+
+void ExpressPassConnection::start() {
+  if (started_) return;
+  started_ = true;
+  spec_.src->register_flow(spec_.id, [this](Packet&& p) {
+    sender_on_packet(std::move(p));
+  });
+  spec_.dst->register_flow(spec_.id, [this](Packet&& p) {
+    receiver_on_packet(std::move(p));
+  });
+  host_release_ = sim_.now();
+  send_request();
+}
+
+void ExpressPassConnection::stop() {
+  if (!started_) return;
+  started_ = false;
+  spec_.src->unregister_flow(spec_.id);
+  spec_.dst->unregister_flow(spec_.id);
+  sim_.cancel(credit_timer_);
+  sim_.cancel(feedback_timer_);
+  sim_.cancel(request_timer_);
+  credits_running_ = false;
+}
+
+// ----- Sender (Fig 7a) ----------------------------------------------------
+
+void ExpressPassConnection::send_request() {
+  // Credit request piggybacked on SYN (§3.1).
+  Packet syn = net::make_control(PktType::kSyn, spec_.id, spec_.src->id(),
+                                 spec_.dst->id());
+  spec_.src->send(std::move(syn));
+  // Fig 7: timeout re-sends CREDIT_REQUEST if no credit shows up.
+  sim_.cancel(request_timer_);
+  request_timer_ = sim_.after(cfg_.request_timeout, [this] {
+    if (!any_credit_seen_) send_request();
+  });
+}
+
+void ExpressPassConnection::sender_on_packet(Packet&& p) {
+  if (p.type != PktType::kCredit) return;
+  any_credit_seen_ = true;
+  ++credits_received_;
+
+  const uint64_t size = spec_.size_bytes;
+  // The credit's cum-ack tells us what the receiver actually has. If we
+  // sent everything a while ago and the receiver is still missing bytes (a
+  // rare data drop), go back and resend from its cumulative point. The
+  // time guard matters: credits that were already in flight when we sent
+  // the tail carry stale cum-acks and must not trigger retransmission.
+  if (size != kLongRunning && snd_nxt_ >= size && p.ack < size &&
+      sim_.now() - last_data_sent_ > cfg_.request_timeout) {
+    snd_nxt_ = p.ack;
+  }
+
+  if (size != kLongRunning && snd_nxt_ >= size) {
+    // Nothing to send: the credit is wasted (Fig 8b / Fig 20).
+    ++credits_wasted_;
+    if (!stop_sent_ && p.ack >= size) send_credit_stop();
+    return;
+  }
+
+  const uint32_t payload = static_cast<uint32_t>(
+      size == kLongRunning ? net::kMssBytes
+                           : std::min<uint64_t>(net::kMssBytes,
+                                                size - snd_nxt_));
+  Packet data = net::make_data(spec_.id, spec_.src->id(), spec_.dst->id(),
+                               snd_nxt_, payload);
+  data.ack = p.seq;  // echo credit sequence (loss detection, §3.2)
+  data.ts = sim_.now();
+  snd_nxt_ += payload;
+  if (size != kLongRunning && snd_nxt_ >= size) data.fin = true;
+
+  // Host credit-processing delay: sampled per credit, released in FIFO
+  // order (a host cannot reorder its own transmissions).
+  last_data_sent_ = sim_.now();
+  const sim::Time release =
+      std::max(host_release_, sim_.now() + spec_.src->sample_credit_delay());
+  host_release_ = release;
+  sim_.at(release, [this, d = std::move(data)]() mutable {
+    spec_.src->send(std::move(d));
+  });
+}
+
+void ExpressPassConnection::send_credit_stop() {
+  stop_sent_ = true;
+  Packet stop = net::make_control(PktType::kCreditStop, spec_.id,
+                                  spec_.src->id(), spec_.dst->id());
+  spec_.src->send(std::move(stop));
+}
+
+// ----- Receiver (Fig 7b) --------------------------------------------------
+
+void ExpressPassConnection::receiver_on_packet(Packet&& p) {
+  switch (p.type) {
+    case PktType::kSyn:
+    case PktType::kCreditRequest:
+      if (!credits_running_) start_credits();
+      return;
+    case PktType::kCreditStop:
+      credits_running_ = false;
+      sim_.cancel(credit_timer_);
+      sim_.cancel(feedback_timer_);
+      return;
+    case PktType::kData: {
+      ++data_rcvd_period_;
+      // Echoed credit sequence: gaps are credits lost at rate limiters.
+      if (has_echo_) {
+        if (p.ack > last_echo_seq_) {
+          credits_dropped_period_ += p.ack - last_echo_seq_ - 1;
+          last_echo_seq_ = p.ack;
+        }
+      } else {
+        has_echo_ = true;
+        credits_dropped_period_ += p.ack;  // credits before the first echo
+        last_echo_seq_ = p.ack;
+      }
+      // The FIN flag tells the receiver where the flow ends (possibly out
+      // of order); credits keep flowing until every byte up to it arrived,
+      // which is also what recovers rare data losses.
+      if (p.fin) fin_end_ = p.seq + p.payload_bytes;
+      if (p.seq == rcv_next_) {
+        rcv_next_ += p.payload_bytes;
+        deliver(p.payload_bytes);
+        // Drain anything reassembly buffered behind the new edge (packet
+        // spraying reorders; bounded queues keep this buffer tiny, §7).
+        auto it = rcv_ooo_.begin();
+        while (it != rcv_ooo_.end() && it->first <= rcv_next_) {
+          const uint64_t end = it->first + it->second;
+          if (end > rcv_next_) {
+            deliver(end - rcv_next_);
+            rcv_next_ = end;
+          }
+          it = rcv_ooo_.erase(it);
+        }
+      } else if (p.seq > rcv_next_) {
+        if (spec_.size_bytes == kLongRunning) {
+          // Long-running flows have no retransmission (there is no "end"
+          // to recover toward); account goodput across the hole.
+          rcv_next_ = p.seq + p.payload_bytes;
+          deliver(p.payload_bytes);
+        } else {
+          rcv_ooo_.emplace(p.seq, p.payload_bytes);
+        }
+      }
+      if (fin_end_ > 0 && rcv_next_ >= fin_end_ && credits_running_) {
+        // All data arrived: stop crediting immediately. Credits already in
+        // flight are the unavoidable waste of Fig 8b / Fig 20.
+        credits_running_ = false;
+        sim_.cancel(credit_timer_);
+        sim_.cancel(feedback_timer_);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ExpressPassConnection::start_credits() {
+  credits_running_ = true;
+  credits_sent_period_ = 0;
+  data_rcvd_period_ = 0;
+  schedule_next_credit();
+  feedback_timer_ =
+      sim_.after(cfg_.update_period, [this] { run_feedback(); });
+}
+
+void ExpressPassConnection::send_credit() {
+  if (!credits_running_) return;
+  Packet credit = net::make_control(PktType::kCredit, spec_.id,
+                                    spec_.dst->id(), spec_.src->id());
+  credit.seq = credit_seq_++;
+  credit.ack = rcv_next_;
+  credit.credit_class = cfg_.traffic_class;
+  if (cfg_.randomize_credit_size) {
+    credit.wire_bytes = static_cast<uint32_t>(
+        sim_.rng().uniform_int(net::kMinWireBytes, net::kMinWireBytes + 8));
+  }
+  spec_.dst->send(std::move(credit));
+  ++credits_sent_total_;
+  ++credits_sent_period_;
+  schedule_next_credit();
+}
+
+void ExpressPassConnection::schedule_next_credit() {
+  const double rate = feedback_.rate();
+  // One credit admits one full data frame: at cur_rate (data bps) credits
+  // are spaced by the time a credit+MTU cycle takes at that rate.
+  double gap_sec = net::kCreditCycleBytes * 8.0 / rate;
+  if (cfg_.jitter > 0.0) {
+    gap_sec *= 1.0 + cfg_.jitter * sim_.rng().uniform(-1.0, 1.0);
+  }
+  credit_timer_ =
+      sim_.after(sim::Time::seconds(gap_sec), [this] { send_credit(); });
+}
+
+void ExpressPassConnection::run_feedback() {
+  if (!credits_running_) return;
+  if (!cfg_.naive && credits_sent_period_ > 0) {
+    const uint64_t basis = credits_dropped_period_ + data_rcvd_period_;
+    const double loss =
+        basis > 0 ? static_cast<double>(credits_dropped_period_) /
+                        static_cast<double>(basis)
+                  : 0.0;  // no evidence of drops: treat as uncongested
+    feedback_.update(loss);
+  }
+  credits_sent_period_ = 0;
+  credits_dropped_period_ = 0;
+  data_rcvd_period_ = 0;
+  feedback_timer_ =
+      sim_.after(cfg_.update_period, [this] { run_feedback(); });
+}
+
+}  // namespace xpass::core

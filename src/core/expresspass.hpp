@@ -1,0 +1,137 @@
+// ExpressPass connection: receiver-driven credit pacing with the Algorithm-1
+// feedback loop, and the Fig-7 sender/receiver state machines.
+//
+// Lifecycle:
+//   sender --SYN(credit request)--> receiver       (piggybacked per §3.1)
+//   receiver paces CREDIT packets at cur_rate (jittered; sizes randomized
+//     84-92B to break switch-level synchronization)
+//   sender answers each credit with one data packet after a sampled host
+//     credit-processing delay (in order); credits with nothing to send are
+//     counted as waste (Fig 8b / Fig 20)
+//   receiver measures credit loss per update period via sent-vs-delivered
+//     accounting and runs CreditFeedback
+//   sender --CREDIT_STOP--> receiver once all bytes are acknowledged (the
+//     credit's cum-ack field doubles as the loss-recovery signal: if it
+//     regresses below what was sent, the sender goes back and resends).
+#pragma once
+
+#include <map>
+
+#include "core/feedback.hpp"
+#include "net/packet.hpp"
+#include "transport/connection.hpp"
+
+namespace xpass::core {
+
+struct ExpressPassConfig {
+  double alpha_init = 0.5;   // initial credit rate = alpha * max_rate
+  double w_init = 0.5;
+  double w_min = 0.01;
+  double w_max = 0.5;
+  double target_loss = 0.1;
+  // Credit pacing jitter as a fraction of the inter-credit gap (Fig 6a).
+  // On top of this, host NICs add software rate-limiter noise
+  // (LinkConfig::host_credit_shaper_noise, the Fig-6b effect); together
+  // they break the drop synchronization that would otherwise lock flows
+  // out of the tiny drop-tail credit queues.
+  double jitter = 0.1;
+  bool randomize_credit_size = true;  // 84..92B (§3.1 switch-jitter fix)
+  bool naive = false;                 // max-rate credits, no feedback (§2)
+  // Feedback update period; the paper uses the RTT.
+  sim::Time update_period = sim::Time::us(100);
+  // Max credit rate in data-bps terms; 0 = receiver link rate.
+  double max_rate_bps = 0.0;
+  // Traffic class of this flow's credits (§7 multi-class extension; only
+  // meaningful when ports configure credit_class_weights).
+  uint8_t traffic_class = 0;
+  // Sender retries the credit request if no credit arrives (Fig 7 timeout).
+  sim::Time request_timeout = sim::Time::us(400);
+};
+
+class ExpressPassConnection : public transport::Connection {
+ public:
+  ExpressPassConnection(sim::Simulator& sim, const transport::FlowSpec& spec,
+                        const ExpressPassConfig& cfg);
+  ~ExpressPassConnection() override;
+
+  void start() override;
+  void stop() override;
+
+  // Introspection for tests/benches.
+  double credit_rate_bps() const { return feedback_.rate(); }
+  uint64_t credits_sent() const { return credits_sent_total_; }
+  uint64_t credits_received() const { return credits_received_; }
+  uint64_t credits_wasted() const { return credits_wasted_; }
+  const CreditFeedback& feedback() const { return feedback_; }
+
+ private:
+  // Sender side.
+  void sender_on_packet(net::Packet&& p);
+  void on_credit(const net::Packet& credit);
+  void send_request();
+  void send_credit_stop();
+
+  // Receiver side.
+  void receiver_on_packet(net::Packet&& p);
+  void start_credits();
+  void send_credit();
+  void schedule_next_credit();
+  void run_feedback();
+
+  ExpressPassConfig cfg_;
+  CreditFeedback feedback_;
+
+  // Sender state (Fig 7a).
+  uint64_t snd_nxt_ = 0;  // next byte to send
+  bool stop_sent_ = false;
+  sim::Time host_release_;  // host processing is FIFO: departures in order
+  sim::Time last_data_sent_;  // guards loss-recovery against stale credits
+  sim::TimerId request_timer_;
+  bool any_credit_seen_ = false;
+
+  // Receiver state (Fig 7b).
+  bool credits_running_ = false;
+  uint64_t rcv_next_ = 0;        // in-order bytes received
+  uint64_t fin_end_ = 0;         // flow length, learned from the FIN flag
+  std::map<uint64_t, uint32_t> rcv_ooo_;  // reassembly (packet spraying)
+  uint64_t credit_seq_ = 0;
+  uint64_t credits_sent_total_ = 0;
+  uint64_t credits_sent_period_ = 0;
+  // Credit-loss detection (§3.2): every data packet echoes the sequence
+  // number of the credit that triggered it; since a flow's path is FIFO, a
+  // gap in echoed sequence numbers counts exactly the credits dropped at
+  // rate limiters.
+  bool has_echo_ = false;
+  uint64_t last_echo_seq_ = 0;
+  uint64_t credits_dropped_period_ = 0;
+  uint64_t data_rcvd_period_ = 0;
+  sim::TimerId credit_timer_;
+  sim::TimerId feedback_timer_;
+
+  // Waste accounting (sender side).
+  uint64_t credits_received_ = 0;
+  uint64_t credits_wasted_ = 0;
+
+  bool started_ = false;
+};
+
+class ExpressPassTransport : public transport::Transport {
+ public:
+  explicit ExpressPassTransport(sim::Simulator& sim,
+                                ExpressPassConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+  std::unique_ptr<transport::Connection> create(
+      const transport::FlowSpec& spec) override {
+    return std::make_unique<ExpressPassConnection>(sim_, spec, cfg_);
+  }
+  std::string_view name() const override {
+    return cfg_.naive ? "ExpressPass-naive" : "ExpressPass";
+  }
+  const ExpressPassConfig& config() const { return cfg_; }
+
+ private:
+  sim::Simulator& sim_;
+  ExpressPassConfig cfg_;
+};
+
+}  // namespace xpass::core

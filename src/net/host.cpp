@@ -1,0 +1,34 @@
+#include "net/host.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xpass::net {
+
+sim::Time HostDelayModel::sample(sim::Rng& rng) const {
+  switch (kind) {
+    case Kind::kNone:
+      return sim::Time::zero();
+    case Kind::kUniform:
+      return sim::Time::seconds(
+          rng.uniform(min.to_sec(), max.to_sec()));
+    case Kind::kLogNormal: {
+      const double mu = std::log(lognorm_median_us * 1e-6);
+      const double v = rng.lognormal(mu, lognorm_sigma);
+      return std::clamp(sim::Time::seconds(v), min, max);
+    }
+  }
+  return sim::Time::zero();
+}
+
+void Host::receive(Packet&& p, Port& in) {
+  (void)in;
+  auto it = handlers_.find(p.flow);
+  if (it == handlers_.end()) {
+    if (p.type == PktType::kCredit) ++stray_credits_;
+    return;
+  }
+  it->second(std::move(p));
+}
+
+}  // namespace xpass::net

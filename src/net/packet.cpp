@@ -1,0 +1,20 @@
+#include "net/packet.hpp"
+
+namespace xpass::net {
+
+std::string_view to_string(PktType t) {
+  switch (t) {
+    case PktType::kData: return "DATA";
+    case PktType::kAck: return "ACK";
+    case PktType::kCredit: return "CREDIT";
+    case PktType::kCreditRequest: return "CREDIT_REQUEST";
+    case PktType::kCreditStop: return "CREDIT_STOP";
+    case PktType::kSyn: return "SYN";
+    case PktType::kSynAck: return "SYN_ACK";
+    case PktType::kFin: return "FIN";
+    case PktType::kCnp: return "CNP";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace xpass::net

@@ -1,0 +1,102 @@
+// Packet model.
+//
+// Wire sizes include Ethernet preamble + inter-packet gap, matching the
+// paper's accounting: a minimum frame occupies 84B on the wire and a
+// full-MTU data frame 1538B, so credits rate-limited to 84/(84+1538) ~= 5%
+// of a link admit exactly one MTU of data each.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace xpass::net {
+
+using NodeId = uint32_t;
+using FlowId = uint32_t;
+
+inline constexpr uint32_t kMinWireBytes = 84;     // min Ethernet frame on wire
+inline constexpr uint32_t kMaxWireBytes = 1538;   // full MTU frame on wire
+inline constexpr uint32_t kHeaderOverhead = 78;   // eth+ip+tcp+fcs+preamble+ipg
+inline constexpr uint32_t kMssBytes = kMaxWireBytes - kHeaderOverhead;  // 1460
+// Wire cost of one credit + the full frame it admits. Credit sizes are
+// randomized over [84, 92]B (§3.1: creates drain-time jitter at switches and
+// breaks drop synchronization), so shapers are provisioned for the *mean*
+// credit size: that keeps the credit count a link admits exactly one per
+// MTU-cycle while the byte-metering of random sizes jitters individual
+// drain instants.
+inline constexpr uint32_t kCreditWireBytes = kMinWireBytes;
+inline constexpr uint32_t kCreditSizeSpread = 8;  // randomized over [84, 92]
+inline constexpr uint32_t kCreditMeanWireBytes =
+    kMinWireBytes + kCreditSizeSpread / 2;  // 88
+inline constexpr uint32_t kCreditCycleBytes = kMinWireBytes + kMaxWireBytes;
+
+enum class PktType : uint8_t {
+  kData,
+  kAck,            // reactive protocols' feedback
+  kCredit,         // ExpressPass credit
+  kCreditRequest,  // piggybacked on SYN in practice; explicit packet here
+  kCreditStop,
+  kSyn,
+  kSynAck,
+  kFin,
+  kCnp,            // DCQCN congestion notification packet
+};
+
+std::string_view to_string(PktType t);
+
+inline bool is_credit_class(PktType t) { return t == PktType::kCredit; }
+
+struct Packet {
+  PktType type = PktType::kData;
+  FlowId flow = 0;
+  NodeId src = 0;  // source host of *this packet* (not of the flow)
+  NodeId dst = 0;
+  uint32_t wire_bytes = kMinWireBytes;
+  uint32_t payload_bytes = 0;
+
+  uint64_t seq = 0;  // data: byte offset; credit: credit sequence number
+  uint64_t ack = 0;  // ACK: cumulative bytes; data: echoed credit seq
+                     // credit: cumulative bytes received (receiver-driven
+                     // loss recovery, see core/sender)
+
+  bool ecn_ce = false;  // congestion experienced (set by switch queues)
+  bool ece = false;     // echoed by receiver in ACKs
+  bool fin = false;     // last data packet of the flow
+  // Traffic class for multi-class credit scheduling (§7: QoS is enforced on
+  // *credits* — weighting credit classes weights the data they admit).
+  uint8_t credit_class = 0;
+
+  double rcp_rate_bps = 0.0;  // 0 = unset; min of per-port RCP rates on path
+  sim::Time ts;               // sender timestamp, echoed for RTT measurement
+  sim::Time queue_delay;      // accumulated queuing delay (DX feedback)
+};
+
+// Convenience constructors ------------------------------------------------
+
+inline Packet make_data(FlowId f, NodeId src, NodeId dst, uint64_t seq,
+                        uint32_t payload) {
+  Packet p;
+  p.type = PktType::kData;
+  p.flow = f;
+  p.src = src;
+  p.dst = dst;
+  p.seq = seq;
+  p.payload_bytes = payload;
+  p.wire_bytes = payload + kHeaderOverhead;
+  if (p.wire_bytes < kMinWireBytes) p.wire_bytes = kMinWireBytes;
+  return p;
+}
+
+inline Packet make_control(PktType t, FlowId f, NodeId src, NodeId dst) {
+  Packet p;
+  p.type = t;
+  p.flow = f;
+  p.src = src;
+  p.dst = dst;
+  p.wire_bytes = kMinWireBytes;
+  return p;
+}
+
+}  // namespace xpass::net

@@ -1,0 +1,210 @@
+#include "net/port.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace xpass::net {
+
+namespace {
+// splitmix64 finalizer (same mixer as the ECMP hash).
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Port::Port(sim::Simulator& sim, Node& owner, LinkConfig cfg)
+    : sim_(sim),
+      owner_(owner),
+      cfg_(cfg),
+      shape_credits_(owner.kind() == Node::Kind::kSwitch ||
+                     cfg.host_shapes_credits),
+      shaper_noise_(owner.kind() == Node::Kind::kHost
+                        ? cfg.host_credit_shaper_noise
+                        : 0.0),
+      data_q_(cfg.data_queue),
+      class_weights_(cfg.credit_class_weights.empty()
+                         ? std::vector<double>{1.0}
+                         : cfg.credit_class_weights),
+      class_served_(class_weights_.size(), 0.0),
+      credit_shaper_(cfg.rate_bps / 8.0 * cfg.credit_rate_fraction,
+                     cfg.credit_burst_bytes) {
+  for (size_t i = 0; i < class_weights_.size(); ++i) {
+    credit_qs_.emplace_back(cfg.credit_queue_pkts);
+  }
+}
+
+void Port::enqueue(Packet&& p) {
+  const sim::Time now = sim_.now();
+  if (is_credit_class(p.type)) {
+    const size_t cls =
+        std::min<size_t>(p.credit_class, credit_qs_.size() - 1);
+    credit_qs_[cls].enqueue(std::move(p), now);
+  } else {
+    // RCP stamps forward-path packets (data and the SYN rate probe) with the
+    // min of the per-port advertised rates.
+    if (rcp_ && (p.type == PktType::kData || p.type == PktType::kSyn)) {
+      if (p.type == PktType::kData) rcp_->bytes_in += p.wire_bytes;
+      if (p.rcp_rate_bps == 0.0 || rcp_->rate_bps < p.rcp_rate_bps) {
+        p.rcp_rate_bps = rcp_->rate_bps;
+      }
+    }
+    data_q_.enqueue(std::move(p), now);
+    check_pfc();
+  }
+  try_transmit();
+}
+
+void Port::check_pfc() {
+  if (!cfg_.pfc || owner_.kind() != Node::Kind::kSwitch) return;
+  if (!pause_sent_ && data_q_.bytes() > cfg_.pfc_pause_bytes) {
+    pause_sent_ = true;
+    signal_pfc(true);
+  } else if (pause_sent_ && data_q_.bytes() < cfg_.pfc_resume_bytes) {
+    pause_sent_ = false;
+    signal_pfc(false);
+  }
+}
+
+void Port::signal_pfc(bool pause) {
+  // Coarse PFC: pause every link feeding this switch. PAUSE frames are
+  // link-level control, modeled as a direct (propagation-delayed) signal
+  // to the upstream transmitter.
+  for (size_t i = 0; i < owner_.num_ports(); ++i) {
+    Port& ingress = owner_.port(i);
+    Port* upstream = ingress.peer();
+    if (upstream == nullptr) continue;
+    sim_.after(ingress.config().prop_delay, [upstream, pause] {
+      if (pause) {
+        upstream->pfc_pause();
+      } else {
+        upstream->pfc_resume();
+      }
+    });
+  }
+}
+
+void Port::pfc_resume() {
+  if (pause_count_ == 0) return;
+  if (--pause_count_ == 0) try_transmit();
+}
+
+void Port::try_transmit() {
+  if (busy_ || !up_) return;
+  const sim::Time now = sim_.now();
+
+  Packet pkt;
+  const size_t cls = pick_credit_class();
+  const double cost = cls == SIZE_MAX ? 0.0 : credit_cost(cls);
+  if (cls != SIZE_MAX &&
+      (!shape_credits_ || credit_shaper_.try_consume(cost, now))) {
+    pkt = credit_qs_[cls].dequeue(now);
+    class_served_[cls] += pkt.wire_bytes;
+    ++tx_credits_;
+  } else if (!data_q_.empty() && !data_paused()) {
+    pkt = data_q_.dequeue(now);
+    tx_data_bytes_ += pkt.wire_bytes;
+    check_pfc();
+  } else if (cls != SIZE_MAX) {
+    // Only shaped credits are waiting: wake up when tokens suffice.
+    if (!retry_pending_) {
+      retry_pending_ = true;
+      const sim::Time wait = credit_shaper_.time_until(cost, now);
+      sim_.after(wait, [this] {
+        retry_pending_ = false;
+        try_transmit();
+      });
+    }
+    return;
+  } else {
+    return;
+  }
+
+  busy_ = true;
+  ++tx_packets_;
+  tx_bytes_ += pkt.wire_bytes;
+  const sim::Time tx = sim::tx_time(pkt.wire_bytes, cfg_.rate_bps);
+  sim_.after(tx, [this] {
+    busy_ = false;
+    try_transmit();
+  });
+  assert(peer_ != nullptr && "port not connected");
+  Port* peer = peer_;
+  sim_.after(tx + cfg_.prop_delay,
+             [peer, p = std::move(pkt)]() mutable {
+               peer->owner().receive(std::move(p), *peer);
+             });
+}
+
+size_t Port::pick_credit_class() const {
+  // Weighted fair selection: among backlogged classes, serve the one whose
+  // served-bytes / weight is smallest (deficit-style WFQ over the shaped
+  // credit bandwidth).
+  size_t best = SIZE_MAX;
+  double best_key = 0.0;
+  for (size_t i = 0; i < credit_qs_.size(); ++i) {
+    if (credit_qs_[i].empty()) continue;
+    const double key = class_served_[i] / class_weights_[i];
+    if (best == SIZE_MAX || key < best_key) {
+      best = i;
+      best_key = key;
+    }
+  }
+  return best;
+}
+
+double Port::credit_cost(size_t cls) const {
+  const Packet& front = credit_qs_[cls].front();
+  double cost = front.wire_bytes;
+  if (shaper_noise_ > 0.0) {
+    // Zero-mean noise, deterministic per credit: re-rolling on shaper
+    // retries would bias admission toward cheap rolls and silently lift the
+    // credit rate above the configured fraction — and the retry wait must
+    // be computed against the same cost the consume will use.
+    const uint64_t h =
+        mix64((static_cast<uint64_t>(front.flow) << 32) ^ front.seq);
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 4503599627370495.5) - 1.0;
+    cost *= 1.0 + shaper_noise_ * u;
+  }
+  return cost;
+}
+
+void Port::enable_rcp(sim::Time d0) {
+  if (rcp_) return;
+  rcp_ = std::make_unique<RcpState>();
+  rcp_->d0 = d0;
+  rcp_->rate_bps = cfg_.rate_bps;  // flows start at the advertised rate
+  sim_.after(d0, [this] { rcp_update(); });
+}
+
+void Port::rcp_update() {
+  RcpState& s = *rcp_;
+  const double capacity = cfg_.rate_bps;
+  const double interval = s.d0.to_sec();
+  const double y = static_cast<double>(s.bytes_in) * 8.0 / interval;
+  const double q_bits = static_cast<double>(data_q_.bytes()) * 8.0;
+  const double delta =
+      (interval / s.d0.to_sec()) *
+      (s.alpha * (capacity - y) - s.beta * q_bits / s.d0.to_sec()) / capacity;
+  s.rate_bps = s.rate_bps * (1.0 + delta);
+  s.rate_bps = std::clamp(s.rate_bps, capacity * 1e-4, capacity);
+  s.bytes_in = 0;
+  sim_.after(s.d0, [this] { rcp_update(); });
+}
+
+// Node methods that need Port's full definition ---------------------------
+
+Node::~Node() = default;
+
+Port& Node::add_port(const LinkConfig& cfg) {
+  ports_.push_back(std::make_unique<Port>(sim_, *this, cfg));
+  return *ports_.back();
+}
+
+}  // namespace xpass::net

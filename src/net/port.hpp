@@ -1,0 +1,161 @@
+// Port: one direction of a full-duplex link, with the ExpressPass egress
+// discipline.
+//
+// Each port owns a data drop-tail queue and a tiny credit queue shaped by a
+// token bucket at 84/1622 of link capacity (burst: 2 credits). The scheduler
+// serves a credit whenever the shaper permits (credits are strictly
+// prioritized but can never exceed ~5% of the link); otherwise it serves
+// data. This is exactly the commodity-switch configuration of §3.1 — a
+// separate metered queue for tagged credit packets, buffer-carved to a few
+// packets.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/queue.hpp"
+#include "net/token_bucket.hpp"
+#include "sim/simulator.hpp"
+
+namespace xpass::net {
+
+class Node;
+
+struct LinkConfig {
+  double rate_bps = 10e9;
+  sim::Time prop_delay = sim::Time::us(1);
+  DropTailQueue::Config data_queue;
+  size_t credit_queue_pkts = 8;
+  // Shaper rate as a fraction of link bytes; provisioned at the mean
+  // randomized credit size so the admitted credit *count* is exactly one
+  // per MTU-cycle (see packet.hpp).
+  double credit_rate_fraction =
+      static_cast<double>(kCreditMeanWireBytes) / kCreditCycleBytes;
+  double credit_burst_bytes = 2.0 * kCreditMeanWireBytes;
+  // Hosts rate-limit credits too (§3.1: "the host and switch perform
+  // credit rate-limiting at each switch port" — the host limiter protects
+  // its own downlink, the incast port). But the host limiter is SoftNIC's
+  // *software* rate limiter, which §5 measures at a few microseconds of
+  // jitter; re-gridding credits on an exact token clock would resurrect
+  // the drop-synchronization problem of Fig 6a. We model the software
+  // limiter by randomizing each credit's token cost by +/- this fraction
+  // (zero mean, so the long-run rate is exact). Switch metering (Broadcom
+  // hardware) stays precise; its drain jitter comes from the randomized
+  // credit sizes.
+  double host_credit_shaper_noise = 0.6;
+  bool host_shapes_credits = true;
+  // Multi-class credit scheduling (§7 "Multiple traffic classes"): one
+  // credit queue per weight; the shaped credit bandwidth is divided among
+  // backlogged classes in proportion to their weights, which translates
+  // directly into weighted sharing of the *data* bandwidth the credits
+  // admit. Empty = single class. A very large weight approximates strict
+  // prioritization.
+  std::vector<double> credit_class_weights;
+  // Priority flow control (the hop-by-hop backpressure RDMA deployments
+  // lean on, and the mechanism ExpressPass makes unnecessary). When an
+  // egress data queue exceeds pause_bytes, the switch pauses data on all
+  // its ingress links until the queue drains below resume_bytes. Coarse
+  // (whole-switch) pause, which exhibits PFC's real HOL-blocking behavior.
+  bool pfc = false;
+  uint64_t pfc_pause_bytes = 150'000;
+  uint64_t pfc_resume_bytes = 75'000;
+};
+
+// Per-port RCP state (enabled only for RCP runs). Implements the classic
+// rate update R += R * (T/d0) * (alpha*(C - y) - beta*q/d0) / C.
+struct RcpState {
+  double rate_bps = 0.0;  // advertised per-flow rate R
+  double alpha = 0.4;
+  double beta = 0.2;
+  sim::Time d0 = sim::Time::us(100);  // control interval / average RTT
+  uint64_t bytes_in = 0;              // data bytes arrived since last update
+};
+
+class Port {
+ public:
+  Port(sim::Simulator& sim, Node& owner, LinkConfig cfg);
+
+  // Wires this port to its peer (the other end of the link). Done by
+  // Topology::connect.
+  void set_peer(Port* peer) { peer_ = peer; }
+  Port* peer() { return peer_; }
+  Node& owner() { return owner_; }
+
+  // Entry point: classify and queue the packet, start transmitting if idle.
+  void enqueue(Packet&& p);
+
+  const LinkConfig& config() const { return cfg_; }
+  DropTailQueue& data_queue() { return data_q_; }
+  const DropTailQueue& data_queue() const { return data_q_; }
+  // Class-0 credit queue (the only one in single-class operation).
+  CreditQueue& credit_queue() { return credit_qs_[0]; }
+  const CreditQueue& credit_queue() const { return credit_qs_[0]; }
+  CreditQueue& credit_queue(size_t cls) { return credit_qs_[cls]; }
+  size_t num_credit_classes() const { return credit_qs_.size(); }
+
+  // RCP support: switches with RCP enabled update/stamp through these.
+  void enable_rcp(sim::Time d0);
+  RcpState* rcp() { return rcp_.get(); }
+
+  uint64_t tx_packets() const { return tx_packets_; }
+  uint64_t tx_bytes() const { return tx_bytes_; }
+  uint64_t tx_data_bytes() const { return tx_data_bytes_; }
+  uint64_t tx_credits() const { return tx_credits_; }
+
+  // PFC: pause/unpause *data* transmission out of this port (credits and
+  // control packets keep flowing — they are a different priority class).
+  // Reference-counted: several congested egresses may pause one link.
+  void pfc_pause() {
+    ++pause_count_;
+    ++pause_events_;
+  }
+  void pfc_resume();
+  bool data_paused() const { return pause_count_ > 0; }
+  uint64_t pause_events() const { return pause_events_; }
+
+  // Link-failure modeling (§3.1 mentions excluding failed links from ECMP).
+  void set_up(bool up) { up_ = up; }
+  bool is_up() const { return up_; }
+
+ private:
+  void try_transmit();
+  void rcp_update();
+  // PFC threshold checks on this egress queue; pauses/resumes the owning
+  // switch's ingress links.
+  void check_pfc();
+  void signal_pfc(bool pause);
+  // The backlogged credit class next in weighted order; SIZE_MAX if none.
+  size_t pick_credit_class() const;
+  // Shaper cost of the head credit of class `cls` (includes the host
+  // software-limiter noise, deterministic per credit).
+  double credit_cost(size_t cls) const;
+
+  sim::Simulator& sim_;
+  Node& owner_;
+  LinkConfig cfg_;
+  bool shape_credits_;
+  double shaper_noise_;
+  Port* peer_ = nullptr;
+
+  DropTailQueue data_q_;
+  std::vector<CreditQueue> credit_qs_;
+  std::vector<double> class_weights_;
+  std::vector<double> class_served_;  // credit bytes served per class
+  TokenBucket credit_shaper_;
+  std::unique_ptr<RcpState> rcp_;
+
+  bool busy_ = false;
+  bool retry_pending_ = false;
+  uint32_t pause_count_ = 0;
+  uint64_t pause_events_ = 0;
+  bool pause_sent_ = false;  // this egress has paused its switch's ingresses
+  bool up_ = true;
+
+  uint64_t tx_packets_ = 0;
+  uint64_t tx_bytes_ = 0;
+  uint64_t tx_data_bytes_ = 0;
+  uint64_t tx_credits_ = 0;
+};
+
+}  // namespace xpass::net

@@ -1,0 +1,77 @@
+#include "net/queue.hpp"
+
+#include <algorithm>
+
+namespace xpass::net {
+
+void DropTailQueue::account(sim::Time now) {
+  stats_.byte_seconds +=
+      static_cast<double>(bytes_) * (now - stats_.last_change).to_sec();
+  stats_.last_change = now;
+}
+
+bool DropTailQueue::enqueue(Packet&& p, sim::Time now) {
+  // Phantom queue sees every arrival regardless of acceptance: it models a
+  // virtual link slower than the real one.
+  if (cfg_.phantom_drain_bps > 0.0) {
+    const double drained =
+        (now - phantom_last_).to_sec() * cfg_.phantom_drain_bps / 8.0;
+    phantom_bytes_ = std::max(0.0, phantom_bytes_ - drained);
+    phantom_last_ = now;
+    phantom_bytes_ += p.wire_bytes;
+    if (phantom_bytes_ >
+        static_cast<double>(cfg_.phantom_mark_bytes)) {
+      p.ecn_ce = true;
+      ++stats_.ecn_marked;
+    }
+  }
+  if (bytes_ + p.wire_bytes > cfg_.capacity_bytes) {
+    ++stats_.dropped;
+    return false;
+  }
+  // DCTCP instantaneous marking: mark the arriving packet when the queue it
+  // joins already exceeds K.
+  if (cfg_.ecn_threshold_bytes > 0 && bytes_ >= cfg_.ecn_threshold_bytes) {
+    if (!p.ecn_ce) ++stats_.ecn_marked;
+    p.ecn_ce = true;
+  }
+  account(now);
+  bytes_ += p.wire_bytes;
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += p.wire_bytes;
+  stats_.max_bytes = std::max(stats_.max_bytes, bytes_);
+  items_.push_back(Item{std::move(p), now});
+  stats_.max_packets = std::max(stats_.max_packets, items_.size());
+  return true;
+}
+
+Packet DropTailQueue::dequeue(sim::Time now) {
+  account(now);
+  Item it = std::move(items_.front());
+  items_.pop_front();
+  bytes_ -= it.pkt.wire_bytes;
+  it.pkt.queue_delay += now - it.enq_time;
+  return std::move(it.pkt);
+}
+
+bool CreditQueue::enqueue(Packet&& p, sim::Time now) {
+  (void)now;
+  if (items_.size() >= capacity_) {
+    ++stats_.dropped;
+    return false;
+  }
+  ++stats_.enqueued;
+  stats_.bytes_enqueued += p.wire_bytes;
+  items_.push_back(std::move(p));
+  stats_.max_packets = std::max(stats_.max_packets, items_.size());
+  return true;
+}
+
+Packet CreditQueue::dequeue(sim::Time now) {
+  (void)now;
+  Packet p = std::move(items_.front());
+  items_.pop_front();
+  return p;
+}
+
+}  // namespace xpass::net

@@ -1,0 +1,99 @@
+// Egress queues.
+//
+// DropTailQueue: byte-capacity FIFO with optional instantaneous-threshold ECN
+// marking (DCTCP), optional phantom queue (HULL: virtual queue draining at a
+// fraction of line rate, marking when the virtual backlog exceeds a
+// threshold), per-packet queuing-delay stamping (DX feedback), and
+// time-weighted occupancy statistics (Table 3).
+//
+// CreditQueue: tiny packet-count-capacity FIFO for ExpressPass credits; the
+// drop-on-overflow here *is* the congestion signal of the whole scheme.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace xpass::net {
+
+struct QueueStats {
+  uint64_t enqueued = 0;
+  uint64_t dropped = 0;
+  uint64_t bytes_enqueued = 0;
+  uint64_t max_bytes = 0;
+  size_t max_packets = 0;
+  uint64_t ecn_marked = 0;
+  // Time integral of byte occupancy, for time-weighted average occupancy.
+  double byte_seconds = 0.0;
+  sim::Time last_change;
+
+  double avg_bytes(sim::Time now) const {
+    const double span = now.to_sec();
+    return span > 0 ? byte_seconds / span : 0.0;
+  }
+};
+
+class DropTailQueue {
+ public:
+  struct Config {
+    uint64_t capacity_bytes = 384'500;  // 250 MTUs (paper's 10G setting)
+    uint64_t ecn_threshold_bytes = 0;   // 0 = ECN disabled
+    // HULL phantom queue: drains at phantom_drain_bps; marks CE when the
+    // virtual backlog exceeds phantom_mark_bytes. Disabled when 0.
+    double phantom_drain_bps = 0.0;
+    uint64_t phantom_mark_bytes = 0;
+  };
+
+  DropTailQueue() : DropTailQueue(Config()) {}
+  explicit DropTailQueue(Config cfg) : cfg_(cfg) {}
+
+  // Returns false and drops if over capacity. May set p.ecn_ce.
+  bool enqueue(Packet&& p, sim::Time now);
+  bool empty() const { return items_.empty(); }
+  // Precondition: !empty(). Adds queue residence time to pkt.queue_delay.
+  Packet dequeue(sim::Time now);
+  const Packet& front() const { return items_.front().pkt; }
+
+  uint64_t bytes() const { return bytes_; }
+  size_t packets() const { return items_.size(); }
+  const QueueStats& stats() const { return stats_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  void account(sim::Time now);
+
+  struct Item {
+    Packet pkt;
+    sim::Time enq_time;
+  };
+
+  Config cfg_;
+  std::deque<Item> items_;
+  uint64_t bytes_ = 0;
+  double phantom_bytes_ = 0.0;
+  sim::Time phantom_last_;
+  QueueStats stats_;
+};
+
+class CreditQueue {
+ public:
+  explicit CreditQueue(size_t capacity_pkts = 8) : capacity_(capacity_pkts) {}
+
+  bool enqueue(Packet&& p, sim::Time now);
+  bool empty() const { return items_.empty(); }
+  Packet dequeue(sim::Time now);
+  const Packet& front() const { return items_.front(); }
+
+  size_t packets() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  size_t capacity_;
+  std::deque<Packet> items_;
+  QueueStats stats_;
+};
+
+}  // namespace xpass::net

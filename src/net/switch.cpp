@@ -1,0 +1,68 @@
+#include "net/switch.hpp"
+
+#include <algorithm>
+
+namespace xpass::net {
+
+namespace {
+// splitmix64 finalizer: cheap, well-mixed.
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+uint64_t Switch::symmetric_hash(NodeId a, NodeId b, FlowId flow) {
+  const uint64_t lo = std::min(a, b);
+  const uint64_t hi = std::max(a, b);
+  return mix((lo << 40) ^ (hi << 20) ^ flow);
+}
+
+Port* Switch::route(NodeId src, NodeId dst, FlowId flow) const {
+  if (dst >= routes_.size() || routes_[dst].empty()) return nullptr;
+  const auto& cands = routes_[dst];
+  // Exclude failed links; requiring both directions up implements §3.1's
+  // symmetric exclusion of unidirectionally failed links.
+  size_t n_up = 0;
+  for (Port* c : cands) {
+    if (c->is_up() && c->peer()->is_up()) ++n_up;
+  }
+  if (n_up == 0) return nullptr;
+  if (n_up == 1 && cands.size() == 1) return cands[0];
+  const uint64_t h =
+      mix(symmetric_hash(src, dst, flow) ^
+          (static_cast<uint64_t>(dist_[dst]) * 0xd1342543de82ef95ULL));
+  size_t pick = h % n_up;
+  for (Port* c : cands) {
+    if (!c->is_up() || !c->peer()->is_up()) continue;
+    if (pick == 0) return c;
+    --pick;
+  }
+  return nullptr;
+}
+
+void Switch::receive(Packet&& p, Port& in) {
+  (void)in;
+  Port* out = nullptr;
+  if (spraying_ && p.dst < routes_.size() && routes_[p.dst].size() > 1) {
+    const auto& cands = routes_[p.dst];
+    for (size_t attempt = 0; attempt < cands.size(); ++attempt) {
+      Port* c = cands[rr_counter_++ % cands.size()];
+      if (c->is_up() && c->peer()->is_up()) {
+        out = c;
+        break;
+      }
+    }
+  } else {
+    out = route(p.src, p.dst, p.flow);
+  }
+  if (out == nullptr) {
+    ++unroutable_;
+    return;
+  }
+  out->enqueue(std::move(p));
+}
+
+}  // namespace xpass::net

@@ -1,0 +1,64 @@
+// Output-queued switch with symmetric-hash deterministic ECMP.
+//
+// Path symmetry (§3.1): credits of a flow and the data they trigger must
+// traverse the same physical links in opposite directions. We hash on the
+// direction-invariant tuple (min(endpoints), max(endpoints), flow id) and
+// keep ECMP candidate lists sorted by neighbor id on every switch, which is
+// the paper's "symmetric hashing + deterministic ECMP".
+#pragma once
+
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/port.hpp"
+
+namespace xpass::net {
+
+class Switch : public Node {
+ public:
+  Switch(sim::Simulator& sim, NodeId id, std::string name)
+      : Node(sim, id, Kind::kSwitch, std::move(name)) {}
+
+  void receive(Packet&& p, Port& in) override;
+
+  // Routing table: per destination node id, the ECMP candidate egress ports
+  // (sorted deterministically by Topology::finalize) and the hop distance
+  // to that destination.
+  void set_routes(std::vector<std::vector<Port*>> table,
+                  std::vector<uint32_t> dist) {
+    routes_ = std::move(table);
+    dist_ = std::move(dist);
+  }
+  const std::vector<Port*>& candidates(NodeId dst) const {
+    return routes_[dst];
+  }
+
+  // ECMP selection for a packet of `flow` between hosts `src` and `dst`
+  // (either direction). The flow hash is direction-invariant; the hop
+  // distance to the destination is mixed in so successive fabric levels
+  // make decorrelated choices (no hash polarization) while remaining
+  // symmetric: the forward choice at distance d pairs with the reverse
+  // choice made at the same distance on the other side.
+  Port* route(NodeId src, NodeId dst, FlowId flow) const;
+
+  // Direction-invariant flow hash (same value for both directions of a flow).
+  static uint64_t symmetric_hash(NodeId a, NodeId b, FlowId flow);
+
+  // Packet spraying (§7): round-robin packets over all ECMP candidates
+  // instead of per-flow hashing. Spreads load perfectly but breaks path
+  // symmetry and introduces reordering (ExpressPass's bounded queues keep
+  // it small — this mode lets you measure exactly that).
+  void set_packet_spraying(bool on) { spraying_ = on; }
+  bool packet_spraying() const { return spraying_; }
+
+  uint64_t unroutable_drops() const { return unroutable_; }
+
+ private:
+  std::vector<std::vector<Port*>> routes_;
+  std::vector<uint32_t> dist_;
+  bool spraying_ = false;
+  uint64_t rr_counter_ = 0;
+  uint64_t unroutable_ = 0;
+};
+
+}  // namespace xpass::net

@@ -1,0 +1,30 @@
+#include "net/token_bucket.hpp"
+
+#include <algorithm>
+
+namespace xpass::net {
+
+void TokenBucket::refill(sim::Time now) {
+  if (now <= last_) return;
+  const double dt = (now - last_).to_sec();
+  tokens_ = std::min(burst_, tokens_ + dt * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(double bytes, sim::Time now) {
+  refill(now);
+  if (tokens_ + 1e-9 < bytes) return false;
+  tokens_ -= bytes;
+  return true;
+}
+
+sim::Time TokenBucket::time_until(double bytes, sim::Time now) {
+  refill(now);
+  if (tokens_ + 1e-9 >= bytes) return sim::Time::zero();
+  const double deficit = bytes - tokens_;
+  // Never round down to zero: a 0-wait answer to a failed try_consume would
+  // spin the caller's retry loop at the same timestamp forever.
+  return std::max(sim::Time::seconds(deficit / rate_), sim::Time::ps(1));
+}
+
+}  // namespace xpass::net

@@ -1,0 +1,40 @@
+// Token bucket used for credit shaping at switch ports and host NICs.
+//
+// Models "maximum bandwidth metering" on commodity chipsets (paper §3.1):
+// tokens accrue at `rate` bytes/sec up to `burst` bytes; a packet may be
+// sent when the bucket holds at least its wire size. The paper sets the
+// burst to 2 credit packets so fractional tokens left over by back-to-back
+// sub-MTU data frames are not discarded.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace xpass::net {
+
+class TokenBucket {
+ public:
+  TokenBucket(double rate_bytes_per_sec, double burst_bytes)
+      : rate_(rate_bytes_per_sec), burst_(burst_bytes), tokens_(burst_bytes) {}
+
+  void refill(sim::Time now);
+  // Consumes `bytes` if available after refilling to `now`.
+  bool try_consume(double bytes, sim::Time now);
+  // Time from `now` until `bytes` tokens will be available (zero if already).
+  sim::Time time_until(double bytes, sim::Time now);
+
+  double tokens() const { return tokens_; }
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+  void set_rate(double rate_bytes_per_sec, sim::Time now) {
+    refill(now);
+    rate_ = rate_bytes_per_sec;
+  }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::Time last_;
+};
+
+}  // namespace xpass::net

@@ -1,0 +1,175 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace xpass::net {
+
+Host& Topology::add_host(std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (name.empty()) name = "host" + std::to_string(id);
+  auto h = std::make_unique<Host>(sim_, id, std::move(name));
+  Host* raw = h.get();
+  nodes_.push_back(std::move(h));
+  hosts_.push_back(raw);
+  return *raw;
+}
+
+Switch& Topology::add_switch(std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (name.empty()) name = "sw" + std::to_string(id);
+  auto s = std::make_unique<Switch>(sim_, id, std::move(name));
+  Switch* raw = s.get();
+  nodes_.push_back(std::move(s));
+  switches_.push_back(raw);
+  return *raw;
+}
+
+std::pair<Port&, Port&> Topology::connect(Node& a, Node& b,
+                                          const LinkConfig& cfg) {
+  assert(!finalized_ && "connect() after finalize()");
+  Port& pa = a.add_port(cfg);
+  Port& pb = b.add_port(cfg);
+  pa.set_peer(&pb);
+  pb.set_peer(&pa);
+  links_.push_back(LinkRec{a.id(), b.id(), &pa, &pb});
+  return {pa, pb};
+}
+
+void Topology::finalize() {
+  assert(!finalized_);
+  finalized_ = true;
+  const size_t n = nodes_.size();
+
+  // Adjacency: per node, (egress port, neighbor id), sorted by neighbor id
+  // for deterministic ECMP ordering.
+  std::vector<std::vector<std::pair<Port*, NodeId>>> adj(n);
+  for (const LinkRec& l : links_) {
+    adj[l.a].push_back({l.pa, l.b});
+    adj[l.b].push_back({l.pb, l.a});
+  }
+  for (auto& v : adj) {
+    std::sort(v.begin(), v.end(),
+              [](const auto& x, const auto& y) { return x.second < y.second; });
+  }
+
+  // Per-switch route tables, destinations = hosts (the only endpoints).
+  std::vector<std::vector<std::vector<Port*>>> tables(n);
+  std::vector<std::vector<uint32_t>> dists(n);
+  for (Switch* sw : switches_) {
+    tables[sw->id()].assign(n, {});
+    dists[sw->id()].assign(n, 0);
+  }
+
+  constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> dist(n);
+  for (Host* dst : hosts_) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    dist[dst->id()] = 0;
+    std::queue<NodeId> q;
+    q.push(dst->id());
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (const auto& [port, u] : adj[v]) {
+        (void)port;
+        if (dist[u] == kInf) {
+          dist[u] = dist[v] + 1;
+          q.push(u);
+        }
+      }
+    }
+    for (Switch* sw : switches_) {
+      const NodeId v = sw->id();
+      if (dist[v] == kInf || dist[v] == 0) continue;
+      auto& cands = tables[v][dst->id()];
+      for (const auto& [port, u] : adj[v]) {
+        if (dist[u] + 1 == dist[v]) cands.push_back(port);
+      }
+      dists[v][dst->id()] = dist[v];
+    }
+  }
+  for (Switch* sw : switches_) {
+    sw->set_routes(std::move(tables[sw->id()]), std::move(dists[sw->id()]));
+  }
+}
+
+Port* Topology::port_between(const Node& a, const Node& b) {
+  for (const LinkRec& l : links_) {
+    if (l.a == a.id() && l.b == b.id()) return l.pa;
+    if (l.b == a.id() && l.a == b.id()) return l.pb;
+  }
+  return nullptr;
+}
+
+std::vector<Port*> Topology::trace_path(NodeId src, NodeId dst, FlowId flow) {
+  std::vector<Port*> path;
+  Node* cur = nodes_[src].get();
+  // First hop: host NIC.
+  path.push_back(&cur->port(0));
+  cur = &path.back()->peer()->owner();
+  while (cur->id() != dst) {
+    auto* sw = static_cast<Switch*>(cur);
+    Port* out = sw->route(src, dst, flow);
+    if (out == nullptr) return {};  // unroutable
+    path.push_back(out);
+    cur = &out->peer()->owner();
+  }
+  return path;
+}
+
+std::vector<Port*> Topology::switch_ports() {
+  std::vector<Port*> out;
+  for (Switch* sw : switches_) {
+    for (size_t i = 0; i < sw->num_ports(); ++i) out.push_back(&sw->port(i));
+  }
+  return out;
+}
+
+void Topology::enable_rcp(sim::Time d0) {
+  for (Port* p : switch_ports()) p->enable_rcp(d0);
+  for (Host* h : hosts_) h->nic().enable_rcp(d0);
+}
+
+uint64_t Topology::data_drops() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    for (size_t i = 0; i < node->num_ports(); ++i) {
+      total += node->port(i).data_queue().stats().dropped;
+    }
+  }
+  return total;
+}
+
+uint64_t Topology::credit_drops() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    for (size_t i = 0; i < node->num_ports(); ++i) {
+      Port& port = node->port(i);
+      for (size_t c = 0; c < port.num_credit_classes(); ++c) {
+        total += port.credit_queue(c).stats().dropped;
+      }
+    }
+  }
+  return total;
+}
+
+uint64_t Topology::max_switch_data_queue_bytes() const {
+  uint64_t m = 0;
+  for (const Switch* sw : switches_) {
+    for (size_t i = 0; i < sw->num_ports(); ++i) {
+      m = std::max(m, sw->port(i).data_queue().stats().max_bytes);
+    }
+  }
+  return m;
+}
+
+uint64_t Topology::stray_credits() const {
+  uint64_t total = 0;
+  for (const Host* h : hosts_) total += h->stray_credits();
+  return total;
+}
+
+}  // namespace xpass::net

@@ -1,0 +1,72 @@
+// Topology: node/link container, shortest-path ECMP route computation, and
+// network-wide statistics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace xpass::net {
+
+class Topology {
+ public:
+  explicit Topology(sim::Simulator& sim) : sim_(sim) {}
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  Host& add_host(std::string name = "");
+  Switch& add_switch(std::string name = "");
+
+  // Creates a full-duplex link; both directions use `cfg` (rate, delay,
+  // queues). Returns {port on a toward b, port on b toward a}.
+  std::pair<Port&, Port&> connect(Node& a, Node& b, const LinkConfig& cfg);
+
+  // Computes all-pairs shortest-path ECMP tables and installs them on every
+  // switch. Candidate lists are sorted by neighbor node id (deterministic
+  // ECMP). Must be called once, after all connect() calls.
+  void finalize();
+
+  sim::Simulator& simulator() { return sim_; }
+  const std::vector<Host*>& hosts() const { return hosts_; }
+  const std::vector<Switch*>& switches() const { return switches_; }
+  Node& node(NodeId id) { return *nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  // The egress port on `a` whose peer is on `b`; null if not adjacent.
+  Port* port_between(const Node& a, const Node& b);
+
+  // The sequence of egress ports a packet of `flow` from host `src` to host
+  // `dst` traverses, replaying the switches' ECMP decisions. Requires
+  // finalize().
+  std::vector<Port*> trace_path(NodeId src, NodeId dst, FlowId flow);
+
+  // All switch egress ports (for monitors / RCP enabling).
+  std::vector<Port*> switch_ports();
+  void enable_rcp(sim::Time d0);
+
+  // Network-wide counters ---------------------------------------------
+  uint64_t data_drops() const;
+  uint64_t credit_drops() const;
+  uint64_t max_switch_data_queue_bytes() const;
+  uint64_t stray_credits() const;
+
+ private:
+  struct LinkRec {
+    NodeId a, b;
+    Port* pa;  // on a, toward b
+    Port* pb;  // on b, toward a
+  };
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Host*> hosts_;
+  std::vector<Switch*> switches_;
+  std::vector<LinkRec> links_;
+  bool finalized_ = false;
+};
+
+}  // namespace xpass::net

@@ -1,0 +1,177 @@
+#include "net/topology_builders.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace xpass::net {
+
+Dumbbell build_dumbbell(Topology& topo, size_t pairs, const LinkConfig& edge,
+                        const LinkConfig& bottleneck) {
+  Dumbbell d;
+  d.left = &topo.add_switch("swL");
+  d.right = &topo.add_switch("swR");
+  auto [pl, pr] = topo.connect(*d.left, *d.right, bottleneck);
+  d.bottleneck = &pl;
+  (void)pr;
+  for (size_t i = 0; i < pairs; ++i) {
+    Host& s = topo.add_host("snd" + std::to_string(i));
+    Host& r = topo.add_host("rcv" + std::to_string(i));
+    topo.connect(s, *d.left, edge);
+    topo.connect(r, *d.right, edge);
+    d.senders.push_back(&s);
+    d.receivers.push_back(&r);
+  }
+  topo.finalize();
+  return d;
+}
+
+Star build_star(Topology& topo, size_t n_hosts, const LinkConfig& link) {
+  Star s;
+  s.tor = &topo.add_switch("tor");
+  for (size_t i = 0; i < n_hosts; ++i) {
+    Host& h = topo.add_host();
+    topo.connect(h, *s.tor, link);
+    s.hosts.push_back(&h);
+  }
+  topo.finalize();
+  return s;
+}
+
+ParkingLot build_parking_lot(Topology& topo, size_t n_links,
+                             const LinkConfig& edge,
+                             const LinkConfig& backbone) {
+  assert(n_links >= 1);
+  ParkingLot p;
+  for (size_t i = 0; i <= n_links; ++i) {
+    p.switches.push_back(&topo.add_switch("S" + std::to_string(i)));
+  }
+  std::vector<std::pair<Port*, Port*>> ports;
+  for (size_t i = 1; i <= n_links; ++i) {
+    auto [a, b] = topo.connect(*p.switches[i - 1], *p.switches[i], backbone);
+    // Data direction of flow 0 is S_N -> S_0, so the data-direction egress
+    // of L_i is the port on S_i toward S_{i-1}.
+    p.data_links.push_back(&b);
+    (void)a;
+  }
+  p.long_src = &topo.add_host("longsrc");
+  p.long_dst = &topo.add_host("longdst");
+  topo.connect(*p.long_src, *p.switches[n_links], edge);
+  topo.connect(*p.long_dst, *p.switches[0], edge);
+  for (size_t i = 1; i <= n_links; ++i) {
+    Host& cs = topo.add_host("xsrc" + std::to_string(i));
+    Host& cd = topo.add_host("xdst" + std::to_string(i));
+    topo.connect(cs, *p.switches[i], edge);
+    topo.connect(cd, *p.switches[i - 1], edge);
+    p.cross_srcs.push_back(&cs);
+    p.cross_dsts.push_back(&cd);
+  }
+  topo.finalize();
+  return p;
+}
+
+MultiBottleneck build_multi_bottleneck(Topology& topo, size_t n_long_flows,
+                                       const LinkConfig& edge,
+                                       const LinkConfig& backbone) {
+  MultiBottleneck m;
+  for (size_t i = 0; i < 4; ++i) {
+    m.switches.push_back(&topo.add_switch("S" + std::to_string(i)));
+  }
+  auto [l1a, l1b] = topo.connect(*m.switches[0], *m.switches[1], backbone);
+  topo.connect(*m.switches[1], *m.switches[2], backbone);
+  topo.connect(*m.switches[2], *m.switches[3], backbone);
+  m.link1_data = &l1a;
+  (void)l1b;
+
+  m.flow0_src = &topo.add_host("f0src");
+  m.flow0_dst = &topo.add_host("f0dst");
+  topo.connect(*m.flow0_src, *m.switches[0], edge);
+  topo.connect(*m.flow0_dst, *m.switches[1], edge);
+  for (size_t i = 0; i < n_long_flows; ++i) {
+    Host& s = topo.add_host("lsrc" + std::to_string(i));
+    Host& d = topo.add_host("ldst" + std::to_string(i));
+    topo.connect(s, *m.switches[0], edge);
+    topo.connect(d, *m.switches[3], edge);
+    m.srcs.push_back(&s);
+    m.dsts.push_back(&d);
+  }
+  topo.finalize();
+  return m;
+}
+
+FatTree build_fat_tree(Topology& topo, size_t k, const LinkConfig& host_link,
+                       const LinkConfig& fabric_link) {
+  assert(k % 2 == 0);
+  FatTree ft;
+  ft.k = k;
+  const size_t half = k / 2;
+
+  for (size_t c = 0; c < half * half; ++c) {
+    ft.cores.push_back(&topo.add_switch("core" + std::to_string(c)));
+  }
+  for (size_t p = 0; p < k; ++p) {
+    std::vector<Switch*> pod_edges, pod_aggrs;
+    for (size_t a = 0; a < half; ++a) {
+      Switch& ag = topo.add_switch("aggr" + std::to_string(p) + "_" +
+                                   std::to_string(a));
+      ft.aggrs.push_back(&ag);
+      pod_aggrs.push_back(&ag);
+      for (size_t j = 0; j < half; ++j) {
+        topo.connect(ag, *ft.cores[a * half + j], fabric_link);
+      }
+    }
+    for (size_t e = 0; e < half; ++e) {
+      Switch& ed = topo.add_switch("edge" + std::to_string(p) + "_" +
+                                   std::to_string(e));
+      ft.edges.push_back(&ed);
+      pod_edges.push_back(&ed);
+      for (Switch* ag : pod_aggrs) topo.connect(ed, *ag, fabric_link);
+      for (size_t h = 0; h < half; ++h) {
+        Host& host = topo.add_host();
+        topo.connect(host, ed, host_link);
+        ft.hosts.push_back(&host);
+      }
+    }
+  }
+  topo.finalize();
+  return ft;
+}
+
+Clos build_clos(Topology& topo, size_t n_core, size_t pods,
+                size_t aggr_per_pod, size_t tor_per_pod, size_t hosts_per_tor,
+                const LinkConfig& host_link, const LinkConfig& fabric_link) {
+  Clos cl;
+  for (size_t c = 0; c < n_core; ++c) {
+    cl.cores.push_back(&topo.add_switch("core" + std::to_string(c)));
+  }
+  for (size_t p = 0; p < pods; ++p) {
+    std::vector<Switch*> pod_aggrs;
+    for (size_t a = 0; a < aggr_per_pod; ++a) {
+      Switch& ag =
+          topo.add_switch("aggr" + std::to_string(p) + "_" + std::to_string(a));
+      cl.aggrs.push_back(&ag);
+      pod_aggrs.push_back(&ag);
+      for (size_t c = 0; c < n_core; ++c) {
+        if (c % aggr_per_pod == a) topo.connect(ag, *cl.cores[c], fabric_link);
+      }
+    }
+    for (size_t t = 0; t < tor_per_pod; ++t) {
+      Switch& tor =
+          topo.add_switch("tor" + std::to_string(p) + "_" + std::to_string(t));
+      cl.tors.push_back(&tor);
+      for (Switch* ag : pod_aggrs) {
+        auto [up, down] = topo.connect(tor, *ag, fabric_link);
+        cl.tor_uplinks.push_back(&up);
+        (void)down;
+      }
+      for (size_t h = 0; h < hosts_per_tor; ++h) {
+        Host& host = topo.add_host();
+        topo.connect(host, tor, host_link);
+        cl.hosts.push_back(&host);
+      }
+    }
+  }
+  topo.finalize();
+  return cl;
+}
+
+}  // namespace xpass::net

@@ -1,0 +1,90 @@
+// Canonical topologies used across the paper's evaluation.
+//
+// Directionality conventions for the multi-bottleneck scenarios follow §2/§3
+// of the paper: credits flow receiver -> sender and are rate-limited on every
+// reverse-path link, so where a flow's *receiver* sits determines which
+// credit limiters its credits traverse (this is what makes the naive scheme
+// unfair — see Fig 4, Fig 10, Fig 11).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace xpass::net {
+
+// N sender hosts -- SwL ===bottleneck=== SwR -- N receiver hosts.
+struct Dumbbell {
+  std::vector<Host*> senders;
+  std::vector<Host*> receivers;
+  Switch* left = nullptr;
+  Switch* right = nullptr;
+  Port* bottleneck = nullptr;  // SwL egress toward SwR (data direction)
+};
+Dumbbell build_dumbbell(Topology& topo, size_t pairs, const LinkConfig& edge,
+                        const LinkConfig& bottleneck);
+
+// n hosts under one ToR switch (incast / shuffle scenarios).
+struct Star {
+  std::vector<Host*> hosts;
+  Switch* tor = nullptr;
+};
+Star build_star(Topology& topo, size_t n_hosts, const LinkConfig& link);
+
+// Parking lot (Fig 10): chain S_0 .. S_N with links L_i = (S_{i-1}, S_i).
+// Flow 0 crosses all links (src at S_N side, dst at S_0 side); cross-flow i
+// crosses only L_i (src at S_i, dst at S_{i-1}).
+struct ParkingLot {
+  Host* long_src = nullptr;
+  Host* long_dst = nullptr;
+  std::vector<Host*> cross_srcs;  // cross_srcs[i] for link i+1
+  std::vector<Host*> cross_dsts;
+  std::vector<Switch*> switches;
+  std::vector<Port*> data_links;  // egress ports in the data direction of L_i
+};
+ParkingLot build_parking_lot(Topology& topo, size_t n_links,
+                             const LinkConfig& edge,
+                             const LinkConfig& backbone);
+
+// Multi-bottleneck (Fig 11): chain S0 -L1- S1 -L2- S2 -L3- S3. Flow 0
+// crosses only L1 (dst host at S1); flows 1..N cross L1,L2,L3 (dst at S3).
+struct MultiBottleneck {
+  Host* flow0_src = nullptr;
+  Host* flow0_dst = nullptr;
+  std::vector<Host*> srcs;  // senders of flows 1..N (at S0)
+  std::vector<Host*> dsts;  // receivers of flows 1..N (at S3)
+  std::vector<Switch*> switches;
+  Port* link1_data = nullptr;  // S0 egress toward S1
+};
+MultiBottleneck build_multi_bottleneck(Topology& topo, size_t n_long_flows,
+                                       const LinkConfig& edge,
+                                       const LinkConfig& backbone);
+
+// k-ary fat tree: k pods, (k/2)^2 cores, k^3/4 hosts.
+struct FatTree {
+  std::vector<Host*> hosts;
+  std::vector<Switch*> edges;
+  std::vector<Switch*> aggrs;
+  std::vector<Switch*> cores;
+  size_t k = 0;
+};
+FatTree build_fat_tree(Topology& topo, size_t k, const LinkConfig& host_link,
+                       const LinkConfig& fabric_link);
+
+// Parameterized 3-tier Clos: `pods` pods of (aggr_per_pod aggregates,
+// tor_per_pod ToRs, hosts_per_tor hosts per ToR); n_core cores striped over
+// aggregate positions (core c attaches to aggr position c % aggr_per_pod in
+// each pod). With hosts_per_tor * host_rate > uplinks * fabric_rate this is
+// the oversubscribed eval fabric of §6.3.
+struct Clos {
+  std::vector<Host*> hosts;
+  std::vector<Switch*> tors;
+  std::vector<Switch*> aggrs;
+  std::vector<Switch*> cores;
+  std::vector<Port*> tor_uplinks;  // ToR egress toward aggregates
+};
+Clos build_clos(Topology& topo, size_t n_core, size_t pods,
+                size_t aggr_per_pod, size_t tor_per_pod, size_t hosts_per_tor,
+                const LinkConfig& host_link, const LinkConfig& fabric_link);
+
+}  // namespace xpass::net

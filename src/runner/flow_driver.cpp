@@ -1,0 +1,33 @@
+#include "runner/flow_driver.hpp"
+
+namespace xpass::runner {
+
+transport::Connection& FlowDriver::add(const transport::FlowSpec& spec) {
+  ++scheduled_;
+  auto conn = transport_.create(spec);
+  conn->set_rate_tracker(&rates_);
+  conn->set_on_complete([this](transport::Connection& c) {
+    fcts_.record(c.spec().size_bytes, c.fct());
+  });
+  transport::Connection* raw = conn.get();
+  conns_.push_back(std::move(conn));
+  sim_.at(spec.start_time, [raw] { raw->start(); });
+  return *raw;
+}
+
+bool FlowDriver::run_to_completion(sim::Time deadline) {
+  const sim::Time chunk = sim::Time::ms(1);
+  while (sim_.now() < deadline) {
+    if (completed() >= scheduled_) return true;
+    sim::Time next = sim_.now() + chunk;
+    if (next > deadline) next = deadline;
+    sim_.run_until(next);
+  }
+  return completed() >= scheduled_;
+}
+
+void FlowDriver::stop_all() {
+  for (auto& c : conns_) c->stop();
+}
+
+}  // namespace xpass::runner

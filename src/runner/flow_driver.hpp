@@ -1,0 +1,55 @@
+// FlowDriver: schedules flows on a Transport, collects FCTs and goodput.
+//
+// This is the top of the public API: build a Topology, pick a Transport,
+// hand the driver a list of FlowSpecs (from workload/ generators or by
+// hand), run the simulator, read the collectors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "stats/fct.hpp"
+#include "stats/rate_tracker.hpp"
+#include "transport/connection.hpp"
+
+namespace xpass::runner {
+
+class FlowDriver {
+ public:
+  FlowDriver(sim::Simulator& sim, transport::Transport& transport)
+      : sim_(sim), transport_(transport) {}
+
+  // Schedules creation + start of the flow at spec.start_time. Returns the
+  // connection (owned by the driver) so callers may re-hook callbacks or
+  // inspect protocol state.
+  transport::Connection& add(const transport::FlowSpec& spec);
+  void add_all(const std::vector<transport::FlowSpec>& specs) {
+    for (const auto& s : specs) add(s);
+  }
+
+  // Runs until all scheduled flows completed or `deadline` passes.
+  // Returns true if everything completed.
+  bool run_to_completion(sim::Time deadline);
+
+  size_t scheduled() const { return scheduled_; }
+  size_t completed() const { return fcts_.completed(); }
+  stats::FctCollector& fcts() { return fcts_; }
+  stats::RateTracker& rates() { return rates_; }
+
+  const std::vector<std::unique_ptr<transport::Connection>>& connections()
+      const {
+    return conns_;
+  }
+  // Stops every connection (cancels timers, unregisters handlers).
+  void stop_all();
+
+ private:
+  sim::Simulator& sim_;
+  transport::Transport& transport_;
+  std::vector<std::unique_ptr<transport::Connection>> conns_;
+  stats::FctCollector fcts_;
+  stats::RateTracker rates_;
+  size_t scheduled_ = 0;
+};
+
+}  // namespace xpass::runner

@@ -1,0 +1,139 @@
+#include "runner/protocols.hpp"
+
+#include "transport/cubic.hpp"
+#include "transport/dcqcn.hpp"
+#include "transport/dctcp.hpp"
+#include "transport/dx.hpp"
+#include "transport/hull.hpp"
+#include "transport/rcp.hpp"
+#include "transport/timely.hpp"
+
+namespace xpass::runner {
+
+std::string_view protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kExpressPass: return "ExpressPass";
+    case Protocol::kExpressPassNaive: return "ExpressPass-naive";
+    case Protocol::kDctcp: return "DCTCP";
+    case Protocol::kRcp: return "RCP";
+    case Protocol::kHull: return "HULL";
+    case Protocol::kDx: return "DX";
+    case Protocol::kCubic: return "Cubic";
+    case Protocol::kDcqcn: return "DCQCN";
+    case Protocol::kTimely: return "TIMELY";
+  }
+  return "?";
+}
+
+std::optional<Protocol> parse_protocol(std::string_view name) {
+  if (name == "expresspass" || name == "ExpressPass") {
+    return Protocol::kExpressPass;
+  }
+  if (name == "naive") return Protocol::kExpressPassNaive;
+  if (name == "dctcp" || name == "DCTCP") return Protocol::kDctcp;
+  if (name == "rcp" || name == "RCP") return Protocol::kRcp;
+  if (name == "hull" || name == "HULL") return Protocol::kHull;
+  if (name == "dx" || name == "DX") return Protocol::kDx;
+  if (name == "cubic" || name == "Cubic") return Protocol::kCubic;
+  if (name == "dcqcn" || name == "DCQCN") return Protocol::kDcqcn;
+  if (name == "timely" || name == "TIMELY") return Protocol::kTimely;
+  return std::nullopt;
+}
+
+uint64_t default_queue_capacity(double rate_bps) {
+  return static_cast<uint64_t>(384'500.0 * rate_bps / 10e9);
+}
+
+uint64_t dctcp_k_bytes(double rate_bps) {
+  return static_cast<uint64_t>(65.0 * net::kMaxWireBytes * rate_bps / 10e9);
+}
+
+net::LinkConfig protocol_link_config(Protocol p, double rate_bps,
+                                     sim::Time prop) {
+  net::LinkConfig cfg;
+  cfg.rate_bps = rate_bps;
+  cfg.prop_delay = prop;
+  cfg.data_queue.capacity_bytes = default_queue_capacity(rate_bps);
+  switch (p) {
+    case Protocol::kDctcp:
+      cfg.data_queue.ecn_threshold_bytes = dctcp_k_bytes(rate_bps);
+      break;
+    case Protocol::kHull:
+      cfg.data_queue =
+          transport::hull_queue_config(cfg.data_queue, rate_bps);
+      break;
+    case Protocol::kDcqcn:
+      // ECN marking plus PFC: RoCE-style lossless fabric.
+      cfg.data_queue.ecn_threshold_bytes = dctcp_k_bytes(rate_bps);
+      cfg.pfc = true;
+      cfg.pfc_pause_bytes = cfg.data_queue.capacity_bytes / 2;
+      cfg.pfc_resume_bytes = cfg.data_queue.capacity_bytes / 4;
+      break;
+    case Protocol::kTimely:
+      cfg.pfc = true;
+      cfg.pfc_pause_bytes = cfg.data_queue.capacity_bytes / 2;
+      cfg.pfc_resume_bytes = cfg.data_queue.capacity_bytes / 4;
+      break;
+    default:
+      break;
+  }
+  return cfg;
+}
+
+std::unique_ptr<transport::Transport> make_transport(
+    Protocol p, sim::Simulator& sim, net::Topology& topo, sim::Time base_rtt,
+    const core::ExpressPassConfig* xp) {
+  switch (p) {
+    case Protocol::kExpressPass:
+    case Protocol::kExpressPassNaive: {
+      core::ExpressPassConfig cfg = xp != nullptr ? *xp
+                                                  : core::ExpressPassConfig{};
+      cfg.update_period = base_rtt;
+      if (p == Protocol::kExpressPassNaive) cfg.naive = true;
+      return std::make_unique<core::ExpressPassTransport>(sim, cfg);
+    }
+    case Protocol::kDctcp: {
+      transport::DctcpConfig cfg;
+      cfg.window.base_rtt = base_rtt;
+      return std::make_unique<transport::DctcpTransport>(sim, cfg);
+    }
+    case Protocol::kRcp: {
+      topo.enable_rcp(base_rtt);
+      transport::RcpConfig cfg;
+      cfg.window.base_rtt = base_rtt;
+      return std::make_unique<transport::RcpTransport>(sim, cfg);
+    }
+    case Protocol::kHull: {
+      transport::HullConfig cfg;
+      cfg.dctcp.window.base_rtt = base_rtt;
+      cfg.dctcp.window.pacing = true;
+      return std::make_unique<transport::HullTransport>(sim, cfg);
+    }
+    case Protocol::kDx: {
+      transport::DxConfig cfg;
+      cfg.window.base_rtt = base_rtt;
+      return std::make_unique<transport::DxTransport>(sim, cfg);
+    }
+    case Protocol::kCubic: {
+      transport::CubicConfig cfg;
+      cfg.window.base_rtt = base_rtt;
+      return std::make_unique<transport::CubicTransport>(sim, cfg);
+    }
+    case Protocol::kDcqcn: {
+      transport::DcqcnConfig cfg;
+      cfg.window.base_rtt = base_rtt;
+      return std::make_unique<transport::DcqcnTransport>(sim, cfg);
+    }
+    case Protocol::kTimely: {
+      transport::TimelyConfig cfg;
+      cfg.window.base_rtt = base_rtt;
+      // Scale the delay thresholds to the fabric's base RTT.
+      cfg.t_low = base_rtt * 1.1;
+      cfg.t_high = base_rtt * 3.0;
+      return std::make_unique<transport::TimelyTransport>(sim, cfg);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace xpass::runner

@@ -1,0 +1,51 @@
+// Protocol registry: per-protocol link/queue configuration and transport
+// factories with the paper's recommended parameters, so examples and benches
+// can sweep protocols uniformly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/expresspass.hpp"
+#include "net/topology.hpp"
+#include "transport/connection.hpp"
+
+namespace xpass::runner {
+
+enum class Protocol {
+  kExpressPass,
+  kExpressPassNaive,
+  kDctcp,
+  kRcp,
+  kHull,
+  kDx,
+  kCubic,
+  // Extension comparators: the PFC-based RDMA status quo (§1's motivation).
+  kDcqcn,   // ECN + CNP rate control over PFC-protected links
+  kTimely,  // RTT-gradient rate control over PFC-protected links
+};
+
+std::string_view protocol_name(Protocol p);
+std::optional<Protocol> parse_protocol(std::string_view name);
+
+// Switch/NIC data-queue capacity at `rate_bps`, scaled from the paper's
+// 384.5KB (250 MTUs) at 10Gbps.
+uint64_t default_queue_capacity(double rate_bps);
+// DCTCP marking threshold K, scaled from K=65 packets at 10Gbps.
+uint64_t dctcp_k_bytes(double rate_bps);
+
+// Link config appropriate for `p` on a link of `rate_bps`: ECN threshold for
+// DCTCP, phantom queue for HULL, plain drop-tail otherwise.
+net::LinkConfig protocol_link_config(Protocol p, double rate_bps,
+                                     sim::Time prop);
+
+// Transport factory. For RCP this also enables per-port RCP state on the
+// (already built) topology. `base_rtt` seeds RTOs, RCP's control interval,
+// and ExpressPass's feedback update period. `xp` overrides the ExpressPass
+// config (naive mode is forced for kExpressPassNaive).
+std::unique_ptr<transport::Transport> make_transport(
+    Protocol p, sim::Simulator& sim, net::Topology& topo, sim::Time base_rtt,
+    const core::ExpressPassConfig* xp = nullptr);
+
+}  // namespace xpass::runner

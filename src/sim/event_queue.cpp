@@ -1,0 +1,61 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace xpass::sim {
+
+TimerId EventQueue::schedule(Time t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq, std::move(cb)});
+  ++live_count_;
+  return TimerId{seq};
+}
+
+void EventQueue::cancel(TimerId id) {
+  if (!id.valid()) return;
+  if (cancelled_.insert(id.id).second) {
+    // May have already fired; live_count_ is corrected lazily in step().
+  }
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    auto it = cancelled_.find(e.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      if (live_count_ > 0) --live_count_;
+      continue;
+    }
+    now_ = e.t;
+    if (live_count_ > 0) --live_count_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(Time t_end) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (cancelled_.count(top.seq)) {
+      cancelled_.erase(top.seq);
+      if (live_count_ > 0) --live_count_;
+      heap_.pop();
+      continue;
+    }
+    if (top.t > t_end) break;
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace xpass::sim

@@ -1,0 +1,62 @@
+// Discrete-event queue with cancellable timers.
+//
+// Events with equal timestamps fire in scheduling order (FIFO tie-break via a
+// monotonic sequence number) so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xpass::sim {
+
+using Callback = std::function<void()>;
+
+// Opaque handle for cancelling a scheduled event.
+struct TimerId {
+  uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class EventQueue {
+ public:
+  // Schedules `cb` at absolute time `t` (must be >= now()).
+  TimerId schedule(Time t, Callback cb);
+  // Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(TimerId id);
+
+  Time now() const { return now_; }
+  bool empty() const { return live_count_ == 0; }
+  size_t pending() const { return live_count_; }
+
+  // Fires the next event. Returns false if none remain.
+  bool step();
+  // Runs events until the queue is exhausted or the next event is after
+  // `t_end`; leaves now() == t_end if exhausted earlier events only.
+  void run_until(Time t_end);
+  // Runs everything.
+  void run();
+
+ private:
+  struct Entry {
+    Time t;
+    uint64_t seq;
+    Callback cb;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<uint64_t> cancelled_;
+  Time now_;
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace xpass::sim

@@ -1,0 +1,42 @@
+// Deterministic PRNG wrapper used everywhere in the simulator.
+//
+// A single seeded mt19937_64 per Simulator keeps runs reproducible; helpers
+// cover the distributions the experiments need.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace xpass::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) : eng_(seed) {}
+
+  void seed(uint64_t s) { eng_.seed(s); }
+
+  double uniform() { return uni_(eng_); }  // [0, 1)
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  // Inclusive integer range.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(eng_);
+  }
+  double exponential(double mean) {
+    return -mean * std::log(1.0 - uniform());
+  }
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(eng_);
+  }
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(eng_);
+  }
+  uint64_t bits() { return eng_(); }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+  std::uniform_real_distribution<double> uni_{0.0, 1.0};
+};
+
+}  // namespace xpass::sim

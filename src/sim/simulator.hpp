@@ -1,0 +1,37 @@
+// Simulator: owns the event queue and PRNG; passed by reference to every
+// component. Not copyable — all components hold a Simulator&.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace xpass::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return events_.now(); }
+  TimerId at(Time t, Callback cb) { return events_.schedule(t, std::move(cb)); }
+  TimerId after(Time dt, Callback cb) {
+    return events_.schedule(now() + dt, std::move(cb));
+  }
+  void cancel(TimerId id) { events_.cancel(id); }
+
+  void run_until(Time t) { events_.run_until(t); }
+  void run() { events_.run(); }
+
+  EventQueue& events() { return events_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  EventQueue events_;
+  Rng rng_;
+};
+
+}  // namespace xpass::sim

@@ -1,0 +1,25 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xpass::sim {
+
+std::string Time::str() const {
+  char buf[64];
+  const double abs_ps = std::abs(static_cast<double>(ps_));
+  if (abs_ps >= 1e12) {
+    std::snprintf(buf, sizeof buf, "%.6gs", to_sec());
+  } else if (abs_ps >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.6gms", to_ms());
+  } else if (abs_ps >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.6gus", to_us());
+  } else if (abs_ps >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.6gns", to_ns());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldps", static_cast<long long>(ps_));
+  }
+  return buf;
+}
+
+}  // namespace xpass::sim

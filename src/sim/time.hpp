@@ -1,0 +1,65 @@
+// Simulation time: signed 64-bit picoseconds.
+//
+// Picosecond resolution is needed because at 100 Gbps an 84-byte credit
+// frame serializes in 6.72 ns; nanosecond rounding would accumulate into
+// visible pacing drift over a multi-second run. int64 picoseconds cover
+// +/- ~106 days, far beyond any simulated interval.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace xpass::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time ps(int64_t v) { return Time(v); }
+  static constexpr Time ns(int64_t v) { return Time(v * 1'000); }
+  static constexpr Time us(int64_t v) { return Time(v * 1'000'000); }
+  static constexpr Time ms(int64_t v) { return Time(v * 1'000'000'000); }
+  static constexpr Time sec(int64_t v) { return Time(v * 1'000'000'000'000); }
+  // Fractional constructor; rounds to nearest picosecond.
+  static constexpr Time seconds(double v) {
+    return Time(static_cast<int64_t>(v * 1e12 + (v >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() {
+    return Time(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t picos() const { return ps_; }
+  constexpr double to_sec() const { return static_cast<double>(ps_) * 1e-12; }
+  constexpr double to_ms() const { return static_cast<double>(ps_) * 1e-9; }
+  constexpr double to_us() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double to_ns() const { return static_cast<double>(ps_) * 1e-3; }
+
+  constexpr Time operator+(Time o) const { return Time(ps_ + o.ps_); }
+  constexpr Time operator-(Time o) const { return Time(ps_ - o.ps_); }
+  constexpr Time& operator+=(Time o) { ps_ += o.ps_; return *this; }
+  constexpr Time& operator-=(Time o) { ps_ -= o.ps_; return *this; }
+  constexpr Time operator*(double k) const {
+    return Time(static_cast<int64_t>(static_cast<double>(ps_) * k + 0.5));
+  }
+  constexpr Time operator/(int64_t k) const { return Time(ps_ / k); }
+  constexpr double operator/(Time o) const {
+    return static_cast<double>(ps_) / static_cast<double>(o.ps_);
+  }
+  constexpr auto operator<=>(const Time&) const = default;
+
+  std::string str() const;  // human readable, e.g. "12.5us"
+
+ private:
+  explicit constexpr Time(int64_t ps) : ps_(ps) {}
+  int64_t ps_ = 0;
+};
+
+// Serialization time of `bytes` on a link of `bits_per_sec`.
+constexpr Time tx_time(uint64_t bytes, double bits_per_sec) {
+  return Time::seconds(static_cast<double>(bytes) * 8.0 / bits_per_sec);
+}
+
+}  // namespace xpass::sim

@@ -1,0 +1,17 @@
+#include "stats/fairness.hpp"
+
+namespace xpass::stats {
+
+double jain_index(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  const double n = static_cast<double>(xs.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+}  // namespace xpass::stats

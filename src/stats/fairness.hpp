@@ -1,0 +1,12 @@
+// Jain's fairness index (Jain, Chiu, Hawe 1984), used throughout the eval.
+#pragma once
+
+#include <span>
+
+namespace xpass::stats {
+
+// Returns (sum x)^2 / (n * sum x^2) in [1/n, 1]; 1.0 for empty/all-zero
+// input by convention (nothing is being shared unfairly).
+double jain_index(std::span<const double> xs);
+
+}  // namespace xpass::stats

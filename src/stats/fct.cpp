@@ -1,0 +1,15 @@
+#include "stats/fct.hpp"
+
+namespace xpass::stats {
+
+std::string_view bin_name(SizeBin b) {
+  switch (b) {
+    case SizeBin::kS: return "S(0-10KB)";
+    case SizeBin::kM: return "M(10-100KB)";
+    case SizeBin::kL: return "L(100KB-1MB)";
+    case SizeBin::kXL: return "XL(>1MB)";
+  }
+  return "?";
+}
+
+}  // namespace xpass::stats

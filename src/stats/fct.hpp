@@ -1,0 +1,44 @@
+// Flow-completion-time aggregation by the paper's size bins (Table 2):
+//   S: 0-10KB, M: 10-100KB, L: 100KB-1MB, XL: >1MB.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+#include "stats/percentile.hpp"
+
+namespace xpass::stats {
+
+enum class SizeBin : size_t { kS = 0, kM = 1, kL = 2, kXL = 3 };
+inline constexpr size_t kNumBins = 4;
+
+constexpr SizeBin size_bin(uint64_t bytes) {
+  if (bytes <= 10'000) return SizeBin::kS;
+  if (bytes <= 100'000) return SizeBin::kM;
+  if (bytes <= 1'000'000) return SizeBin::kL;
+  return SizeBin::kXL;
+}
+
+std::string_view bin_name(SizeBin b);
+
+class FctCollector {
+ public:
+  void record(uint64_t flow_bytes, sim::Time fct) {
+    const double sec = fct.to_sec();
+    all_.add(sec);
+    bins_[static_cast<size_t>(size_bin(flow_bytes))].add(sec);
+  }
+  const Samples& all() const { return all_; }
+  const Samples& bin(SizeBin b) const {
+    return bins_[static_cast<size_t>(b)];
+  }
+  size_t completed() const { return all_.count(); }
+
+ private:
+  Samples all_;
+  std::array<Samples, kNumBins> bins_;
+};
+
+}  // namespace xpass::stats

@@ -1,0 +1,53 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xpass::stats {
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::min() const {
+  return values_.empty() ? 0.0
+                         : *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  return values_.empty() ? 0.0
+                         : *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+const std::vector<double>& Samples::sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  return values_;
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  const auto& v = sorted();
+  if (p <= 0.0) return v.front();
+  if (p >= 1.0) return v.back();
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+}  // namespace xpass::stats

@@ -1,0 +1,31 @@
+// Sample collector with exact percentiles (sorting on demand).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xpass::stats {
+
+class Samples {
+ public:
+  void add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  // p in [0,1]; nearest-rank interpolation.
+  double percentile(double p) const;
+  // CDF evaluation points: returns the sorted samples.
+  const std::vector<double>& sorted() const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace xpass::stats

@@ -1,0 +1,44 @@
+// Periodic sampler of a queue's occupancy (Fig 13's queue traces).
+#pragma once
+
+#include <vector>
+
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace xpass::stats {
+
+class QueueMonitor {
+ public:
+  QueueMonitor(sim::Simulator& sim, const net::DropTailQueue& q,
+               sim::Time interval)
+      : sim_(sim), q_(q), interval_(interval) {
+    arm();
+  }
+
+  struct Sample {
+    sim::Time t;
+    uint64_t bytes;
+  };
+  const std::vector<Sample>& samples() const { return samples_; }
+  uint64_t max_bytes() const {
+    uint64_t m = 0;
+    for (const auto& s : samples_) m = std::max(m, s.bytes);
+    return m;
+  }
+
+ private:
+  void arm() {
+    sim_.after(interval_, [this] {
+      samples_.push_back(Sample{sim_.now(), q_.bytes()});
+      arm();
+    });
+  }
+
+  sim::Simulator& sim_;
+  const net::DropTailQueue& q_;
+  sim::Time interval_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace xpass::stats

@@ -1,0 +1,73 @@
+// Connection: one flow's sender+receiver endpoint pair, created by a
+// Transport factory. Subclasses implement the protocol; the base tracks
+// delivery, completion, and goodput.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "sim/simulator.hpp"
+#include "stats/rate_tracker.hpp"
+#include "transport/flow.hpp"
+
+namespace xpass::transport {
+
+class Connection {
+ public:
+  Connection(sim::Simulator& sim, const FlowSpec& spec)
+      : sim_(sim), spec_(spec) {}
+  virtual ~Connection() = default;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Begins the flow (handshake / first transmission). Called at
+  // spec.start_time by the flow driver.
+  virtual void start() = 0;
+  // Tears down timers/handlers; called on simulation teardown.
+  virtual void stop() {}
+
+  const FlowSpec& spec() const { return spec_; }
+  uint64_t delivered_bytes() const { return delivered_; }
+  bool completed() const { return completed_; }
+  sim::Time completion_time() const { return completion_time_; }
+  sim::Time fct() const { return completion_time_ - spec_.start_time; }
+
+  void set_on_complete(std::function<void(Connection&)> cb) {
+    on_complete_ = std::move(cb);
+  }
+  void set_rate_tracker(stats::RateTracker* rt) { tracker_ = rt; }
+
+ protected:
+  // Receiver-side: `bytes` of new in-order payload arrived.
+  void deliver(uint64_t bytes) {
+    delivered_ += bytes;
+    if (tracker_ != nullptr) tracker_->add(spec_.id, bytes);
+    if (!completed_ && spec_.size_bytes != kLongRunning &&
+        delivered_ >= spec_.size_bytes) {
+      completed_ = true;
+      completion_time_ = sim_.now();
+      if (on_complete_) on_complete_(*this);
+    }
+  }
+
+  sim::Simulator& sim_;
+  FlowSpec spec_;
+
+ private:
+  uint64_t delivered_ = 0;
+  bool completed_ = false;
+  sim::Time completion_time_;
+  std::function<void(Connection&)> on_complete_;
+  stats::RateTracker* tracker_ = nullptr;
+};
+
+// Protocol factory.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual std::unique_ptr<Connection> create(const FlowSpec& spec) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace xpass::transport

@@ -1,0 +1,44 @@
+#include "transport/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xpass::transport {
+
+void CubicConnection::on_ack_hook(const net::Packet& ack,
+                                  uint64_t newly_acked) {
+  (void)ack;
+  if (in_slow_start()) {
+    set_cwnd(cwnd() + static_cast<double>(newly_acked));
+    return;
+  }
+  if (!in_epoch_) {
+    in_epoch_ = true;
+    epoch_start_ = sim_.now();
+    if (w_max_ < cwnd()) w_max_ = cwnd();
+  }
+  const double t = (sim_.now() - epoch_start_).to_sec();
+  const double k = std::cbrt(w_max_ * (1.0 - cfg_.beta) / cfg_.c);
+  const double target = cfg_.c * (t - k) * (t - k) * (t - k) + w_max_;
+  if (target > cwnd()) {
+    set_cwnd(cwnd() + (target - cwnd()) / cwnd() *
+                          static_cast<double>(newly_acked));
+  } else {
+    // TCP-friendly floor: creep up slowly.
+    set_cwnd(cwnd() + 0.01 * static_cast<double>(newly_acked) / cwnd());
+  }
+}
+
+void CubicConnection::on_loss_event(bool timeout) {
+  w_max_ = cwnd();
+  in_epoch_ = false;
+  if (timeout) {
+    exit_slow_start();
+    set_cwnd(min_cwnd());
+  } else {
+    exit_slow_start();
+    set_cwnd(std::max(cwnd() * cfg_.beta, min_cwnd()));
+  }
+}
+
+}  // namespace xpass::transport

@@ -1,0 +1,45 @@
+// TCP Cubic (Ha, Rhee, Xu 2008) — loss-based baseline for Fig 2.
+#pragma once
+
+#include "transport/window.hpp"
+
+namespace xpass::transport {
+
+struct CubicConfig {
+  WindowConfig window;
+  double c = 0.4;     // cubic scaling constant
+  double beta = 0.7;  // multiplicative decrease factor
+};
+
+class CubicConnection : public WindowConnection {
+ public:
+  CubicConnection(sim::Simulator& sim, const FlowSpec& spec,
+                  const CubicConfig& cfg)
+      : WindowConnection(sim, spec, cfg.window), cfg_(cfg) {}
+
+ protected:
+  void on_ack_hook(const net::Packet& ack, uint64_t newly_acked) override;
+  void on_loss_event(bool timeout) override;
+
+ private:
+  CubicConfig cfg_;
+  double w_max_ = 0.0;
+  sim::Time epoch_start_;
+  bool in_epoch_ = false;
+};
+
+class CubicTransport : public Transport {
+ public:
+  explicit CubicTransport(sim::Simulator& sim, CubicConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override {
+    return std::make_unique<CubicConnection>(sim_, spec, cfg_);
+  }
+  std::string_view name() const override { return "Cubic"; }
+
+ private:
+  sim::Simulator& sim_;
+  CubicConfig cfg_;
+};
+
+}  // namespace xpass::transport

@@ -1,0 +1,97 @@
+#include "transport/dcqcn.hpp"
+
+#include <algorithm>
+
+namespace xpass::transport {
+
+using net::Packet;
+using net::PktType;
+
+DcqcnConnection::DcqcnConnection(sim::Simulator& sim, const FlowSpec& spec,
+                                 const DcqcnConfig& cfg)
+    : WindowConnection(sim, spec, cfg.window),
+      cfg_(cfg),
+      line_rate_bps_(spec.src->nic().config().rate_bps),
+      rc_bps_(line_rate_bps_),  // RoCE NICs start at line rate
+      rt_bps_(line_rate_bps_) {
+  exit_slow_start();  // rate-driven, not window-driven
+  set_cwnd(config().max_cwnd_pkts);
+  sync_window();
+  rate_timer_id_ = sim_.after(cfg_.rate_timer, [this] { rate_timer_tick(); });
+}
+
+DcqcnConnection::~DcqcnConnection() { stop(); }
+
+void DcqcnConnection::stop() {
+  sim_.cancel(rate_timer_id_);
+  WindowConnection::stop();
+}
+
+void DcqcnConnection::sync_window() {
+  // Bound the flight to ~2x the rate-delay product so pacing dominates.
+  const double bdp_pkts =
+      rc_bps_ * std::max(srtt().to_sec(), config().base_rtt.to_sec()) /
+      (8.0 * config().mss);
+  set_cwnd(std::max(2.0, 2.0 * bdp_pkts));
+}
+
+void DcqcnConnection::on_packet(Packet&& p) {
+  if (p.type == PktType::kData) {
+    // Receiver side: reflect ECN marks as CNPs, at most one per interval.
+    if (p.ecn_ce && (!cnp_ever_ ||
+                     sim_.now() - last_cnp_sent_ >= cfg_.cnp_interval)) {
+      cnp_ever_ = true;
+      last_cnp_sent_ = sim_.now();
+      Packet cnp = net::make_control(PktType::kCnp, spec().id,
+                                     spec().dst->id(), spec().src->id());
+      spec().dst->send(std::move(cnp));
+    }
+  } else if (p.type == PktType::kCnp) {
+    on_cnp();
+    return;
+  }
+  WindowConnection::on_packet(std::move(p));
+}
+
+void DcqcnConnection::on_cnp() {
+  alpha_ = (1.0 - cfg_.g) * alpha_ + cfg_.g;
+  rt_bps_ = rc_bps_;
+  rc_bps_ = std::max(cfg_.min_rate_bps, rc_bps_ * (1.0 - alpha_ / 2.0));
+  timer_stage_ = 0;
+  sync_window();
+}
+
+void DcqcnConnection::rate_timer_tick() {
+  // Alpha decays while no CNPs arrive; rate recovers in stages.
+  alpha_ = (1.0 - cfg_.g) * alpha_;
+  ++timer_stage_;
+  if (timer_stage_ <= cfg_.fr_iterations) {
+    // Fast recovery: binary approach toward the pre-cut target.
+  } else if (timer_stage_ <= 2 * cfg_.fr_iterations) {
+    rt_bps_ = std::min(line_rate_bps_, rt_bps_ + cfg_.rai_bps);
+  } else {
+    rt_bps_ = std::min(line_rate_bps_, rt_bps_ + cfg_.rhai_bps);
+  }
+  rc_bps_ = std::min(line_rate_bps_, (rt_bps_ + rc_bps_) / 2.0);
+  sync_window();
+  pump();
+  rate_timer_id_ = sim_.after(cfg_.rate_timer, [this] { rate_timer_tick(); });
+}
+
+void DcqcnConnection::on_ack_hook(const Packet& ack, uint64_t newly_acked) {
+  (void)ack;
+  (void)newly_acked;
+  // Reliability is the window engine's job; rate control is CNP/timer
+  // driven.
+}
+
+void DcqcnConnection::on_loss_event(bool timeout) {
+  // With PFC underneath, losses are not expected; fall back to a hard cut.
+  (void)timeout;
+  rt_bps_ = rc_bps_;
+  rc_bps_ = std::max(cfg_.min_rate_bps, rc_bps_ / 2.0);
+  timer_stage_ = 0;
+  sync_window();
+}
+
+}  // namespace xpass::transport

@@ -1,0 +1,78 @@
+// DCQCN (Zhu et al., SIGCOMM 2015) — the ECN-based rate control deployed
+// with RoCEv2. Not part of the paper's head-to-head evaluation, but it is
+// the RDMA status quo the introduction argues against (PFC for losslessness
+// + reactive rate control), so we provide it as an extension comparator.
+//
+// Mechanism: switches mark ECN (threshold Kmin ~ like DCTCP); the receiver
+// reflects marks as CNPs at most once per cnp_interval; the sender keeps a
+// DCTCP-style EWMA alpha and on each CNP cuts Rc <- Rc*(1 - alpha/2),
+// remembering the target Rt. Timer-driven recovery alternates fast
+// recovery (binary approach to Rt), additive increase (Rt += Rai), and
+// hyper increase. Deploy together with PFC-enabled links for the authentic
+// lossless-RDMA setup (see runner::protocol_link_config for kDcqcn).
+#pragma once
+
+#include "transport/window.hpp"
+
+namespace xpass::transport {
+
+struct DcqcnConfig {
+  WindowConfig window;
+  double g = 1.0 / 256.0;              // alpha gain
+  sim::Time cnp_interval = sim::Time::us(50);
+  sim::Time rate_timer = sim::Time::us(55);
+  double rai_bps = 40e6;               // additive increase step
+  double rhai_bps = 400e6;             // hyper increase step
+  uint32_t fr_iterations = 5;          // fast-recovery rounds before AI
+  double min_rate_bps = 10e6;
+
+  DcqcnConfig() { window.pacing = true; }
+};
+
+class DcqcnConnection : public WindowConnection {
+ public:
+  DcqcnConnection(sim::Simulator& sim, const FlowSpec& spec,
+                  const DcqcnConfig& cfg);
+  ~DcqcnConnection() override;
+
+  void stop() override;
+  double rate_bps() const { return rc_bps_; }
+  double alpha() const { return alpha_; }
+
+ protected:
+  void on_packet(net::Packet&& p) override;
+  void on_ack_hook(const net::Packet& ack, uint64_t newly_acked) override;
+  void on_loss_event(bool timeout) override;
+  double pace_rate_bps() const override { return rc_bps_; }
+
+ private:
+  void on_cnp();
+  void rate_timer_tick();
+  void sync_window();
+
+  DcqcnConfig cfg_;
+  double line_rate_bps_;
+  double rc_bps_;       // current rate
+  double rt_bps_;       // target rate (pre-cut)
+  double alpha_ = 1.0;
+  uint32_t timer_stage_ = 0;  // rounds since last cut
+  sim::Time last_cnp_sent_;   // receiver-side CNP throttle
+  bool cnp_ever_ = false;
+  sim::TimerId rate_timer_id_;
+};
+
+class DcqcnTransport : public Transport {
+ public:
+  explicit DcqcnTransport(sim::Simulator& sim, DcqcnConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override {
+    return std::make_unique<DcqcnConnection>(sim_, spec, cfg_);
+  }
+  std::string_view name() const override { return "DCQCN"; }
+
+ private:
+  sim::Simulator& sim_;
+  DcqcnConfig cfg_;
+};
+
+}  // namespace xpass::transport

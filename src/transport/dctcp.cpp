@@ -1,0 +1,42 @@
+#include "transport/dctcp.hpp"
+
+namespace xpass::transport {
+
+void DctcpConnection::on_ack_hook(const net::Packet& ack,
+                                  uint64_t newly_acked) {
+  acked_in_window_ += newly_acked;
+  if (ack.ece) marked_in_window_ += newly_acked;
+
+  if (ack.ece) {
+    if (in_slow_start()) exit_slow_start();
+    if (!cut_this_window_) {
+      cut_this_window_ = true;
+      set_cwnd(cwnd() * (1.0 - alpha_ / 2.0));
+    }
+  }
+
+  // Window-boundary bookkeeping: once a full cwnd of data is acknowledged,
+  // fold the observed marking fraction into alpha.
+  if (snd_una() >= window_end_) {
+    if (acked_in_window_ > 0) {
+      const double frac = static_cast<double>(marked_in_window_) /
+                          static_cast<double>(acked_in_window_);
+      alpha_ = (1.0 - cfg_.g) * alpha_ + cfg_.g * frac;
+    }
+    acked_in_window_ = 0;
+    marked_in_window_ = 0;
+    cut_this_window_ = false;
+    window_end_ = snd_nxt();
+  }
+
+  // Growth: slow start doubles, congestion avoidance adds 1 MSS per RTT.
+  if (!ack.ece) {
+    if (in_slow_start()) {
+      set_cwnd(cwnd() + static_cast<double>(newly_acked));
+    } else {
+      set_cwnd(cwnd() + static_cast<double>(newly_acked) / cwnd());
+    }
+  }
+}
+
+}  // namespace xpass::transport

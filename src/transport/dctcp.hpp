@@ -1,0 +1,52 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010).
+//
+// Switch side: instantaneous ECN marking at threshold K (configured on the
+// topology's data queues). Endpoint side (here): per-window fraction-of-
+// marked-bytes estimator alpha <- (1-g)*alpha + g*F and a once-per-window
+// multiplicative cut cwnd <- cwnd*(1 - alpha/2) on ECN echo.
+#pragma once
+
+#include "transport/window.hpp"
+
+namespace xpass::transport {
+
+struct DctcpConfig {
+  WindowConfig window;
+  double g = 1.0 / 16.0;  // alpha gain
+};
+
+class DctcpConnection : public WindowConnection {
+ public:
+  DctcpConnection(sim::Simulator& sim, const FlowSpec& spec,
+                  const DctcpConfig& cfg)
+      : WindowConnection(sim, spec, cfg.window), cfg_(cfg) {}
+
+  double alpha() const { return alpha_; }
+
+ protected:
+  void on_ack_hook(const net::Packet& ack, uint64_t newly_acked) override;
+
+ private:
+  DctcpConfig cfg_;
+  double alpha_ = 1.0;  // start conservative, as in the DCTCP paper
+  uint64_t window_end_ = 0;
+  uint64_t acked_in_window_ = 0;
+  uint64_t marked_in_window_ = 0;
+  bool cut_this_window_ = false;
+};
+
+class DctcpTransport : public Transport {
+ public:
+  explicit DctcpTransport(sim::Simulator& sim, DctcpConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override {
+    return std::make_unique<DctcpConnection>(sim_, spec, cfg_);
+  }
+  std::string_view name() const override { return "DCTCP"; }
+
+ private:
+  sim::Simulator& sim_;
+  DctcpConfig cfg_;
+};
+
+}  // namespace xpass::transport

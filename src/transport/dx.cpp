@@ -1,0 +1,30 @@
+#include "transport/dx.hpp"
+
+namespace xpass::transport {
+
+void DxConnection::on_ack_hook(const net::Packet& ack, uint64_t newly_acked) {
+  delay_sum_sec_ += ack.queue_delay.to_sec();
+  delay_samples_ += newly_acked;
+
+  if (in_slow_start()) {
+    if (ack.queue_delay > cfg_.delay_threshold) exit_slow_start();
+    set_cwnd(cwnd() + static_cast<double>(newly_acked));
+  }
+
+  if (snd_una() < window_end_) return;
+  window_end_ = snd_nxt();
+  if (delay_samples_ == 0) return;
+  const double q = delay_sum_sec_ / static_cast<double>(delay_samples_);
+  delay_sum_sec_ = 0.0;
+  delay_samples_ = 0;
+  if (in_slow_start()) return;
+
+  if (q <= cfg_.delay_threshold.to_sec()) {
+    set_cwnd(cwnd() + 1.0);
+  } else {
+    const double v = cfg_.window.base_rtt.to_sec();
+    set_cwnd(cwnd() * (1.0 - q / (q + v)) + 1.0);
+  }
+}
+
+}  // namespace xpass::transport

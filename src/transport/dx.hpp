@@ -1,0 +1,51 @@
+// DX (Lee et al., USENIX ATC 2015): latency-based congestion feedback.
+//
+// Switches stamp per-packet queuing delay (accumulated in
+// Packet::queue_delay by DropTailQueue); receivers echo it in ACKs. Once per
+// window the sender averages the echoed queuing delays Q and updates
+//   W <- W * (1 - Q/(Q+V)) + 1      (V = base RTT)
+// i.e. additive increase when the path shows no queuing, proportional
+// decrease when it does. This is a documented approximation of DX's
+// window-adaptation law; it preserves the property the paper relies on
+// (near-zero standing queues, least-aggressive ramping).
+#pragma once
+
+#include "transport/window.hpp"
+
+namespace xpass::transport {
+
+struct DxConfig {
+  WindowConfig window;
+  sim::Time delay_threshold = sim::Time::ns(500);  // noise floor
+};
+
+class DxConnection : public WindowConnection {
+ public:
+  DxConnection(sim::Simulator& sim, const FlowSpec& spec, const DxConfig& cfg)
+      : WindowConnection(sim, spec, cfg.window), cfg_(cfg) {}
+
+ protected:
+  void on_ack_hook(const net::Packet& ack, uint64_t newly_acked) override;
+
+ private:
+  DxConfig cfg_;
+  uint64_t window_end_ = 0;
+  double delay_sum_sec_ = 0.0;
+  uint64_t delay_samples_ = 0;
+};
+
+class DxTransport : public Transport {
+ public:
+  explicit DxTransport(sim::Simulator& sim, DxConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override {
+    return std::make_unique<DxConnection>(sim_, spec, cfg_);
+  }
+  std::string_view name() const override { return "DX"; }
+
+ private:
+  sim::Simulator& sim_;
+  DxConfig cfg_;
+};
+
+}  // namespace xpass::transport

@@ -1,0 +1,25 @@
+// Flow specification shared by every transport.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "net/host.hpp"
+#include "sim/time.hpp"
+
+namespace xpass::transport {
+
+// size_bytes == kLongRunning means the flow never completes (microbenchmark
+// long flows).
+inline constexpr uint64_t kLongRunning =
+    std::numeric_limits<uint64_t>::max();
+
+struct FlowSpec {
+  net::FlowId id = 0;
+  net::Host* src = nullptr;
+  net::Host* dst = nullptr;
+  uint64_t size_bytes = kLongRunning;
+  sim::Time start_time;
+};
+
+}  // namespace xpass::transport

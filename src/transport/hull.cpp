@@ -1,0 +1,14 @@
+#include "transport/hull.hpp"
+
+namespace xpass::transport {
+
+net::DropTailQueue::Config hull_queue_config(net::DropTailQueue::Config base,
+                                             double rate_bps,
+                                             const HullConfig& cfg) {
+  base.phantom_drain_bps = rate_bps * cfg.phantom_drain_fraction;
+  base.phantom_mark_bytes = cfg.phantom_mark_bytes;
+  base.ecn_threshold_bytes = 0;  // marking comes from the phantom queue
+  return base;
+}
+
+}  // namespace xpass::transport

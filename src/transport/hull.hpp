@@ -1,0 +1,43 @@
+// HULL (Alizadeh et al., NSDI 2012): phantom queues + DCTCP + pacing.
+//
+// The phantom queue lives in the switch data queues (DropTailQueue::Config
+// phantom_* fields — a virtual queue draining at ~95% of line rate that
+// marks ECN before any real queue forms). The endpoint is a DCTCP endpoint
+// with hardware-style pacing enabled. Use hull_queue_config() when building
+// the topology for HULL runs.
+#pragma once
+
+#include "net/port.hpp"
+#include "transport/dctcp.hpp"
+
+namespace xpass::transport {
+
+struct HullConfig {
+  DctcpConfig dctcp;
+  double phantom_drain_fraction = 0.95;
+  uint64_t phantom_mark_bytes = 2 * net::kMaxWireBytes;
+
+  HullConfig() { dctcp.window.pacing = true; }
+};
+
+// Decorates a base data-queue config with HULL's phantom queue for a link of
+// `rate_bps`.
+net::DropTailQueue::Config hull_queue_config(net::DropTailQueue::Config base,
+                                             double rate_bps,
+                                             const HullConfig& cfg = {});
+
+class HullTransport : public Transport {
+ public:
+  explicit HullTransport(sim::Simulator& sim, HullConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override {
+    return std::make_unique<DctcpConnection>(sim_, spec, cfg_.dctcp);
+  }
+  std::string_view name() const override { return "HULL"; }
+
+ private:
+  sim::Simulator& sim_;
+  HullConfig cfg_;
+};
+
+}  // namespace xpass::transport

@@ -1,0 +1,97 @@
+#include "transport/ideal.hpp"
+
+#include <algorithm>
+
+namespace xpass::transport {
+
+using net::Packet;
+using net::PktType;
+
+void IdealOracle::add(IdealConnection* c) {
+  conns_.push_back(c);
+  recompute();
+}
+
+void IdealOracle::remove(IdealConnection* c) {
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), c), conns_.end());
+  recompute();
+}
+
+void IdealOracle::recompute() {
+  MaxMinProblem prob;
+  std::unordered_map<net::Port*, uint32_t> link_index;
+  prob.flow_links.reserve(conns_.size());
+  for (IdealConnection* c : conns_) {
+    const auto& s = c->spec();
+    auto path = topo_.trace_path(s.src->id(), s.dst->id(), s.id);
+    std::vector<uint32_t> links;
+    links.reserve(path.size());
+    for (net::Port* p : path) {
+      auto [it, inserted] =
+          link_index.try_emplace(p, static_cast<uint32_t>(link_index.size()));
+      if (inserted) {
+        prob.link_capacity.push_back(p->config().rate_bps * fraction_);
+      }
+      links.push_back(it->second);
+    }
+    prob.flow_links.push_back(std::move(links));
+  }
+  const auto rates = maxmin_rates(prob);
+  for (size_t i = 0; i < conns_.size(); ++i) conns_[i]->set_rate(rates[i]);
+}
+
+void IdealConnection::start() {
+  if (started_) return;
+  started_ = true;
+  active_ = true;
+  spec_.dst->register_flow(spec_.id, [this](Packet&& p) {
+    if (p.type == PktType::kData) deliver(p.payload_bytes);
+  });
+  oracle_.add(this);
+  // Random phase: flows are perfectly paced but mutually unsynchronized —
+  // exactly the §2 setup whose burst coincidences build the queue.
+  const double interval =
+      rate_bps_ > 0.0 ? net::kMaxWireBytes * 8.0 / rate_bps_ : 10e-6;
+  send_timer_ = sim_.after(
+      sim::Time::seconds(sim_.rng().uniform() * interval),
+      [this] { send_next(); });
+}
+
+void IdealConnection::stop() {
+  if (!started_) return;
+  if (active_) {
+    active_ = false;
+    oracle_.remove(this);
+  }
+  started_ = false;
+  sim_.cancel(send_timer_);
+  spec_.dst->unregister_flow(spec_.id);
+}
+
+void IdealConnection::send_next() {
+  if (!active_) return;
+  if (spec_.size_bytes != kLongRunning && snd_nxt_ >= spec_.size_bytes) {
+    active_ = false;
+    oracle_.remove(this);
+    return;
+  }
+  const uint32_t payload = static_cast<uint32_t>(
+      spec_.size_bytes == kLongRunning
+          ? net::kMssBytes
+          : std::min<uint64_t>(net::kMssBytes, spec_.size_bytes - snd_nxt_));
+  Packet p = net::make_data(spec_.id, spec_.src->id(), spec_.dst->id(),
+                            snd_nxt_, payload);
+  p.ts = sim_.now();
+  spec_.src->send(std::move(p));
+  snd_nxt_ += payload;
+  if (rate_bps_ <= 0.0) {
+    // No capacity assigned yet; retry shortly.
+    send_timer_ = sim_.after(sim::Time::us(10), [this] { send_next(); });
+    return;
+  }
+  const sim::Time gap = sim::Time::seconds(
+      static_cast<double>(payload + net::kHeaderOverhead) * 8.0 / rate_bps_);
+  send_timer_ = sim_.after(gap, [this] { send_next(); });
+}
+
+}  // namespace xpass::transport

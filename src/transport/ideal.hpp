@@ -1,0 +1,78 @@
+// The "hypothetically ideal" rate control of §2.
+//
+// A global oracle knows every active flow's path and instantly assigns
+// exact max-min fair rates on every arrival/departure; senders pace
+// perfectly at the assigned rate with a random phase. There is no feedback
+// delay and no probing — this is strictly better than any real window/rate
+// protocol, and Fig 1a shows that *even it* builds unbounded queues under
+// bursty many-flow arrivals, motivating credit scheduling.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/topology.hpp"
+#include "transport/connection.hpp"
+#include "transport/maxmin.hpp"
+
+namespace xpass::transport {
+
+class IdealConnection;
+
+class IdealOracle {
+ public:
+  // `capacity_fraction`: usable share of each link (1.0 = full line rate).
+  explicit IdealOracle(net::Topology& topo, double capacity_fraction = 1.0)
+      : topo_(topo), fraction_(capacity_fraction) {}
+
+  void add(IdealConnection* c);
+  void remove(IdealConnection* c);
+  void recompute();
+
+ private:
+  net::Topology& topo_;
+  double fraction_;
+  std::vector<IdealConnection*> conns_;
+};
+
+class IdealConnection : public Connection {
+ public:
+  IdealConnection(sim::Simulator& sim, const FlowSpec& spec,
+                  IdealOracle& oracle)
+      : Connection(sim, spec), oracle_(oracle) {}
+  ~IdealConnection() override { stop(); }
+
+  void start() override;
+  void stop() override;
+
+  // Oracle interface.
+  void set_rate(double bps) { rate_bps_ = bps; }
+  double rate_bps() const { return rate_bps_; }
+
+ private:
+  void send_next();
+
+  IdealOracle& oracle_;
+  double rate_bps_ = 0.0;
+  uint64_t snd_nxt_ = 0;  // bytes
+  bool active_ = false;
+  bool started_ = false;
+  sim::TimerId send_timer_;
+};
+
+class IdealTransport : public Transport {
+ public:
+  IdealTransport(sim::Simulator& sim, net::Topology& topo,
+                 double capacity_fraction = 1.0)
+      : sim_(sim), oracle_(topo, capacity_fraction) {}
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override {
+    return std::make_unique<IdealConnection>(sim_, spec, oracle_);
+  }
+  std::string_view name() const override { return "IdealRate"; }
+  IdealOracle& oracle() { return oracle_; }
+
+ private:
+  sim::Simulator& sim_;
+  IdealOracle oracle_;
+};
+
+}  // namespace xpass::transport

@@ -1,0 +1,63 @@
+#include "transport/maxmin.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace xpass::transport {
+
+std::vector<double> maxmin_rates(const MaxMinProblem& p) {
+  const size_t nf = p.flow_links.size();
+  const size_t nl = p.link_capacity.size();
+  std::vector<double> rate(nf, 0.0);
+  std::vector<bool> fixed(nf, false);
+  std::vector<double> remaining = p.link_capacity;
+  std::vector<uint32_t> active_on_link(nl, 0);
+
+  for (size_t f = 0; f < nf; ++f) {
+    if (p.flow_links[f].empty()) {
+      fixed[f] = true;
+      rate[f] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    for (uint32_t l : p.flow_links[f]) ++active_on_link[l];
+  }
+
+  size_t unfixed = std::count(fixed.begin(), fixed.end(), false);
+  while (unfixed > 0) {
+    // Bottleneck link: smallest per-flow fair share among loaded links.
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t l = 0; l < nl; ++l) {
+      if (active_on_link[l] == 0) continue;
+      best = std::min(best, remaining[l] / active_on_link[l]);
+    }
+    if (best == std::numeric_limits<double>::infinity()) break;
+
+    // Fix every flow crossing a link at the bottleneck share.
+    bool fixed_any = false;
+    for (size_t f = 0; f < nf; ++f) {
+      if (fixed[f]) continue;
+      bool bottlenecked = false;
+      for (uint32_t l : p.flow_links[f]) {
+        if (active_on_link[l] > 0 &&
+            remaining[l] / active_on_link[l] <= best * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      fixed[f] = true;
+      fixed_any = true;
+      rate[f] = best;
+      --unfixed;
+      for (uint32_t l : p.flow_links[f]) {
+        remaining[l] -= best;
+        if (remaining[l] < 0) remaining[l] = 0;
+        --active_on_link[l];
+      }
+    }
+    if (!fixed_any) break;  // numerical safety
+  }
+  return rate;
+}
+
+}  // namespace xpass::transport

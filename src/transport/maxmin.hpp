@@ -1,0 +1,22 @@
+// Max-min fair rate allocation by progressive water-filling.
+//
+// Used by the "hypothetically ideal" rate control of §2 (Fig 1a) and as the
+// reference line in Fig 11.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xpass::transport {
+
+struct MaxMinProblem {
+  std::vector<double> link_capacity;             // capacity per link index
+  std::vector<std::vector<uint32_t>> flow_links; // links each flow crosses
+};
+
+// Returns one rate per flow. Flows crossing no links get +inf capacity
+// treatment (rate 0 is never returned for a flow with links unless a link
+// has zero capacity).
+std::vector<double> maxmin_rates(const MaxMinProblem& p);
+
+}  // namespace xpass::transport

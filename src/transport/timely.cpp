@@ -1,0 +1,53 @@
+#include "transport/timely.hpp"
+
+#include <algorithm>
+
+namespace xpass::transport {
+
+TimelyConnection::TimelyConnection(sim::Simulator& sim, const FlowSpec& spec,
+                                   const TimelyConfig& cfg)
+    : WindowConnection(sim, spec, cfg.window),
+      cfg_(cfg),
+      line_rate_bps_(spec.src->nic().config().rate_bps),
+      rate_bps_(line_rate_bps_ / 10.0),
+      prev_rtt_(cfg.window.base_rtt),
+      min_rtt_(cfg.window.base_rtt) {
+  exit_slow_start();
+  set_cwnd(config().max_cwnd_pkts);
+}
+
+void TimelyConnection::on_ack_hook(const net::Packet& ack,
+                                   uint64_t newly_acked) {
+  (void)newly_acked;
+  const sim::Time rtt = sim_.now() - ack.ts;
+  if (rtt < min_rtt_) min_rtt_ = rtt;
+  const double new_grad =
+      (rtt - prev_rtt_).to_sec() / std::max(min_rtt_.to_sec(), 1e-9);
+  gradient_ = (1.0 - cfg_.ewma) * gradient_ + cfg_.ewma * new_grad;
+  prev_rtt_ = rtt;
+
+  if (rtt < cfg_.t_low) {
+    ++neg_streak_;
+    rate_bps_ += cfg_.add_step_bps;
+  } else if (rtt > cfg_.t_high) {
+    neg_streak_ = 0;
+    rate_bps_ *= 1.0 - cfg_.beta * (1.0 - cfg_.t_high.to_sec() /
+                                              rtt.to_sec());
+  } else if (gradient_ <= 0.0) {
+    ++neg_streak_;
+    const double n = neg_streak_ >= cfg_.hai_streak ? 5.0 : 1.0;
+    rate_bps_ += n * cfg_.add_step_bps;
+  } else {
+    neg_streak_ = 0;
+    rate_bps_ *= 1.0 - cfg_.beta * gradient_;
+  }
+  rate_bps_ = std::clamp(rate_bps_, cfg_.min_rate_bps, line_rate_bps_);
+
+  // Flight bound follows the rate.
+  const double bdp_pkts =
+      rate_bps_ * std::max(srtt().to_sec(), config().base_rtt.to_sec()) /
+      (8.0 * config().mss);
+  set_cwnd(std::max(2.0, 2.0 * bdp_pkts));
+}
+
+}  // namespace xpass::transport

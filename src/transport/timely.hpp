@@ -1,0 +1,64 @@
+// TIMELY (Mittal et al., SIGCOMM 2015) — RTT-gradient rate control for
+// RDMA datacenters; like DCQCN it leans on PFC for losslessness. Extension
+// comparator (cited as [41] in the paper).
+//
+// Per RTT sample: normalized gradient = (rtt - prev_rtt) / min_rtt, EWMA
+// smoothed. If rtt < t_low: additive increase. If rtt > t_high:
+// multiplicative decrease proportional to (1 - t_high/rtt). Otherwise
+// gradient-based: negative gradient -> additive increase (xN when in a
+// streak), positive -> multiplicative decrease by beta * gradient.
+#pragma once
+
+#include "transport/window.hpp"
+
+namespace xpass::transport {
+
+struct TimelyConfig {
+  WindowConfig window;
+  sim::Time t_low = sim::Time::us(50);
+  sim::Time t_high = sim::Time::us(500);
+  double add_step_bps = 10e6;
+  double beta = 0.8;
+  double ewma = 0.3;
+  uint32_t hai_streak = 5;  // negative-gradient streak for hyper increase
+  double min_rate_bps = 10e6;
+
+  TimelyConfig() { window.pacing = true; }
+};
+
+class TimelyConnection : public WindowConnection {
+ public:
+  TimelyConnection(sim::Simulator& sim, const FlowSpec& spec,
+                   const TimelyConfig& cfg);
+
+  double rate_bps() const { return rate_bps_; }
+
+ protected:
+  void on_ack_hook(const net::Packet& ack, uint64_t newly_acked) override;
+  double pace_rate_bps() const override { return rate_bps_; }
+
+ private:
+  TimelyConfig cfg_;
+  double line_rate_bps_;
+  double rate_bps_;
+  double gradient_ = 0.0;
+  sim::Time prev_rtt_;
+  sim::Time min_rtt_;
+  uint32_t neg_streak_ = 0;
+};
+
+class TimelyTransport : public Transport {
+ public:
+  explicit TimelyTransport(sim::Simulator& sim, TimelyConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override {
+    return std::make_unique<TimelyConnection>(sim_, spec, cfg_);
+  }
+  std::string_view name() const override { return "TIMELY"; }
+
+ private:
+  sim::Simulator& sim_;
+  TimelyConfig cfg_;
+};
+
+}  // namespace xpass::transport

@@ -1,0 +1,121 @@
+#include "workload/flow_size_dist.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xpass::workload {
+
+std::string_view workload_name(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kDataMining: return "DataMining";
+    case WorkloadKind::kWebSearch: return "WebSearch";
+    case WorkloadKind::kCacheFollower: return "CacheFollower";
+    case WorkloadKind::kWebServer: return "WebServer";
+  }
+  return "?";
+}
+
+double FlowSizeDist::bin_mean(const Bin& b) {
+  if (b.lo >= b.hi) return b.lo;
+  if (b.alpha <= 0.0) {
+    // Log-uniform on [lo, hi]: E = (hi - lo) / ln(hi/lo).
+    return (b.hi - b.lo) / std::log(b.hi / b.lo);
+  }
+  const double a = b.alpha;
+  const double l = b.lo, h = b.hi;
+  const double la = std::pow(l / h, a);
+  if (std::abs(a - 1.0) < 1e-9) {
+    return l * std::log(h / l) / (1.0 - l / h);
+  }
+  // Bounded Pareto mean.
+  return (a * std::pow(l, a)) / (1.0 - la) *
+         (std::pow(l, 1.0 - a) - std::pow(h, 1.0 - a)) / (a - 1.0);
+}
+
+double FlowSizeDist::mean() const {
+  double m = 0.0;
+  for (const Bin& b : bins_) m += b.prob * bin_mean(b);
+  return m;
+}
+
+uint64_t FlowSizeDist::sample(sim::Rng& rng) const {
+  double u = rng.uniform();
+  const Bin* chosen = &bins_.back();
+  for (const Bin& b : bins_) {
+    if (u < b.prob) {
+      chosen = &b;
+      break;
+    }
+    u -= b.prob;
+  }
+  const double v = rng.uniform();
+  double x;
+  if (chosen->lo >= chosen->hi) {
+    x = chosen->lo;
+  } else if (chosen->alpha <= 0.0) {
+    x = chosen->lo * std::pow(chosen->hi / chosen->lo, v);
+  } else {
+    const double a = chosen->alpha;
+    const double la = std::pow(chosen->lo / chosen->hi, a);
+    x = chosen->lo / std::pow(1.0 - v * (1.0 - la), 1.0 / a);
+  }
+  if (x < 1.0) x = 1.0;
+  return static_cast<uint64_t>(x);
+}
+
+namespace {
+
+// Solves the tail bin's Pareto shape so the mixture mean hits `target`.
+FlowSizeDist calibrate(std::vector<FlowSizeDist::Bin> bins, size_t tail,
+                       double target_mean) {
+  double base = 0.0;
+  for (size_t i = 0; i < bins.size(); ++i) {
+    if (i != tail) base += bins[i].prob * FlowSizeDist::bin_mean(bins[i]);
+  }
+  const double need = (target_mean - base) / bins[tail].prob;
+  // Bisection on alpha in [1e-3, 50]; bin mean decreases in alpha.
+  double lo = 1e-3, hi = 50.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    bins[tail].alpha = mid;
+    if (FlowSizeDist::bin_mean(bins[tail]) > need) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  bins[tail].alpha = 0.5 * (lo + hi);
+  return FlowSizeDist(std::move(bins));
+}
+
+}  // namespace
+
+FlowSizeDist FlowSizeDist::make(WorkloadKind k) {
+  using B = Bin;
+  switch (k) {
+    case WorkloadKind::kDataMining:
+      // 78/5/8/9 %, cap 1GB, average 7.41MB.
+      return calibrate({B{100, 1e4, 0.78, 0.0}, B{1e4, 1e5, 0.05, 0.0},
+                        B{1e5, 1e6, 0.08, 0.0}, B{1e6, 1e9, 0.09, 0.0}},
+                       3, 7.41e6);
+    case WorkloadKind::kWebSearch:
+      // 49/3/18/30 %, cap 30MB, average 1.6MB.
+      return calibrate({B{100, 1e4, 0.49, 0.0}, B{1e4, 1e5, 0.03, 0.0},
+                        B{1e5, 1e6, 0.18, 0.0}, B{1e6, 30e6, 0.30, 0.0}},
+                       3, 1.6e6);
+    case WorkloadKind::kCacheFollower:
+      // 50/3/18/29 %, average 701KB.
+      return calibrate({B{100, 1e4, 0.50, 0.0}, B{1e4, 1e5, 0.03, 0.0},
+                        B{1e5, 1e6, 0.18, 0.0}, B{1e6, 30e6, 0.29, 0.0}},
+                       3, 701e3);
+    case WorkloadKind::kWebServer:
+      // 63/18/19/0 %, average 64KB: the L bin carries the calibrated tail.
+      return calibrate({B{100, 1e4, 0.63, 0.0}, B{1e4, 1e5, 0.18, 0.0},
+                        B{1e5, 1e6, 0.19, 0.0}},
+                       2, 64e3);
+  }
+  assert(false && "unknown workload");
+  return FlowSizeDist({});
+}
+
+}  // namespace xpass::workload

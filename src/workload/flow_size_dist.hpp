@@ -1,0 +1,49 @@
+// Synthetic flow-size distributions calibrated to Table 2.
+//
+// The paper samples production traces (Data Mining [VL2], Web Search
+// [DCTCP], Cache Follower / Web Server [Facebook]); we only have the
+// published bin masses, caps, and averages, so each workload is modeled as a
+// mixture over the paper's four size bins: log-uniform within S/M/L and a
+// bounded-Pareto tail within the largest occupied bin whose shape is solved
+// numerically so the overall mean matches Table 2's average flow size.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace xpass::workload {
+
+enum class WorkloadKind { kDataMining, kWebSearch, kCacheFollower, kWebServer };
+
+std::string_view workload_name(WorkloadKind k);
+
+class FlowSizeDist {
+ public:
+  struct Bin {
+    double lo;        // bytes, inclusive
+    double hi;        // bytes
+    double prob;      // mass of this bin
+    double alpha;     // 0 => log-uniform; >0 => bounded Pareto shape
+  };
+
+  // Builds the calibrated distribution for one of the paper's workloads.
+  static FlowSizeDist make(WorkloadKind k);
+  // Custom distribution (used in tests).
+  explicit FlowSizeDist(std::vector<Bin> bins) : bins_(std::move(bins)) {}
+
+  uint64_t sample(sim::Rng& rng) const;
+  double mean() const;
+  const std::vector<Bin>& bins() const { return bins_; }
+
+  // Analytic mean of one bin's conditional distribution.
+  static double bin_mean(const Bin& b);
+
+ private:
+  std::vector<Bin> bins_;
+};
+
+}  // namespace xpass::workload

@@ -1,0 +1,87 @@
+#include "workload/generators.hpp"
+
+#include <cassert>
+
+namespace xpass::workload {
+
+using transport::FlowSpec;
+
+double lambda_for_load(double load, double total_capacity_bps,
+                       double mean_flow_bytes) {
+  return load * total_capacity_bps / (8.0 * mean_flow_bytes);
+}
+
+std::vector<FlowSpec> poisson_flows(sim::Rng& rng,
+                                    const std::vector<net::Host*>& hosts,
+                                    const FlowSizeDist& dist,
+                                    double lambda_fps, size_t n_flows,
+                                    sim::Time start, uint32_t first_flow_id) {
+  assert(hosts.size() >= 2);
+  std::vector<FlowSpec> specs;
+  specs.reserve(n_flows);
+  sim::Time t = start;
+  for (size_t i = 0; i < n_flows; ++i) {
+    t += sim::Time::seconds(rng.exponential(1.0 / lambda_fps));
+    FlowSpec s;
+    s.id = first_flow_id + static_cast<uint32_t>(i);
+    const size_t a = static_cast<size_t>(
+        rng.uniform_int(0, static_cast<int64_t>(hosts.size()) - 1));
+    size_t b = static_cast<size_t>(
+        rng.uniform_int(0, static_cast<int64_t>(hosts.size()) - 2));
+    if (b >= a) ++b;
+    s.src = hosts[a];
+    s.dst = hosts[b];
+    s.size_bytes = dist.sample(rng);
+    s.start_time = t;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+std::vector<FlowSpec> incast_flows(const std::vector<net::Host*>& workers,
+                                   net::Host* master, uint64_t bytes,
+                                   size_t fanout, sim::Time start,
+                                   uint32_t first_flow_id) {
+  std::vector<FlowSpec> specs;
+  specs.reserve(fanout);
+  size_t w = 0;
+  for (size_t i = 0; i < fanout; ++i) {
+    // Cycle over workers, skipping the master itself.
+    while (workers[w % workers.size()] == master) ++w;
+    FlowSpec s;
+    s.id = first_flow_id + static_cast<uint32_t>(i);
+    s.src = workers[w % workers.size()];
+    s.dst = master;
+    s.size_bytes = bytes;
+    s.start_time = start;
+    specs.push_back(s);
+    ++w;
+  }
+  return specs;
+}
+
+std::vector<FlowSpec> shuffle_flows(const std::vector<net::Host*>& hosts,
+                                    size_t tasks_per_host,
+                                    uint64_t bytes_per_pair, sim::Time start,
+                                    uint32_t first_flow_id) {
+  std::vector<FlowSpec> specs;
+  uint32_t id = first_flow_id;
+  for (size_t sh = 0; sh < hosts.size(); ++sh) {
+    for (size_t dh = 0; dh < hosts.size(); ++dh) {
+      if (sh == dh) continue;
+      // tasks_per_host^2 task pairs between each host pair.
+      for (size_t p = 0; p < tasks_per_host * tasks_per_host; ++p) {
+        FlowSpec s;
+        s.id = id++;
+        s.src = hosts[sh];
+        s.dst = hosts[dh];
+        s.size_bytes = bytes_per_pair;
+        s.start_time = start;
+        specs.push_back(s);
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace xpass::workload

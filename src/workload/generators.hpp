@@ -1,0 +1,37 @@
+// Flow-level workload generators for the evaluation scenarios.
+#pragma once
+
+#include <vector>
+
+#include "transport/flow.hpp"
+#include "workload/flow_size_dist.hpp"
+
+namespace xpass::workload {
+
+// Poisson arrivals with sizes from `dist`, random distinct (src, dst) host
+// pairs, targeting `n_flows` flows at aggregate arrival rate `lambda_fps`.
+std::vector<transport::FlowSpec> poisson_flows(
+    sim::Rng& rng, const std::vector<net::Host*>& hosts,
+    const FlowSizeDist& dist, double lambda_fps, size_t n_flows,
+    sim::Time start = sim::Time::zero(), uint32_t first_flow_id = 1);
+
+// Aggregate flow arrival rate (flows/sec) for a target load on a set of
+// links: load * total_capacity_bps / (8 * mean_flow_size).
+double lambda_for_load(double load, double total_capacity_bps,
+                       double mean_flow_bytes);
+
+// Incast: `fanout` senders (cycled over `workers`, so fanout may exceed the
+// host count as in Fig 1) each send `bytes` to `master`.
+std::vector<transport::FlowSpec> incast_flows(
+    const std::vector<net::Host*>& workers, net::Host* master, uint64_t bytes,
+    size_t fanout, sim::Time start = sim::Time::zero(),
+    uint32_t first_flow_id = 1);
+
+// Shuffle (Fig 17): every host runs `tasks_per_host` tasks; every task sends
+// `bytes_per_pair` to every task on every *other* host.
+std::vector<transport::FlowSpec> shuffle_flows(
+    const std::vector<net::Host*>& hosts, size_t tasks_per_host,
+    uint64_t bytes_per_pair, sim::Time start = sim::Time::zero(),
+    uint32_t first_flow_id = 1);
+
+}  // namespace xpass::workload

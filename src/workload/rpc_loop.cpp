@@ -1,0 +1,47 @@
+#include "workload/rpc_loop.hpp"
+
+#include <cassert>
+
+namespace xpass::workload {
+
+RpcLoop::RpcLoop(sim::Simulator& sim, runner::FlowDriver& driver,
+                 std::vector<net::Host*> workers, net::Host* master,
+                 uint64_t response_bytes, size_t fanout,
+                 uint32_t first_flow_id)
+    : sim_(sim),
+      driver_(driver),
+      workers_(std::move(workers)),
+      master_(master),
+      bytes_(response_bytes),
+      fanout_(fanout),
+      next_id_(first_flow_id) {
+  assert(!workers_.empty());
+}
+
+void RpcLoop::start(sim::Time t) {
+  running_ = true;
+  for (size_t task = 0; task < fanout_; ++task) {
+    sim_.at(t, [this, task] { issue(task); });
+  }
+}
+
+void RpcLoop::issue(size_t task) {
+  if (!running_) return;
+  transport::FlowSpec s;
+  s.id = next_id_++;
+  net::Host* w = workers_[task % workers_.size()];
+  if (w == master_) w = workers_[(task + 1) % workers_.size()];
+  s.src = w;
+  s.dst = master_;
+  s.size_bytes = bytes_;
+  s.start_time = sim_.now();
+  // Chain the next response to this one's completion (replacing the
+  // driver's default callback, so record the FCT ourselves).
+  driver_.add(s).set_on_complete([this, task](transport::Connection& c) {
+    driver_.fcts().record(c.spec().size_bytes, c.fct());
+    ++completed_;
+    issue(task);
+  });
+}
+
+}  // namespace xpass::workload

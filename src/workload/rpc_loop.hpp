@@ -1,0 +1,48 @@
+// Closed-loop partition/aggregate driver (§2's Fig-1 workload): a master
+// continuously collects fixed-size responses from a set of workers. Each
+// worker has one outstanding response at a time; when it completes, the
+// next is issued immediately (persistent-connection request/response with
+// negligible request cost, as in the paper's ns-2 setup).
+//
+// Built on FlowDriver's completion callbacks, so it works with every
+// transport in the repo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/flow_driver.hpp"
+
+namespace xpass::workload {
+
+class RpcLoop {
+ public:
+  // `fanout` workers are drawn from `workers` round-robin (a worker may
+  // host several logical tasks, as in Fig 1's 2048-fanout runs).
+  RpcLoop(sim::Simulator& sim, runner::FlowDriver& driver,
+          std::vector<net::Host*> workers, net::Host* master,
+          uint64_t response_bytes, size_t fanout,
+          uint32_t first_flow_id = 1'000'000);
+
+  // Starts all loops at `t`.
+  void start(sim::Time t);
+  // Stops issuing new responses (in-flight ones finish).
+  void stop() { running_ = false; }
+
+  uint64_t responses_completed() const { return completed_; }
+
+ private:
+  void issue(size_t task);
+
+  sim::Simulator& sim_;
+  runner::FlowDriver& driver_;
+  std::vector<net::Host*> workers_;
+  net::Host* master_;
+  uint64_t bytes_;
+  size_t fanout_;
+  uint32_t next_id_;
+  uint64_t completed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace xpass::workload

@@ -1,0 +1,119 @@
+#include "calculus/buffer_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace xpass::calculus;
+using xpass::sim::Time;
+
+CalculusParams paper_10_40() {
+  CalculusParams p;  // defaults match the paper's (10/40) testbed setting
+  return p;
+}
+
+TEST(Calculus, AllBoundsPositive) {
+  auto r = compute_buffer_bounds(paper_10_40());
+  EXPECT_GT(r.tor_up.buffer_bytes, 0.0);
+  EXPECT_GT(r.tor_down.buffer_bytes, 0.0);
+  EXPECT_GT(r.core.buffer_bytes, 0.0);
+  EXPECT_GT(r.aggr_up.buffer_bytes, 0.0);
+  EXPECT_GT(r.aggr_down.buffer_bytes, 0.0);
+}
+
+TEST(Calculus, TorDownDominates) {
+  // Table 1's headline ordering: ToR down >> Core > ToR up.
+  auto r = compute_buffer_bounds(paper_10_40());
+  EXPECT_GT(r.tor_down.buffer_bytes, r.core.buffer_bytes);
+  EXPECT_GT(r.core.buffer_bytes, r.tor_up.buffer_bytes);
+}
+
+TEST(Calculus, TorUpMatchesPaperClosely) {
+  // Table 1: ToR up = 19.0 KB for (10/40). Our model: credit-queue drain
+  // (8 credits at one MTU-cycle each on 10G) plus the host delay spread.
+  CalculusParams p = paper_10_40();
+  p.delta_host = Time::ns(5100);
+  auto r = compute_buffer_bounds(p);
+  EXPECT_NEAR(r.tor_up.buffer_bytes / 1e3, 19.0, 2.0);
+}
+
+TEST(Calculus, CoreSameOrderAsPaper) {
+  // Table 1: Core = 131.1 KB for (10/40); interpretation details differ, so
+  // we assert the same order of magnitude.
+  auto r = compute_buffer_bounds(paper_10_40());
+  EXPECT_GT(r.core.buffer_bytes / 1e3, 40.0);
+  EXPECT_LT(r.core.buffer_bytes / 1e3, 500.0);
+}
+
+TEST(Calculus, TorDownSameOrderAsPaper) {
+  // Table 1: ToR down = 577.3 KB for (10/40).
+  auto r = compute_buffer_bounds(paper_10_40());
+  EXPECT_GT(r.tor_down.buffer_bytes / 1e3, 150.0);
+  EXPECT_LT(r.tor_down.buffer_bytes / 1e3, 2000.0);
+}
+
+TEST(Calculus, FasterLinksNeedMoreBytesButSubLinear) {
+  CalculusParams p10 = paper_10_40();
+  CalculusParams p40 = paper_10_40();
+  p40.edge_rate_bps = 40e9;
+  p40.fabric_rate_bps = 100e9;
+  auto r10 = compute_buffer_bounds(p10);
+  auto r40 = compute_buffer_bounds(p40);
+  // 4x the edge rate: more bytes, but less than 4x (Table 1: 577KB -> 1.06MB
+  // is ~1.8x despite 4x links).
+  EXPECT_GT(r40.tor_down.buffer_bytes, r10.tor_down.buffer_bytes);
+  EXPECT_LT(r40.tor_down.buffer_bytes, 4.0 * r10.tor_down.buffer_bytes);
+}
+
+TEST(Calculus, SmallerCreditQueueSmallerBound) {
+  CalculusParams p8 = paper_10_40();
+  CalculusParams p4 = paper_10_40();
+  p4.credit_queue_pkts = 4;
+  EXPECT_LT(compute_buffer_bounds(p4).tor_down.buffer_bytes,
+            compute_buffer_bounds(p8).tor_down.buffer_bytes);
+}
+
+TEST(Calculus, SmallerHostSpreadSmallerBound) {
+  CalculusParams sw = paper_10_40();  // 5.1us software spread
+  CalculusParams hw = paper_10_40();
+  hw.delta_host = Time::us(1);
+  EXPECT_LT(compute_buffer_bounds(hw).tor_down.buffer_bytes,
+            compute_buffer_bounds(sw).tor_down.buffer_bytes);
+}
+
+TEST(Calculus, DeltaEqualsMaxMinusMin) {
+  auto r = compute_buffer_bounds(paper_10_40());
+  for (const PortBound* b :
+       {&r.tor_up, &r.tor_down, &r.core, &r.aggr_up, &r.aggr_down}) {
+    EXPECT_EQ(b->delta_d, b->max_d - b->min_d);
+    EXPECT_GE(b->min_d, Time::zero());
+  }
+}
+
+TEST(Calculus, BreakdownComponentsCoverTotal) {
+  auto r = compute_buffer_bounds(paper_10_40());
+  EXPECT_GT(r.contribution_credit_queue, 0.0);
+  EXPECT_GT(r.contribution_host_spread, 0.0);
+  EXPECT_GE(r.contribution_path_spread, 0.0);
+  EXPECT_NEAR(r.contribution_credit_queue + r.contribution_host_spread +
+                  r.contribution_path_spread,
+              r.tor_switch_total_bytes, r.tor_switch_total_bytes * 0.05);
+}
+
+TEST(Calculus, SwitchTotalIsPerPortTimesPorts) {
+  CalculusParams p = paper_10_40();
+  p.ports_per_tor_down = 16;
+  p.ports_per_tor_up = 16;
+  auto r = compute_buffer_bounds(p);
+  EXPECT_NEAR(r.tor_switch_total_bytes,
+              16 * r.tor_down.buffer_bytes + 16 * r.tor_up.buffer_bytes,
+              1.0);
+}
+
+TEST(Calculus, ModestRequirementsVsCommoditySwitches) {
+  // §3.1: even the worst case fits in a shallow-buffered switch (9-16MB).
+  auto r = compute_buffer_bounds(paper_10_40());
+  EXPECT_LT(r.tor_switch_total_bytes, 16e6);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Unit + property tests of Algorithm 1 (credit feedback control).
+#include "core/feedback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace {
+
+using xpass::core::CreditFeedback;
+using xpass::core::FeedbackParams;
+
+FeedbackParams params(double max_rate = 10e9, double init_frac = 0.5) {
+  FeedbackParams p;
+  p.max_rate = max_rate;
+  p.init_rate = init_frac * max_rate;
+  return p;
+}
+
+TEST(Feedback, IncreaseMovesTowardInflatedMax) {
+  CreditFeedback f(params());
+  const double before = f.rate();
+  const double after = f.update(0.0);
+  // rate <- (1-w)*rate + w*C, C = max*(1+target)
+  const double c = 10e9 * 1.1;
+  EXPECT_DOUBLE_EQ(after, 0.5 * before + 0.5 * c);
+  EXPECT_TRUE(f.increasing());
+}
+
+TEST(Feedback, WGrowsOnlyAfterConsecutiveIncreases) {
+  CreditFeedback f(params());
+  // Force w down first.
+  f.update(0.9);
+  const double w_small = f.w();
+  f.update(0.0);  // first increase after decrease: w unchanged
+  EXPECT_DOUBLE_EQ(f.w(), w_small);
+  f.update(0.0);  // second consecutive increase: w -> (w + 0.5)/2
+  EXPECT_DOUBLE_EQ(f.w(), (w_small + 0.5) / 2.0);
+}
+
+TEST(Feedback, DecreaseCutsRateByLossAndInflates) {
+  CreditFeedback f(params());
+  const double before = f.rate();
+  const double after = f.update(0.5);
+  EXPECT_DOUBLE_EQ(after, before * 0.5 * 1.1);
+  EXPECT_FALSE(f.increasing());
+}
+
+TEST(Feedback, WHalvesOnDecreaseFlooredAtWmin) {
+  CreditFeedback f(params());
+  EXPECT_DOUBLE_EQ(f.w(), 0.5);
+  f.update(0.9);
+  EXPECT_DOUBLE_EQ(f.w(), 0.25);
+  for (int i = 0; i < 20; ++i) f.update(0.9);
+  EXPECT_DOUBLE_EQ(f.w(), 0.01);  // w_min
+}
+
+TEST(Feedback, LossAtTargetCountsAsIncrease) {
+  CreditFeedback f(params());
+  f.update(0.1);  // == target_loss
+  EXPECT_TRUE(f.increasing());
+}
+
+TEST(Feedback, RateCeilingIsInflatedMax) {
+  CreditFeedback f(params());
+  for (int i = 0; i < 50; ++i) f.update(0.0);
+  EXPECT_LE(f.rate(), 10e9 * 1.1 * (1 + 1e-12));
+  EXPECT_NEAR(f.rate(), 10e9 * 1.1, 10e9 * 0.01);
+}
+
+TEST(Feedback, RateFloorKeepsProbing) {
+  CreditFeedback f(params());
+  for (int i = 0; i < 200; ++i) f.update(1.0);
+  EXPECT_GE(f.rate(), 10e9 / 10000.0);
+}
+
+TEST(Feedback, TotalLossCollapsesTowardFloor) {
+  CreditFeedback f(params());
+  f.update(1.0);
+  // (1-1.0) => floor clamp.
+  EXPECT_DOUBLE_EQ(f.rate(), 10e9 / 10000.0);
+}
+
+// Property: N synchronized flows sharing one bottleneck converge to the
+// fair share, as §4 proves. We emulate the bottleneck: per period, loss is
+// the common overshoot fraction max(0, 1 - C/sum(rates)).
+class FeedbackConvergence
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(FeedbackConvergence, ConvergesToFairShare) {
+  const int n = std::get<0>(GetParam());
+  const double init_frac = std::get<1>(GetParam());
+  const double max_rate = 10e9;
+  std::vector<CreditFeedback> flows;
+  for (int i = 0; i < n; ++i) {
+    // Stagger initial rates to break symmetry.
+    flows.emplace_back(params(max_rate, init_frac * (i + 1) / n));
+  }
+  for (int period = 0; period < 3000; ++period) {
+    double sum = 0;
+    for (auto& f : flows) sum += f.rate();
+    const double loss = sum > max_rate ? 1.0 - max_rate / sum : 0.0;
+    for (auto& f : flows) f.update(loss);
+  }
+  // §4: even periods converge to C/N (Eq. 5) and odd periods to
+  // C/N * (1 + (N-1)w_min) (Eq. 6); we sample at arbitrary parity, so the
+  // tolerance covers the Eq.-6 inflation plus slack for the geometric
+  // convergence tail (ratio ~(1 - w_min) per cycle).
+  const double fair = max_rate * 1.1 / n;
+  const double tolerance = fair * (0.15 + (n - 1) * 0.01);
+  std::vector<double> rates;
+  for (auto& f : flows) {
+    rates.push_back(f.rate());
+    EXPECT_NEAR(f.rate(), fair, tolerance)
+        << "n=" << n << " init=" << init_frac;
+  }
+  // Regardless of parity, the flows must be equal to each other.
+  const double lo = *std::min_element(rates.begin(), rates.end());
+  const double hi = *std::max_element(rates.begin(), rates.end());
+  EXPECT_LT(hi - lo, 0.02 * fair) << "n=" << n << " init=" << init_frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FeedbackConvergence,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                       ::testing::Values(1.0, 0.5, 1.0 / 16, 1.0 / 32)));
+
+// §4: steady-state oscillation D* = C * w_min * (1 - 1/N).
+TEST(Feedback, SteadyStateOscillationBounded) {
+  const int n = 4;
+  const double max_rate = 10e9;
+  std::vector<CreditFeedback> flows(n, CreditFeedback(params()));
+  std::vector<double> prev(n, 0.0);
+  double max_osc = 0.0;
+  for (int period = 0; period < 600; ++period) {
+    double sum = 0;
+    for (auto& f : flows) sum += f.rate();
+    const double loss = sum > max_rate ? 1.0 - max_rate / sum : 0.0;
+    for (int i = 0; i < n; ++i) {
+      prev[i] = flows[i].rate();
+      flows[i].update(loss);
+      if (period > 500) {
+        max_osc = std::max(max_osc, std::abs(flows[i].rate() - prev[i]));
+      }
+    }
+  }
+  const double d_star = max_rate * 1.1 * 0.01 * (1.0 - 1.0 / n);
+  EXPECT_LE(max_osc, 3.0 * d_star);
+  EXPECT_GT(max_osc, 0.0);  // it oscillates, by design
+}
+
+}  // namespace

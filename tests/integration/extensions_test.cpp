@@ -1,0 +1,156 @@
+// §7 extensions: multi-class credit scheduling (QoS on credits) and
+// coexistence with reactive, non-credited traffic.
+#include <gtest/gtest.h>
+
+#include "core/expresspass.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+#include "transport/dctcp.hpp"
+
+namespace {
+
+using namespace xpass;
+using sim::Time;
+
+core::ExpressPassConfig xp_cfg(uint8_t cls) {
+  core::ExpressPassConfig cfg;
+  cfg.update_period = Time::us(100);
+  cfg.traffic_class = cls;
+  return cfg;
+}
+
+// Two long flows in different credit classes with weights {3, 1} must share
+// the data bandwidth ~3:1 — QoS is enforced purely by scheduling credits.
+TEST(MultiClass, WeightedCreditSharing) {
+  sim::Simulator sim(71);
+  net::Topology topo(sim);
+  auto link = runner::protocol_link_config(runner::Protocol::kExpressPass,
+                                           10e9, Time::us(1));
+  link.credit_class_weights = {3.0, 1.0};
+  auto d = net::build_dumbbell(topo, 2, link, link);
+
+  core::ExpressPassTransport hi(sim, xp_cfg(0));
+  core::ExpressPassTransport lo(sim, xp_cfg(1));
+  runner::FlowDriver dhi(sim, hi);
+  runner::FlowDriver dlo(sim, lo);
+  transport::FlowSpec s1;
+  s1.id = 1;
+  s1.src = d.senders[0];
+  s1.dst = d.receivers[0];
+  s1.size_bytes = transport::kLongRunning;
+  transport::FlowSpec s2 = s1;
+  s2.id = 2;
+  s2.src = d.senders[1];
+  s2.dst = d.receivers[1];
+  dhi.add(s1);
+  dlo.add(s2);
+
+  sim.run_until(Time::ms(20));
+  dhi.rates().snapshot_rates_by_flow(Time::ms(20));
+  dlo.rates().snapshot_rates_by_flow(Time::ms(20));
+  sim.run_until(Time::ms(60));
+  const double hi_rate = dhi.rates().snapshot_rates_by_flow(Time::ms(40))[1];
+  const double lo_rate = dlo.rates().snapshot_rates_by_flow(Time::ms(40))[2];
+  EXPECT_GT(hi_rate, 2.0 * lo_rate);
+  EXPECT_LT(hi_rate, 4.5 * lo_rate);
+  // And the link stays fully used.
+  EXPECT_GT((hi_rate + lo_rate) / 1e9, 8.0);
+  dhi.stop_all();
+  dlo.stop_all();
+}
+
+TEST(MultiClass, HugeWeightApproximatesStrictPriority) {
+  sim::Simulator sim(73);
+  net::Topology topo(sim);
+  auto link = runner::protocol_link_config(runner::Protocol::kExpressPass,
+                                           10e9, Time::us(1));
+  link.credit_class_weights = {1e6, 1.0};
+  auto d = net::build_dumbbell(topo, 2, link, link);
+  core::ExpressPassTransport hi(sim, xp_cfg(0));
+  core::ExpressPassTransport lo(sim, xp_cfg(1));
+  runner::FlowDriver dhi(sim, hi);
+  runner::FlowDriver dlo(sim, lo);
+  transport::FlowSpec s1;
+  s1.id = 1;
+  s1.src = d.senders[0];
+  s1.dst = d.receivers[0];
+  s1.size_bytes = transport::kLongRunning;
+  transport::FlowSpec s2 = s1;
+  s2.id = 2;
+  s2.src = d.senders[1];
+  s2.dst = d.receivers[1];
+  dhi.add(s1);
+  dlo.add(s2);
+  sim.run_until(Time::ms(20));
+  dhi.rates().snapshot_rates_by_flow(Time::ms(20));
+  dlo.rates().snapshot_rates_by_flow(Time::ms(20));
+  sim.run_until(Time::ms(40));
+  const double hi_rate = dhi.rates().snapshot_rates_by_flow(Time::ms(20))[1];
+  const double lo_rate = dlo.rates().snapshot_rates_by_flow(Time::ms(20))[2];
+  EXPECT_GT(hi_rate / 1e9, 7.5);
+  EXPECT_LT(lo_rate, hi_rate / 5.0);
+  dhi.stop_all();
+  dlo.stop_all();
+}
+
+TEST(MultiClass, UnconfiguredClassFallsBackToLast) {
+  // A credit tagged with a class beyond the configured weights must not
+  // crash; it lands in the last class.
+  sim::Simulator sim(79);
+  net::Topology topo(sim);
+  auto link = runner::protocol_link_config(runner::Protocol::kExpressPass,
+                                           10e9, Time::us(1));
+  link.credit_class_weights = {1.0, 1.0};
+  auto d = net::build_dumbbell(topo, 1, link, link);
+  auto cfg = xp_cfg(7);  // out of range
+  core::ExpressPassTransport t(sim, cfg);
+  runner::FlowDriver driver(sim, t);
+  transport::FlowSpec s;
+  s.id = 1;
+  s.src = d.senders[0];
+  s.dst = d.receivers[0];
+  s.size_bytes = 500'000;
+  driver.add(s);
+  EXPECT_TRUE(driver.run_to_completion(Time::ms(100)));
+}
+
+// §7 "presence of other traffic": an ExpressPass flow and a DCTCP flow
+// share a bottleneck. The uncredited DCTCP data is absorbed by the data
+// queue; both make progress and nothing deadlocks.
+TEST(Coexistence, ExpressPassAndDctcpShareLink) {
+  sim::Simulator sim(83);
+  net::Topology topo(sim);
+  // ECN threshold so the DCTCP flow is controlled.
+  auto link = runner::protocol_link_config(runner::Protocol::kDctcp, 10e9,
+                                           Time::us(1));
+  auto d = net::build_dumbbell(topo, 2, link, link);
+  core::ExpressPassTransport xp(sim, xp_cfg(0));
+  transport::DctcpTransport dctcp(sim, {});
+  runner::FlowDriver dx(sim, xp);
+  runner::FlowDriver dd(sim, dctcp);
+  transport::FlowSpec s1;
+  s1.id = 1;
+  s1.src = d.senders[0];
+  s1.dst = d.receivers[0];
+  s1.size_bytes = transport::kLongRunning;
+  transport::FlowSpec s2 = s1;
+  s2.id = 2;
+  s2.src = d.senders[1];
+  s2.dst = d.receivers[1];
+  dx.add(s1);
+  dd.add(s2);
+  sim.run_until(Time::ms(20));
+  dx.rates().snapshot_rates_by_flow(Time::ms(20));
+  dd.rates().snapshot_rates_by_flow(Time::ms(20));
+  sim.run_until(Time::ms(50));
+  const double xp_rate = dx.rates().snapshot_rates_by_flow(Time::ms(30))[1];
+  const double dc_rate = dd.rates().snapshot_rates_by_flow(Time::ms(30))[2];
+  EXPECT_GT(xp_rate / 1e9, 0.5);  // neither starves
+  EXPECT_GT(dc_rate / 1e9, 0.5);
+  EXPECT_GT((xp_rate + dc_rate) / 1e9, 7.0);
+  dx.stop_all();
+  dd.stop_all();
+}
+
+}  // namespace

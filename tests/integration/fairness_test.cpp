@@ -1,0 +1,90 @@
+// Cross-protocol integration: two staggered long flows on a shared
+// bottleneck must end up sharing it reasonably for every protocol.
+#include <gtest/gtest.h>
+
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+#include "stats/fairness.hpp"
+
+namespace {
+
+using namespace xpass;
+using sim::Time;
+
+class ProtocolFairness : public ::testing::TestWithParam<runner::Protocol> {};
+
+TEST_P(ProtocolFairness, TwoFlowsShareBottleneck) {
+  const auto proto = GetParam();
+  sim::Simulator sim(41);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
+  auto d = net::build_dumbbell(topo, 2, link, link);
+  auto t = runner::make_transport(proto, sim, topo, Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  for (uint32_t i = 1; i <= 2; ++i) {
+    transport::FlowSpec s;
+    s.id = i;
+    s.src = d.senders[i - 1];
+    s.dst = d.receivers[i - 1];
+    s.size_bytes = transport::kLongRunning;
+    s.start_time = Time::ms(i - 1);
+    driver.add(s);
+  }
+  // Warm up past Cubic's loss-based convergence (paper Fig 2: ~47ms), then
+  // measure over a long window.
+  sim.run_until(Time::ms(60));
+  driver.rates().snapshot_rates_by_flow(Time::ms(60));
+  sim.run_until(Time::ms(100));
+  auto rates = driver.rates().snapshot_rates_by_flow(Time::ms(40));
+  const std::vector<double> xs = {rates[1], rates[2]};
+  EXPECT_GT(stats::jain_index(xs), 0.85) << protocol_name(proto);
+  EXPECT_GT((rates[1] + rates[2]) / 1e9, 6.5) << protocol_name(proto);
+  driver.stop_all();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolFairness,
+    ::testing::Values(runner::Protocol::kExpressPass, runner::Protocol::kDctcp,
+                      runner::Protocol::kRcp, runner::Protocol::kHull,
+                      runner::Protocol::kDx, runner::Protocol::kCubic),
+    [](const auto& info) {
+      return std::string(runner::protocol_name(info.param));
+    });
+
+// Paper §6.1 (Fig 15d): ExpressPass holds fairness with many flows where
+// window protocols collapse below cwnd=2.
+TEST(ManyFlowFairness, ExpressPassStaysFairAt64Flows) {
+  sim::Simulator sim(43);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  auto d = net::build_dumbbell(topo, 64, link, link);
+  auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  sim::Rng arrival(7);
+  for (uint32_t i = 1; i <= 64; ++i) {
+    transport::FlowSpec s;
+    s.id = i;
+    s.src = d.senders[i - 1];
+    s.dst = d.receivers[i - 1];
+    s.size_bytes = transport::kLongRunning;
+    s.start_time = sim::Time::seconds(arrival.uniform(0.0, 2e-3));
+    driver.add(s);
+  }
+  sim.run_until(Time::ms(30));
+  driver.rates().snapshot_rates_by_flow(Time::ms(30));
+  sim.run_until(Time::ms(130));
+  auto rates = driver.rates().snapshot_rates_by_flow(Time::ms(100));
+  std::vector<double> xs;
+  for (auto& [id, r] : rates) {
+    (void)id;
+    xs.push_back(r);
+  }
+  EXPECT_GT(stats::jain_index(xs), 0.8);
+  EXPECT_EQ(topo.data_drops(), 0u);
+  driver.stop_all();
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// The headline invariant: ExpressPass never drops a data packet, even under
+// incast, as long as buffers meet the calculus bound. Parameterized over
+// fan-out (Fig 1c's sweep, scaled).
+#include <gtest/gtest.h>
+
+#include "calculus/buffer_bounds.hpp"
+#include "core/expresspass.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+
+namespace {
+
+using namespace xpass;
+using sim::Time;
+
+class IncastZeroLoss : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IncastZeroLoss, NoDataDropAndBoundedQueue) {
+  const size_t fanout = GetParam();
+  sim::Simulator sim(51);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  auto star = net::build_star(topo, 33, link);
+  for (auto* h : star.hosts) {
+    h->set_delay_model(net::HostDelayModel::hardware());
+  }
+  auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  net::Host* master = star.hosts[0];
+  std::vector<net::Host*> workers(star.hosts.begin() + 1, star.hosts.end());
+  uint32_t id = 1;
+  for (size_t i = 0; i < fanout; ++i) {
+    transport::FlowSpec s;
+    s.id = id++;
+    s.src = workers[i % workers.size()];
+    s.dst = master;
+    s.size_bytes = 100'000;
+    driver.add(s);
+  }
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(10)));
+  EXPECT_EQ(topo.data_drops(), 0u);
+
+  // Queue bounded independent of fan-out: for a single-switch star the
+  // spread is one credit queue drain plus the host spread; charge it at the
+  // receiver's link rate plus slack for the shaper burst.
+  calculus::CalculusParams cp;
+  cp.delta_host = net::HostDelayModel::hardware().spread();
+  auto bound = calculus::compute_buffer_bounds(cp);
+  EXPECT_LT(topo.max_switch_data_queue_bytes(),
+            2.0 * bound.tor_up.buffer_bytes + 8 * net::kMaxWireBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(FanoutSweep, IncastZeroLoss,
+                         ::testing::Values(8, 32, 64, 128, 256));
+
+TEST(ZeroLoss, HeavyIncastAllToOne) {
+  // 32 hosts, everyone sends to host 0 simultaneously, repeatedly.
+  sim::Simulator sim(53);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  auto star = net::build_star(topo, 32, link);
+  auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  uint32_t id = 1;
+  for (int wave = 0; wave < 3; ++wave) {
+    for (size_t i = 1; i < star.hosts.size(); ++i) {
+      transport::FlowSpec s;
+      s.id = id++;
+      s.src = star.hosts[i];
+      s.dst = star.hosts[0];
+      s.size_bytes = 500'000;
+      s.start_time = Time::ms(5 * wave);
+      driver.add(s);
+    }
+  }
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(10)));
+  EXPECT_EQ(topo.data_drops(), 0u);
+}
+
+TEST(ZeroLoss, FatTreeCrossPodTraffic) {
+  sim::Simulator sim(59);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  auto ft = net::build_fat_tree(topo, 4, link, link);
+  auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  // All 16 hosts send to a host in another pod.
+  for (uint32_t i = 0; i < ft.hosts.size(); ++i) {
+    transport::FlowSpec s;
+    s.id = i + 1;
+    s.src = ft.hosts[i];
+    s.dst = ft.hosts[(i + 7) % ft.hosts.size()];
+    s.size_bytes = 300'000;
+    driver.add(s);
+  }
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(10)));
+  EXPECT_EQ(topo.data_drops(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "net/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace xpass;
+using namespace xpass::net;
+using sim::Time;
+
+TEST(HostDelayModel, NoneIsZero) {
+  sim::Rng rng(1);
+  auto m = HostDelayModel::none();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.sample(rng), Time::zero());
+  EXPECT_EQ(m.spread(), Time::zero());
+}
+
+TEST(HostDelayModel, TestbedClampedToMeasuredRange) {
+  sim::Rng rng(1);
+  auto m = HostDelayModel::testbed();
+  for (int i = 0; i < 20000; ++i) {
+    const Time d = m.sample(rng);
+    EXPECT_GE(d, Time::ns(200));
+    EXPECT_LE(d, Time::ns(6200));
+  }
+  EXPECT_EQ(m.spread(), Time::ns(6000));
+}
+
+TEST(HostDelayModel, TestbedMedianNearPaper) {
+  // §5: median credit processing ~0.38us on SoftNIC.
+  sim::Rng rng(2);
+  std::vector<double> xs(20001);
+  auto m = HostDelayModel::testbed();
+  for (auto& x : xs) x = m.sample(rng).to_us();
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 0.38, 0.06);
+}
+
+TEST(HostDelayModel, HardwareUniform) {
+  sim::Rng rng(3);
+  auto m = HostDelayModel::hardware();
+  double max_seen = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = m.sample(rng).to_us();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    max_seen = std::max(max_seen, d);
+  }
+  EXPECT_GT(max_seen, 0.9);
+}
+
+TEST(Host, DispatchesByFlowId) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Host& a = topo.add_host();
+  Host& b = topo.add_host();
+  topo.connect(a, b, LinkConfig{});
+  topo.finalize();
+
+  int got1 = 0, got2 = 0;
+  b.register_flow(1, [&](Packet&&) { ++got1; });
+  b.register_flow(2, [&](Packet&&) { ++got2; });
+  a.send(make_data(1, a.id(), b.id(), 0, 100));
+  a.send(make_data(2, a.id(), b.id(), 0, 100));
+  a.send(make_data(2, a.id(), b.id(), 1, 100));
+  sim.run();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 2);
+}
+
+TEST(Host, StrayCreditsCounted) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Host& a = topo.add_host();
+  Host& b = topo.add_host();
+  topo.connect(a, b, LinkConfig{});
+  topo.finalize();
+
+  a.send(make_control(PktType::kCredit, 99, a.id(), b.id()));
+  a.send(make_data(99, a.id(), b.id(), 0, 100));  // stray data: not counted
+  sim.run();
+  EXPECT_EQ(b.stray_credits(), 1u);
+}
+
+TEST(Host, UnregisterStopsDispatch) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Host& a = topo.add_host();
+  Host& b = topo.add_host();
+  topo.connect(a, b, LinkConfig{});
+  topo.finalize();
+
+  int got = 0;
+  b.register_flow(1, [&](Packet&&) { ++got; });
+  a.send(make_data(1, a.id(), b.id(), 0, 100));
+  sim.run();
+  b.unregister_flow(1);
+  a.send(make_data(1, a.id(), b.id(), 1, 100));
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Port egress-scheduler tests: credit shaping, credit priority, and
+// serialization timing, using a minimal two-host back-to-back topology.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace xpass;
+using namespace xpass::net;
+using sim::Time;
+
+struct TwoHosts {
+  sim::Simulator sim{1};
+  Topology topo{sim};
+  Host* a;
+  Host* b;
+
+  explicit TwoHosts(LinkConfig cfg = LinkConfig{}) {
+    a = &topo.add_host("a");
+    b = &topo.add_host("b");
+    topo.connect(*a, *b, cfg);
+    topo.finalize();
+  }
+};
+
+TEST(Port, DeliversPacketAfterTxPlusPropagation) {
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.prop_delay = Time::us(1);
+  TwoHosts env(cfg);
+  Time arrival;
+  env.b->register_flow(7, [&](Packet&&) { arrival = env.sim.now(); });
+  env.a->send(make_data(7, env.a->id(), env.b->id(), 0, kMssBytes));
+  env.sim.run();
+  // 1538B at 10G = 1.2304us + 1us propagation.
+  EXPECT_NEAR(arrival.to_us(), 2.2304, 0.001);
+}
+
+TEST(Port, BackToBackPacketsSerialize) {
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.prop_delay = Time::us(1);
+  TwoHosts env(cfg);
+  std::vector<Time> arrivals;
+  env.b->register_flow(7, [&](Packet&&) { arrivals.push_back(env.sim.now()); });
+  for (int i = 0; i < 3; ++i) {
+    env.a->send(make_data(7, env.a->id(), env.b->id(), i, kMssBytes));
+  }
+  env.sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR((arrivals[1] - arrivals[0]).to_us(), 1.2304, 0.001);
+  EXPECT_NEAR((arrivals[2] - arrivals[1]).to_us(), 1.2304, 0.001);
+}
+
+TEST(Port, CreditsShapedToFivePercent) {
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.prop_delay = Time::us(1);
+  cfg.credit_queue_pkts = 1000000;  // no credit drops: isolate the shaper
+  cfg.host_shapes_credits = true;   // exercise the switch-style shaper
+  TwoHosts env(cfg);
+  uint64_t credits = 0;
+  env.b->register_flow(7, [&](Packet&& p) {
+    if (p.type == PktType::kCredit) ++credits;
+  });
+  // Offer credits at 4x the shaped rate for 10ms. Distinct sequence
+  // numbers matter: the host limiter's noise is deterministic per
+  // (flow, seq), so identical credits would all draw the same cost.
+  const int offered = 4 * 10e-3 / (1622.0 * 8.0 / 10e9);
+  for (int i = 0; i < offered; ++i) {
+    Packet c = make_control(PktType::kCredit, 7, env.a->id(), env.b->id());
+    c.seq = i;
+    env.a->send(std::move(c));
+  }
+  env.sim.run_until(Time::ms(10));
+  const double credit_bytes_per_sec = credits * 84.0 / 10e-3;
+  const double shaped = 10e9 / 8.0 * 88.0 / 1622.0;
+  EXPECT_NEAR(credit_bytes_per_sec / shaped, 1.0, 0.05);
+}
+
+TEST(Port, HostShaperIsNoisyButRateExact) {
+  // The host's software rate limiter jitters individual credit release
+  // times (SoftNIC, §5) but must hold the long-run credit rate exactly.
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.credit_queue_pkts = 1000000;
+  cfg.host_credit_shaper_noise = 0.6;
+  TwoHosts env(cfg);
+  std::vector<Time> arrivals;
+  env.b->register_flow(7, [&](Packet&&) { arrivals.push_back(env.sim.now()); });
+  const int offered = 4 * 10e-3 / (1622.0 * 8.0 / 10e9);
+  for (int i = 0; i < offered; ++i) {
+    Packet c = make_control(PktType::kCredit, 7, env.a->id(), env.b->id());
+    c.seq = i;
+    env.a->send(std::move(c));
+  }
+  env.sim.run_until(Time::ms(10));
+  // Long-run rate within 5% of the shaped count rate.
+  const double count_rate = arrivals.size() / 10e-3;
+  const double nominal = 10e9 / (1622.0 * 8.0);
+  EXPECT_NEAR(count_rate / nominal, 1.0, 0.05);
+  // Inter-credit gaps are noisy: stddev a sizable fraction of the gap
+  // (Fig 6b measures ~0.77us at a 1.3us gap on the testbed).
+  double mean = 0, var = 0;
+  std::vector<double> gaps;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back((arrivals[i] - arrivals[i - 1]).to_us());
+  }
+  for (double g : gaps) mean += g;
+  mean /= gaps.size();
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  const double sd = std::sqrt(var / gaps.size());
+  EXPECT_GT(sd, 0.1 * mean);
+}
+
+TEST(Port, CreditQueueOverflowDrops) {
+  LinkConfig cfg;
+  cfg.credit_queue_pkts = 8;
+  TwoHosts env(cfg);
+  for (int i = 0; i < 100; ++i) {
+    env.a->send(make_control(PktType::kCredit, 7, env.a->id(), env.b->id()));
+  }
+  // All enqueued at the same instant: 8 fit (plus up to 2 in the shaper
+  // burst & serializer), the rest drop.
+  EXPECT_GT(env.a->nic().credit_queue().stats().dropped, 80u);
+}
+
+TEST(Port, DataNotBlockedByCreditShaping) {
+  // Data must use the bandwidth credits leave on the table.
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.data_queue.capacity_bytes = 1ull << 32;  // injected as one burst
+  TwoHosts env(cfg);
+  uint64_t data_bytes = 0;
+  env.b->register_flow(7, [&](Packet&& p) {
+    if (p.type == PktType::kData) data_bytes += p.wire_bytes;
+  });
+  // Saturate with data only.
+  const int n = 10e-3 * 10e9 / 8.0 / kMaxWireBytes;
+  for (int i = 0; i < n; ++i) {
+    env.a->send(make_data(7, env.a->id(), env.b->id(), i, kMssBytes));
+  }
+  env.sim.run_until(Time::ms(11));
+  EXPECT_GT(data_bytes * 8.0 / 10e-3, 0.97 * 10e9);
+}
+
+TEST(Port, CreditHasPriorityWhenTokensAvailable) {
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  TwoHosts env(cfg);
+  std::vector<PktType> order;
+  env.b->register_flow(7, [&](Packet&& p) { order.push_back(p.type); });
+  // Fill data queue, then add one credit: bucket starts full, so the credit
+  // overtakes queued data.
+  for (int i = 0; i < 5; ++i) {
+    env.a->send(make_data(7, env.a->id(), env.b->id(), i, kMssBytes));
+  }
+  env.a->send(make_control(PktType::kCredit, 7, env.a->id(), env.b->id()));
+  env.sim.run();
+  ASSERT_GE(order.size(), 3u);
+  // First packet was already serializing; the credit beats remaining data.
+  EXPECT_EQ(order[1], PktType::kCredit);
+}
+
+TEST(Port, MixedTrafficCreditsPlusDataFillLink) {
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.credit_queue_pkts = 1000000;
+  cfg.data_queue.capacity_bytes = 1ull << 32;  // injected as one burst
+  TwoHosts env(cfg);
+  uint64_t total_bytes = 0;
+  env.b->register_flow(7, [&](Packet&& p) { total_bytes += p.wire_bytes; });
+  const int nd = 10e-3 * 10e9 / 8.0 / kMaxWireBytes;
+  for (int i = 0; i < nd; ++i) {
+    env.a->send(make_data(7, env.a->id(), env.b->id(), i, kMssBytes));
+    if (i % 10 == 0) {
+      env.a->send(
+          make_control(PktType::kCredit, 7, env.a->id(), env.b->id()));
+    }
+  }
+  env.sim.run_until(Time::ms(10));
+  EXPECT_GT(total_bytes * 8.0 / 10e-3, 0.98 * 10e9);
+}
+
+TEST(Port, TxCountersAccumulate) {
+  TwoHosts env;
+  env.a->send(make_data(7, env.a->id(), env.b->id(), 0, kMssBytes));
+  env.a->send(make_control(PktType::kCredit, 7, env.a->id(), env.b->id()));
+  env.sim.run();
+  Port& nic = env.a->nic();
+  EXPECT_EQ(nic.tx_packets(), 2u);
+  EXPECT_EQ(nic.tx_credits(), 1u);
+  EXPECT_EQ(nic.tx_data_bytes(), kMaxWireBytes);
+  EXPECT_EQ(nic.tx_bytes(), kMaxWireBytes + kMinWireBytes);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace xpass::net;
+using xpass::sim::Time;
+
+Packet data_pkt(uint64_t seq = 0, uint32_t payload = kMssBytes) {
+  return make_data(1, 0, 1, seq, payload);
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q;
+  q.enqueue(data_pkt(1), Time::zero());
+  q.enqueue(data_pkt(2), Time::zero());
+  EXPECT_EQ(q.dequeue(Time::zero()).seq, 1u);
+  EXPECT_EQ(q.dequeue(Time::zero()).seq, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailQueue, DropsWhenOverCapacity) {
+  DropTailQueue::Config cfg;
+  cfg.capacity_bytes = 2 * kMaxWireBytes;
+  DropTailQueue q(cfg);
+  EXPECT_TRUE(q.enqueue(data_pkt(1), Time::zero()));
+  EXPECT_TRUE(q.enqueue(data_pkt(2), Time::zero()));
+  EXPECT_FALSE(q.enqueue(data_pkt(3), Time::zero()));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.packets(), 2u);
+}
+
+TEST(DropTailQueue, ByteAccountingExact) {
+  DropTailQueue q;
+  q.enqueue(data_pkt(1), Time::zero());
+  EXPECT_EQ(q.bytes(), kMaxWireBytes);
+  q.enqueue(data_pkt(2, 100), Time::zero());
+  EXPECT_EQ(q.bytes(), kMaxWireBytes + 100 + kHeaderOverhead);
+  q.dequeue(Time::zero());
+  EXPECT_EQ(q.bytes(), 100u + kHeaderOverhead);
+}
+
+TEST(DropTailQueue, EcnMarksWhenQueueExceedsThreshold) {
+  DropTailQueue::Config cfg;
+  cfg.ecn_threshold_bytes = kMaxWireBytes;  // K = 1 packet
+  DropTailQueue q(cfg);
+  q.enqueue(data_pkt(1), Time::zero());  // queue empty at arrival: unmarked
+  q.enqueue(data_pkt(2), Time::zero());  // queue at K: marked
+  EXPECT_FALSE(q.dequeue(Time::zero()).ecn_ce);
+  EXPECT_TRUE(q.dequeue(Time::zero()).ecn_ce);
+  EXPECT_EQ(q.stats().ecn_marked, 1u);
+}
+
+TEST(DropTailQueue, EcnDisabledByDefault) {
+  DropTailQueue q;
+  for (int i = 0; i < 50; ++i) q.enqueue(data_pkt(i), Time::zero());
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(q.dequeue(Time::zero()).ecn_ce);
+}
+
+TEST(DropTailQueue, StampsQueueingDelay) {
+  DropTailQueue q;
+  q.enqueue(data_pkt(1), Time::us(10));
+  Packet p = q.dequeue(Time::us(25));
+  EXPECT_EQ(p.queue_delay, Time::us(15));
+}
+
+TEST(DropTailQueue, QueueingDelayAccumulatesAcrossHops) {
+  DropTailQueue q1, q2;
+  q1.enqueue(data_pkt(1), Time::us(0));
+  Packet p = q1.dequeue(Time::us(5));
+  q2.enqueue(std::move(p), Time::us(7));
+  p = q2.dequeue(Time::us(10));
+  EXPECT_EQ(p.queue_delay, Time::us(8));
+}
+
+TEST(DropTailQueue, MaxBytesTracksHighWater) {
+  DropTailQueue q;
+  q.enqueue(data_pkt(1), Time::zero());
+  q.enqueue(data_pkt(2), Time::zero());
+  q.dequeue(Time::zero());
+  q.dequeue(Time::zero());
+  EXPECT_EQ(q.stats().max_bytes, 2u * kMaxWireBytes);
+}
+
+TEST(DropTailQueue, TimeWeightedAverage) {
+  DropTailQueue q;
+  // One full-size packet resident for half of a 2ms window.
+  q.enqueue(data_pkt(1), Time::zero());
+  q.dequeue(Time::ms(1));
+  // account() runs on the enqueue/dequeue edges; avg over 2ms = bytes/2.
+  EXPECT_NEAR(q.stats().avg_bytes(Time::ms(2)), kMaxWireBytes / 2.0, 1.0);
+}
+
+TEST(DropTailQueue, PhantomQueueMarksBeforeRealQueue) {
+  DropTailQueue::Config cfg;
+  cfg.phantom_drain_bps = 0.95 * 10e9;
+  cfg.phantom_mark_bytes = 2 * kMaxWireBytes;
+  DropTailQueue q(cfg);
+  // Back-to-back line-rate arrivals: the phantom (draining at 95%) builds
+  // up and marks even though the real queue is drained each time.
+  Time t;
+  bool marked = false;
+  for (int i = 0; i < 2000; ++i) {
+    q.enqueue(data_pkt(i), t);
+    Packet p = q.dequeue(t);
+    marked |= p.ecn_ce;
+    t += xpass::sim::tx_time(kMaxWireBytes, 10e9);
+  }
+  EXPECT_TRUE(marked);
+  EXPECT_GT(q.stats().ecn_marked, 0u);
+}
+
+TEST(DropTailQueue, PhantomQueueIdleDrainsToZero) {
+  DropTailQueue::Config cfg;
+  cfg.phantom_drain_bps = 0.95 * 10e9;
+  cfg.phantom_mark_bytes = 2 * kMaxWireBytes;
+  DropTailQueue q(cfg);
+  Time t;
+  for (int i = 0; i < 100; ++i) {
+    q.enqueue(data_pkt(i), t);
+    q.dequeue(t);
+    t += xpass::sim::tx_time(kMaxWireBytes, 10e9);
+  }
+  // Long idle: phantom empties; next arrival unmarked.
+  t += Time::ms(10);
+  q.enqueue(data_pkt(1000), t);
+  EXPECT_FALSE(q.dequeue(t).ecn_ce);
+}
+
+TEST(CreditQueue, CapacityInPackets) {
+  CreditQueue q(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(q.enqueue(make_control(PktType::kCredit, 1, 0, 1),
+                          Time::zero()));
+  }
+  EXPECT_FALSE(
+      q.enqueue(make_control(PktType::kCredit, 1, 0, 1), Time::zero()));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.packets(), 8u);
+}
+
+TEST(CreditQueue, DropIsTheCongestionSignal) {
+  // A tiny queue under 2x overload drops ~half the arrivals.
+  CreditQueue q(4);
+  size_t dropped = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!q.enqueue(make_control(PktType::kCredit, 1, 0, 1), Time::zero())) {
+      ++dropped;
+    }
+    if (i % 2 == 0 && !q.empty()) q.dequeue(Time::zero());
+  }
+  EXPECT_NEAR(static_cast<double>(dropped), 50.0, 10.0);
+}
+
+TEST(CreditQueue, FifoOrderAndSeqPreserved) {
+  CreditQueue q(8);
+  for (uint64_t i = 0; i < 4; ++i) {
+    Packet c = make_control(PktType::kCredit, 1, 0, 1);
+    c.seq = i;
+    q.enqueue(std::move(c), Time::zero());
+  }
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_EQ(q.dequeue(Time::zero()).seq, i);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+#include "net/switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/topology_builders.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace xpass;
+using namespace xpass::net;
+
+TEST(SymmetricHash, DirectionInvariant) {
+  sim::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.uniform_int(0, 1 << 20));
+    const NodeId b = static_cast<NodeId>(rng.uniform_int(0, 1 << 20));
+    const FlowId f = static_cast<FlowId>(rng.uniform_int(0, 1 << 30));
+    EXPECT_EQ(Switch::symmetric_hash(a, b, f), Switch::symmetric_hash(b, a, f));
+  }
+}
+
+TEST(SymmetricHash, FlowsSpread) {
+  // Different flows between the same pair should land on different values.
+  std::unordered_set<uint64_t> seen;
+  for (FlowId f = 0; f < 1000; ++f) {
+    seen.insert(Switch::symmetric_hash(1, 2, f) % 16);
+  }
+  EXPECT_EQ(seen.size(), 16u);  // all 16 buckets hit over 1000 flows
+}
+
+TEST(SymmetricHash, EndpointsMatter) {
+  int diff = 0;
+  for (NodeId a = 0; a < 100; ++a) {
+    if (Switch::symmetric_hash(a, a + 1, 5) !=
+        Switch::symmetric_hash(a + 1, a + 2, 5)) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 95);
+}
+
+TEST(Switch, ForwardsTowardDestination) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Host& a = topo.add_host();
+  Host& b = topo.add_host();
+  Switch& sw = topo.add_switch();
+  topo.connect(a, sw, LinkConfig{});
+  topo.connect(b, sw, LinkConfig{});
+  topo.finalize();
+
+  bool got = false;
+  b.register_flow(1, [&](Packet&&) { got = true; });
+  a.send(make_data(1, a.id(), b.id(), 0, 100));
+  sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(Switch, UnroutableCounted) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Host& a = topo.add_host();
+  Switch& sw = topo.add_switch();
+  topo.connect(a, sw, LinkConfig{});
+  topo.finalize();
+  // Destination id beyond any host.
+  a.send(make_data(1, a.id(), 999, 0, 100));
+  sim.run();
+  EXPECT_EQ(sw.unroutable_drops(), 1u);
+}
+
+TEST(Switch, EcmpCandidatesSortedDeterministically) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  LinkConfig cfg;
+  auto ft = build_fat_tree(topo, 4, cfg, cfg);
+  // Every edge switch must have exactly 2 ECMP uplink candidates toward a
+  // host in another pod, sorted by aggregate node id.
+  Host* remote = ft.hosts.back();
+  Switch* edge0 = ft.edges.front();
+  const auto& cands = edge0->candidates(remote->id());
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_LT(cands[0]->peer()->owner().id(), cands[1]->peer()->owner().id());
+}
+
+}  // namespace

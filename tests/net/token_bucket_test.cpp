@@ -1,0 +1,74 @@
+#include "net/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using xpass::net::TokenBucket;
+using xpass::sim::Time;
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(1000.0, 168.0);
+  EXPECT_TRUE(tb.try_consume(168.0, Time::zero()));
+  EXPECT_FALSE(tb.try_consume(1.0, Time::zero()));
+}
+
+TEST(TokenBucket, RefillsAtConfiguredRate) {
+  TokenBucket tb(1000.0, 168.0);  // 1000 B/s
+  ASSERT_TRUE(tb.try_consume(168.0, Time::zero()));
+  // After 84ms, 84 bytes accrued.
+  EXPECT_FALSE(tb.try_consume(84.0, Time::ms(83)));
+  EXPECT_TRUE(tb.try_consume(84.0, Time::ms(85)));
+}
+
+TEST(TokenBucket, BurstCapsAccumulation) {
+  TokenBucket tb(1e6, 168.0);
+  ASSERT_TRUE(tb.try_consume(168.0, Time::zero()));
+  // A long idle period cannot accrue more than the burst.
+  EXPECT_TRUE(tb.try_consume(168.0, Time::sec(10)));
+  EXPECT_FALSE(tb.try_consume(1.0, Time::sec(10)));
+}
+
+TEST(TokenBucket, TimeUntilComputesDeficit) {
+  TokenBucket tb(1000.0, 168.0);
+  ASSERT_TRUE(tb.try_consume(168.0, Time::zero()));
+  const Time wait = tb.time_until(84.0, Time::zero());
+  EXPECT_NEAR(wait.to_ms(), 84.0, 0.001);
+  EXPECT_EQ(tb.time_until(84.0, wait), Time::zero());
+}
+
+TEST(TokenBucket, CreditShaperAdmitsFivePercent) {
+  // The paper's shaper: credit bytes limited to 84/1622 of a 10G link.
+  const double rate = 10e9 / 8.0 * 84.0 / 1622.0;
+  TokenBucket tb(rate, 168.0);
+  uint64_t sent = 0;
+  Time now;
+  const Time horizon = Time::ms(10);
+  while (now < horizon) {
+    if (tb.try_consume(84.0, now)) {
+      sent += 84;
+    }
+    now += Time::ns(100);
+  }
+  const double fraction = static_cast<double>(sent) * 8.0 /
+                          (10e9 * horizon.to_sec());
+  EXPECT_NEAR(fraction, 84.0 / 1622.0, 0.001);
+}
+
+TEST(TokenBucket, SetRateRebasesFromNow) {
+  TokenBucket tb(1000.0, 1000.0);
+  ASSERT_TRUE(tb.try_consume(1000.0, Time::zero()));
+  tb.set_rate(2000.0, Time::zero());
+  EXPECT_TRUE(tb.try_consume(200.0, Time::ms(100)));
+  EXPECT_FALSE(tb.try_consume(200.0, Time::ms(100)));
+}
+
+TEST(TokenBucket, NonMonotonicRefillIgnored) {
+  TokenBucket tb(1000.0, 168.0);
+  ASSERT_TRUE(tb.try_consume(168.0, Time::ms(100)));
+  // A refill "in the past" must not mint tokens.
+  tb.refill(Time::ms(50));
+  EXPECT_FALSE(tb.try_consume(1.0, Time::ms(100)));
+}
+
+}  // namespace

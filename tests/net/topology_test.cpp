@@ -1,0 +1,180 @@
+// Topology construction, routing, and the path-symmetry property the whole
+// credit scheme depends on (§3.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/topology_builders.hpp"
+
+namespace {
+
+using namespace xpass;
+using namespace xpass::net;
+
+LinkConfig link10g() {
+  LinkConfig c;
+  c.rate_bps = 10e9;
+  c.prop_delay = sim::Time::us(1);
+  return c;
+}
+
+TEST(Topology, DumbbellShape) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto d = build_dumbbell(topo, 4, link10g(), link10g());
+  EXPECT_EQ(d.senders.size(), 4u);
+  EXPECT_EQ(d.receivers.size(), 4u);
+  EXPECT_EQ(topo.hosts().size(), 8u);
+  EXPECT_EQ(topo.switches().size(), 2u);
+  ASSERT_NE(d.bottleneck, nullptr);
+  EXPECT_EQ(&d.bottleneck->peer()->owner(), d.right);
+}
+
+TEST(Topology, StarShape) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto s = build_star(topo, 40, link10g());
+  EXPECT_EQ(s.hosts.size(), 40u);
+  EXPECT_EQ(s.tor->num_ports(), 40u);
+}
+
+TEST(Topology, FatTreeCounts) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto ft = build_fat_tree(topo, 8, link10g(), link10g());
+  EXPECT_EQ(ft.hosts.size(), 128u);   // k^3/4
+  EXPECT_EQ(ft.cores.size(), 16u);    // (k/2)^2
+  EXPECT_EQ(ft.edges.size(), 32u);    // k*k/2
+  EXPECT_EQ(ft.aggrs.size(), 32u);
+  // Port counts: edge = k/2 hosts + k/2 aggrs, aggr = k/2 edges + k/2 cores,
+  // core = k pods.
+  for (auto* e : ft.edges) EXPECT_EQ(e->num_ports(), 8u);
+  for (auto* a : ft.aggrs) EXPECT_EQ(a->num_ports(), 8u);
+  for (auto* c : ft.cores) EXPECT_EQ(c->num_ports(), 8u);
+}
+
+TEST(Topology, ClosCountsMatchPaperEvalFabric) {
+  // §6.3: 8 cores, 16 aggrs, 32 ToRs, 192 hosts, 3:1 oversubscription.
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto cl = build_clos(topo, 8, 8, 2, 4, 6, link10g(), link10g());
+  EXPECT_EQ(cl.cores.size(), 8u);
+  EXPECT_EQ(cl.aggrs.size(), 16u);
+  EXPECT_EQ(cl.tors.size(), 32u);
+  EXPECT_EQ(cl.hosts.size(), 192u);
+  EXPECT_EQ(cl.tor_uplinks.size(), 64u);  // 2 uplinks per ToR
+}
+
+TEST(Topology, PortBetweenFindsBothDirections) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Host& a = topo.add_host();
+  Host& b = topo.add_host();
+  topo.connect(a, b, link10g());
+  topo.finalize();
+  Port* pab = topo.port_between(a, b);
+  Port* pba = topo.port_between(b, a);
+  ASSERT_NE(pab, nullptr);
+  ASSERT_NE(pba, nullptr);
+  EXPECT_EQ(pab->peer(), pba);
+}
+
+TEST(Topology, TracePathDumbbell) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto d = build_dumbbell(topo, 2, link10g(), link10g());
+  auto path = topo.trace_path(d.senders[0]->id(), d.receivers[0]->id(), 1);
+  // host NIC -> swL egress -> swR egress.
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(&path[0]->owner(), d.senders[0]);
+  EXPECT_EQ(&path[1]->owner(), d.left);
+  EXPECT_EQ(&path[2]->owner(), d.right);
+}
+
+TEST(Topology, TracePathFatTreeLengths) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto ft = build_fat_tree(topo, 4, link10g(), link10g());
+  // Same edge: 2 hops. Same pod: 4. Cross-pod: 6.
+  EXPECT_EQ(topo.trace_path(ft.hosts[0]->id(), ft.hosts[1]->id(), 1).size(),
+            2u);
+  EXPECT_EQ(topo.trace_path(ft.hosts[0]->id(), ft.hosts[2]->id(), 1).size(),
+            4u);
+  EXPECT_EQ(
+      topo.trace_path(ft.hosts[0]->id(), ft.hosts.back()->id(), 1).size(),
+      6u);
+}
+
+// The property path symmetry rests on: for any flow in a multi-path fabric,
+// the reverse path visits exactly the reversed sequence of nodes.
+TEST(Topology, EcmpPathSymmetryFatTree) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto ft = build_fat_tree(topo, 8, link10g(), link10g());
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t a = rng.uniform_int(0, ft.hosts.size() - 1);
+    size_t b = rng.uniform_int(0, ft.hosts.size() - 2);
+    if (b >= a) ++b;
+    const FlowId f = static_cast<FlowId>(rng.uniform_int(1, 1 << 30));
+    auto fwd = topo.trace_path(ft.hosts[a]->id(), ft.hosts[b]->id(), f);
+    auto rev = topo.trace_path(ft.hosts[b]->id(), ft.hosts[a]->id(), f);
+    ASSERT_EQ(fwd.size(), rev.size());
+    // Node sequence of rev must be the reverse of fwd's.
+    for (size_t i = 0; i < fwd.size(); ++i) {
+      const Node& fwd_node = fwd[i]->owner();
+      const Node& rev_node = rev[rev.size() - 1 - i]->peer()->owner();
+      EXPECT_EQ(fwd_node.id(), rev_node.id());
+    }
+  }
+}
+
+TEST(Topology, EcmpSpreadsFlowsAcrossCores) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto ft = build_fat_tree(topo, 8, link10g(), link10g());
+  std::unordered_set<const Node*> cores_used;
+  for (FlowId f = 1; f <= 400; ++f) {
+    auto path = topo.trace_path(ft.hosts[0]->id(), ft.hosts.back()->id(), f);
+    ASSERT_EQ(path.size(), 6u);
+    cores_used.insert(&path[2]->peer()->owner());
+  }
+  // 16 cores, but host0's edge reaches them through 4 aggrs x 4 cores.
+  EXPECT_GE(cores_used.size(), 12u);
+}
+
+TEST(Topology, ParkingLotWiring) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto p = build_parking_lot(topo, 3, link10g(), link10g());
+  EXPECT_EQ(p.switches.size(), 4u);
+  EXPECT_EQ(p.cross_srcs.size(), 3u);
+  EXPECT_EQ(p.data_links.size(), 3u);
+  // Flow 0's data path: NIC + 3 backbone egresses + final ToR->host egress.
+  auto path = topo.trace_path(p.long_src->id(), p.long_dst->id(), 1);
+  EXPECT_EQ(path.size(), 5u);
+}
+
+TEST(Topology, MultiBottleneckWiring) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto m = build_multi_bottleneck(topo, 5, link10g(), link10g());
+  EXPECT_EQ(m.srcs.size(), 5u);
+  // Flow 0 crosses only L1: NIC + S0 egress + S1->host egress = 3 ports.
+  EXPECT_EQ(topo.trace_path(m.flow0_src->id(), m.flow0_dst->id(), 1).size(),
+            3u);
+  // Long flows cross L1, L2, L3: NIC + 3 + final hop = 5 ports.
+  EXPECT_EQ(topo.trace_path(m.srcs[0]->id(), m.dsts[0]->id(), 2).size(), 5u);
+}
+
+TEST(Topology, DropCountersStartZero) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  auto d = build_dumbbell(topo, 2, link10g(), link10g());
+  (void)d;
+  EXPECT_EQ(topo.data_drops(), 0u);
+  EXPECT_EQ(topo.credit_drops(), 0u);
+  EXPECT_EQ(topo.max_switch_data_queue_bytes(), 0u);
+}
+
+}  // namespace

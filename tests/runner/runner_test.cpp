@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+
+namespace {
+
+using namespace xpass;
+using runner::Protocol;
+using sim::Time;
+
+TEST(Protocols, NamesRoundTrip) {
+  for (Protocol p : {Protocol::kExpressPass, Protocol::kDctcp, Protocol::kRcp,
+                     Protocol::kHull, Protocol::kDx, Protocol::kCubic}) {
+    auto parsed = runner::parse_protocol(runner::protocol_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(runner::parse_protocol("no-such-protocol").has_value());
+  EXPECT_EQ(*runner::parse_protocol("naive"), Protocol::kExpressPassNaive);
+}
+
+TEST(Protocols, QueueCapacityScalesWithRate) {
+  EXPECT_EQ(runner::default_queue_capacity(10e9), 384'500u);
+  EXPECT_EQ(runner::default_queue_capacity(40e9), 1'538'000u);  // 1.54MB
+}
+
+TEST(Protocols, DctcpKScalesWithRate) {
+  // K = 65 pkts at 10G, 650 at 100G (paper's Fig 16 parameters).
+  EXPECT_EQ(runner::dctcp_k_bytes(10e9), 65u * net::kMaxWireBytes);
+  EXPECT_EQ(runner::dctcp_k_bytes(100e9), 650u * net::kMaxWireBytes);
+}
+
+TEST(Protocols, LinkConfigSelectsMechanism) {
+  const auto dctcp =
+      runner::protocol_link_config(Protocol::kDctcp, 10e9, Time::us(1));
+  EXPECT_GT(dctcp.data_queue.ecn_threshold_bytes, 0u);
+  EXPECT_EQ(dctcp.data_queue.phantom_drain_bps, 0.0);
+
+  const auto hull =
+      runner::protocol_link_config(Protocol::kHull, 10e9, Time::us(1));
+  EXPECT_EQ(hull.data_queue.ecn_threshold_bytes, 0u);
+  EXPECT_NEAR(hull.data_queue.phantom_drain_bps, 9.5e9, 1e6);
+
+  const auto xp =
+      runner::protocol_link_config(Protocol::kExpressPass, 10e9, Time::us(1));
+  EXPECT_EQ(xp.data_queue.ecn_threshold_bytes, 0u);
+  EXPECT_EQ(xp.data_queue.phantom_drain_bps, 0.0);
+  EXPECT_EQ(xp.credit_queue_pkts, 8u);
+}
+
+TEST(Protocols, MakeTransportEnablesRcpOnPorts) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  const auto link =
+      runner::protocol_link_config(Protocol::kRcp, 10e9, Time::us(1));
+  auto d = net::build_dumbbell(topo, 1, link, link);
+  (void)d;
+  auto t = runner::make_transport(Protocol::kRcp, sim, topo, Time::us(100));
+  EXPECT_EQ(t->name(), "RCP");
+  for (net::Port* p : topo.switch_ports()) {
+    ASSERT_NE(p->rcp(), nullptr);
+    EXPECT_GT(p->rcp()->rate_bps, 0.0);
+  }
+}
+
+TEST(Protocols, RcpPortsStampForwardPackets) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  net::Host& a = topo.add_host();
+  net::Host& b = topo.add_host();
+  topo.connect(a, b, net::LinkConfig{});
+  topo.finalize();
+  a.nic().enable_rcp(Time::us(100));
+
+  double stamped = 0.0;
+  b.register_flow(1, [&](net::Packet&& p) { stamped = p.rcp_rate_bps; });
+  a.send(net::make_data(1, a.id(), b.id(), 0, 100));
+  sim.run_until(Time::ms(1));
+  EXPECT_GT(stamped, 0.0);
+}
+
+TEST(FlowDriver, SchedulesAtStartTime) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(Protocol::kExpressPass, 10e9,
+                                                 Time::us(1));
+  auto d = net::build_dumbbell(topo, 1, link, link);
+  auto t = runner::make_transport(Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  transport::FlowSpec s;
+  s.id = 1;
+  s.src = d.senders[0];
+  s.dst = d.receivers[0];
+  s.size_bytes = 10'000;
+  s.start_time = Time::ms(5);
+  driver.add(s);
+  sim.run_until(Time::ms(4));
+  EXPECT_EQ(driver.connections()[0]->delivered_bytes(), 0u);
+  EXPECT_TRUE(driver.run_to_completion(Time::ms(100)));
+  EXPECT_GT(driver.connections()[0]->completion_time(), Time::ms(5));
+}
+
+TEST(FlowDriver, CountsAndFctsMatch) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(Protocol::kExpressPass, 10e9,
+                                                 Time::us(1));
+  auto d = net::build_dumbbell(topo, 4, link, link);
+  auto t = runner::make_transport(Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  for (uint32_t i = 0; i < 4; ++i) {
+    transport::FlowSpec s;
+    s.id = i + 1;
+    s.src = d.senders[i];
+    s.dst = d.receivers[i];
+    s.size_bytes = 50'000 * (i + 1);
+    driver.add(s);
+  }
+  EXPECT_EQ(driver.scheduled(), 4u);
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(1)));
+  EXPECT_EQ(driver.completed(), 4u);
+  EXPECT_EQ(driver.fcts().completed(), 4u);
+  EXPECT_GT(driver.rates().total_bytes(), 0u);
+}
+
+TEST(FlowDriver, RunToCompletionHonorsDeadline) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(Protocol::kExpressPass, 10e9,
+                                                 Time::us(1));
+  auto d = net::build_dumbbell(topo, 1, link, link);
+  auto t = runner::make_transport(Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  transport::FlowSpec s;
+  s.id = 1;
+  s.src = d.senders[0];
+  s.dst = d.receivers[0];
+  s.size_bytes = transport::kLongRunning;  // never completes
+  driver.add(s);
+  EXPECT_FALSE(driver.run_to_completion(Time::ms(3)));
+  EXPECT_GE(sim.now(), Time::ms(3));
+  driver.stop_all();
+  driver.stop_all();  // idempotent
+}
+
+}  // namespace

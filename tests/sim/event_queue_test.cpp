@@ -1,0 +1,116 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using xpass::sim::EventQueue;
+using xpass::sim::Time;
+using xpass::sim::TimerId;
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::us(3), [&] { order.push_back(3); });
+  q.schedule(Time::us(1), [&] { order.push_back(1); });
+  q.schedule(Time::us(2), [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), Time::us(3));
+}
+
+TEST(EventQueue, EqualTimestampsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(Time::us(5), [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  TimerId id = q.schedule(Time::us(1), [&] { ++fired; });
+  q.schedule(Time::us(2), [&] { ++fired; });
+  q.cancel(id);
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  q.cancel(TimerId{});
+  q.cancel(TimerId{12345});
+  int fired = 0;
+  q.schedule(Time::us(1), [&] { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(Time::us(1), [&] { ++fired; });
+  q.schedule(Time::us(10), [&] { ++fired; });
+  q.run_until(Time::us(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), Time::us(5));  // clock advances even with no event
+  q.run_until(Time::us(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventAtBoundaryIncluded) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(Time::us(5), [&] { ++fired; });
+  q.run_until(Time::us(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) q.schedule(q.now() + Time::us(1), step);
+  };
+  q.schedule(Time::zero(), step);
+  q.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(q.now(), Time::us(4));
+}
+
+TEST(EventQueue, PendingCountsLiveEvents) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  TimerId a = q.schedule(Time::us(1), [] {});
+  q.schedule(Time::us(2), [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 2u);  // lazily reclaimed
+  q.run();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StepReturnsFalseWhenExhausted) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule(Time::us(1), [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, CancelDuringExecutionOfEarlierEvent) {
+  EventQueue q;
+  int fired = 0;
+  TimerId later{};
+  later = q.schedule(Time::us(2), [&] { ++fired; });
+  q.schedule(Time::us(1), [&] { q.cancel(later); });
+  q.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace

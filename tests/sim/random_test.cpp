@@ -1,0 +1,79 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using xpass::sim::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.bits() == b.bits()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = r.uniform_int(84, 92);
+    EXPECT_GE(v, 84);
+    EXPECT_LE(v, 92);
+    saw_lo |= v == 84;
+    saw_hi |= v == 92;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, LognormalMedianConverges) {
+  Rng r(13);
+  std::vector<double> xs(10001);
+  for (auto& x : xs) x = r.lognormal(std::log(0.38), 0.9);
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[xs.size() / 2], 0.38, 0.03);
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng r(5);
+  const uint64_t first = r.bits();
+  r.bits();
+  r.seed(5);
+  EXPECT_EQ(r.bits(), first);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using xpass::sim::Time;
+using xpass::sim::tx_time;
+
+TEST(Time, ConstructorsAndAccessors) {
+  EXPECT_EQ(Time::ps(5).picos(), 5);
+  EXPECT_EQ(Time::ns(3).picos(), 3'000);
+  EXPECT_EQ(Time::us(2).picos(), 2'000'000);
+  EXPECT_EQ(Time::ms(1).picos(), 1'000'000'000);
+  EXPECT_EQ(Time::sec(1).picos(), 1'000'000'000'000);
+  EXPECT_EQ(Time::zero().picos(), 0);
+}
+
+TEST(Time, FractionalSecondsRoundsToNearestPicosecond) {
+  EXPECT_EQ(Time::seconds(1e-12).picos(), 1);
+  EXPECT_EQ(Time::seconds(1.4e-12).picos(), 1);
+  EXPECT_EQ(Time::seconds(1.6e-12).picos(), 2);
+  EXPECT_EQ(Time::seconds(-1.6e-12).picos(), -2);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::us(10);
+  const Time b = Time::us(4);
+  EXPECT_EQ((a + b).picos(), Time::us(14).picos());
+  EXPECT_EQ((a - b).picos(), Time::us(6).picos());
+  EXPECT_EQ((a * 2.0).picos(), Time::us(20).picos());
+  EXPECT_EQ((a / 2).picos(), Time::us(5).picos());
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, Time::us(14));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::ns(999), Time::us(1));
+  EXPECT_LE(Time::us(1), Time::us(1));
+  EXPECT_GT(Time::ms(1), Time::us(999));
+  EXPECT_EQ(Time::ms(1), Time::us(1000));
+  EXPECT_NE(Time::ms(1), Time::us(1001));
+}
+
+TEST(Time, UnitConversions) {
+  EXPECT_DOUBLE_EQ(Time::ms(1).to_sec(), 1e-3);
+  EXPECT_DOUBLE_EQ(Time::us(1).to_ms(), 1e-3);
+  EXPECT_DOUBLE_EQ(Time::us(1).to_us(), 1.0);
+  EXPECT_DOUBLE_EQ(Time::ns(1).to_ns(), 1.0);
+}
+
+TEST(Time, TxTimeMatchesLineRate) {
+  // 1538B at 10Gbps = 1230.4ns.
+  EXPECT_NEAR(tx_time(1538, 10e9).to_ns(), 1230.4, 0.01);
+  // 84B at 100Gbps = 6.72ns.
+  EXPECT_NEAR(tx_time(84, 100e9).to_ns(), 6.72, 0.001);
+  // Credit cycle (84+1538) at 10G ~ 1.2976us: the peak credit spacing.
+  EXPECT_NEAR(tx_time(1622, 10e9).to_us(), 1.2976, 0.0001);
+}
+
+TEST(Time, HumanReadableString) {
+  EXPECT_EQ(Time::us(12).str(), "12us");
+  EXPECT_EQ(Time::ms(3).str(), "3ms");
+  EXPECT_EQ(Time::ns(7).str(), "7ns");
+  EXPECT_EQ(Time::sec(2).str(), "2s");
+  EXPECT_EQ(Time::ps(5).str(), "5ps");
+}
+
+TEST(Time, MaxIsLargeEnoughForDays) {
+  EXPECT_GT(Time::max(), Time::sec(86400));
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "stats/fairness.hpp"
+#include "stats/fct.hpp"
+#include "stats/percentile.hpp"
+#include "stats/rate_tracker.hpp"
+
+namespace {
+
+using namespace xpass;
+using namespace xpass::stats;
+
+TEST(Jain, PerfectFairnessIsOne) {
+  std::vector<double> xs(10, 3.7);
+  EXPECT_DOUBLE_EQ(jain_index(xs), 1.0);
+}
+
+TEST(Jain, SingleHogIsOneOverN) {
+  std::vector<double> xs(8, 0.0);
+  xs[0] = 5.0;
+  EXPECT_NEAR(jain_index(xs), 1.0 / 8, 1e-12);
+}
+
+TEST(Jain, KnownTwoFlowValue) {
+  std::vector<double> xs = {1.0, 3.0};
+  // (4)^2 / (2 * 10) = 0.8
+  EXPECT_DOUBLE_EQ(jain_index(xs), 0.8);
+}
+
+TEST(Jain, EmptyAndZeroConventions) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  std::vector<double> zeros(5, 0.0);
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(Jain, ScaleInvariant) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(jain_index(a), jain_index(b));
+}
+
+TEST(Samples, MeanMinMax) {
+  Samples s;
+  for (double v : {3.0, 1.0, 2.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Samples, PercentilesInterpolate) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(0.99), 99.01, 0.01);
+}
+
+TEST(Samples, AddAfterSortingStillCorrect) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, Stddev) {
+  Samples s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(SizeBin, PaperBinEdges) {
+  EXPECT_EQ(size_bin(1), SizeBin::kS);
+  EXPECT_EQ(size_bin(10'000), SizeBin::kS);
+  EXPECT_EQ(size_bin(10'001), SizeBin::kM);
+  EXPECT_EQ(size_bin(100'000), SizeBin::kM);
+  EXPECT_EQ(size_bin(100'001), SizeBin::kL);
+  EXPECT_EQ(size_bin(1'000'000), SizeBin::kL);
+  EXPECT_EQ(size_bin(1'000'001), SizeBin::kXL);
+  EXPECT_EQ(size_bin(1'000'000'000), SizeBin::kXL);
+}
+
+TEST(FctCollector, RoutesToBins) {
+  FctCollector c;
+  c.record(5'000, sim::Time::us(10));
+  c.record(50'000, sim::Time::us(100));
+  c.record(500'000, sim::Time::ms(1));
+  c.record(5'000'000, sim::Time::ms(10));
+  EXPECT_EQ(c.completed(), 4u);
+  EXPECT_EQ(c.bin(SizeBin::kS).count(), 1u);
+  EXPECT_EQ(c.bin(SizeBin::kM).count(), 1u);
+  EXPECT_EQ(c.bin(SizeBin::kL).count(), 1u);
+  EXPECT_EQ(c.bin(SizeBin::kXL).count(), 1u);
+  EXPECT_DOUBLE_EQ(c.bin(SizeBin::kS).mean(), 10e-6);
+}
+
+TEST(RateTracker, RatesAndReset) {
+  RateTracker rt;
+  rt.add(1, 125'000);  // 1 Mbit over 1 ms => 1 Gbps
+  rt.add(2, 250'000);
+  auto rates = rt.snapshot_rates_by_flow(sim::Time::ms(1));
+  EXPECT_NEAR(rates[1], 1e9, 1);
+  EXPECT_NEAR(rates[2], 2e9, 1);
+  // Reset: next snapshot is zero.
+  auto again = rt.snapshot_rates_by_flow(sim::Time::ms(1));
+  EXPECT_DOUBLE_EQ(again[1], 0.0);
+  EXPECT_EQ(rt.total_bytes(), 375'000u);
+}
+
+}  // namespace

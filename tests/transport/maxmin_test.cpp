@@ -1,0 +1,127 @@
+#include "transport/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace {
+
+using xpass::transport::MaxMinProblem;
+using xpass::transport::maxmin_rates;
+
+TEST(MaxMin, SingleLinkEqualShare) {
+  MaxMinProblem p;
+  p.link_capacity = {10.0};
+  p.flow_links = {{0}, {0}, {0}, {0}};
+  auto r = maxmin_rates(p);
+  for (double x : r) EXPECT_DOUBLE_EQ(x, 2.5);
+}
+
+TEST(MaxMin, TwoLinksBottleneckElsewhere) {
+  // Flow0 crosses both links; flow1 only link0; flow2 only link1.
+  MaxMinProblem p;
+  p.link_capacity = {10.0, 4.0};
+  p.flow_links = {{0, 1}, {0}, {1}};
+  auto r = maxmin_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);  // bottlenecked at link1 (4/2)
+  EXPECT_DOUBLE_EQ(r[1], 8.0);  // takes what flow0 leaves on link0
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(MaxMin, ParkingLot) {
+  // Long flow over N links, one cross flow per link: long flow gets C/2,
+  // each cross flow gets C/2.
+  MaxMinProblem p;
+  p.link_capacity = {10.0, 10.0, 10.0};
+  p.flow_links = {{0, 1, 2}, {0}, {1}, {2}};
+  auto r = maxmin_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 5.0);
+  EXPECT_DOUBLE_EQ(r[2], 5.0);
+  EXPECT_DOUBLE_EQ(r[3], 5.0);
+}
+
+TEST(MaxMin, Fig11Scenario) {
+  // Flow0 crosses only L1; flows 1..N cross L1..L3: everyone gets C/(N+1).
+  const int n = 7;
+  MaxMinProblem p;
+  p.link_capacity = {10.0, 10.0, 10.0};
+  p.flow_links.push_back({0});
+  for (int i = 0; i < n; ++i) p.flow_links.push_back({0, 1, 2});
+  auto r = maxmin_rates(p);
+  for (double x : r) EXPECT_NEAR(x, 10.0 / (n + 1), 1e-9);
+}
+
+TEST(MaxMin, FlowWithNoLinksUnconstrained) {
+  MaxMinProblem p;
+  p.link_capacity = {10.0};
+  p.flow_links = {{}, {0}};
+  auto r = maxmin_rates(p);
+  EXPECT_TRUE(std::isinf(r[0]));
+  EXPECT_DOUBLE_EQ(r[1], 10.0);
+}
+
+TEST(MaxMin, ZeroCapacityLink) {
+  MaxMinProblem p;
+  p.link_capacity = {0.0, 10.0};
+  p.flow_links = {{0, 1}, {1}};
+  auto r = maxmin_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 10.0);
+}
+
+// Property test: water-filling invariants on random problems.
+class MaxMinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxMinProperty, InvariantsHold) {
+  xpass::sim::Rng rng(GetParam());
+  const size_t nl = 2 + rng.uniform_int(0, 6);
+  const size_t nf = 2 + rng.uniform_int(0, 20);
+  MaxMinProblem p;
+  for (size_t l = 0; l < nl; ++l) {
+    p.link_capacity.push_back(rng.uniform(1.0, 100.0));
+  }
+  for (size_t f = 0; f < nf; ++f) {
+    std::vector<uint32_t> links;
+    for (size_t l = 0; l < nl; ++l) {
+      if (rng.uniform() < 0.4) links.push_back(static_cast<uint32_t>(l));
+    }
+    if (links.empty()) links.push_back(0);
+    p.flow_links.push_back(links);
+  }
+  auto r = maxmin_rates(p);
+
+  // (1) No link oversubscribed.
+  std::vector<double> load(nl, 0.0);
+  for (size_t f = 0; f < nf; ++f) {
+    for (uint32_t l : p.flow_links[f]) load[l] += r[f];
+  }
+  for (size_t l = 0; l < nl; ++l) {
+    EXPECT_LE(load[l], p.link_capacity[l] * (1.0 + 1e-9));
+  }
+
+  // (2) Every flow has a saturated bottleneck link where it has a maximal
+  // rate (max-min optimality certificate).
+  for (size_t f = 0; f < nf; ++f) {
+    bool has_bottleneck = false;
+    for (uint32_t l : p.flow_links[f]) {
+      if (load[l] < p.link_capacity[l] * (1.0 - 1e-6)) continue;
+      double max_rate_on_l = 0.0;
+      for (size_t g = 0; g < nf; ++g) {
+        for (uint32_t gl : p.flow_links[g]) {
+          if (gl == l) max_rate_on_l = std::max(max_rate_on_l, r[g]);
+        }
+      }
+      if (r[f] >= max_rate_on_l * (1.0 - 1e-6)) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck) << "flow " << f << " rate " << r[f];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, MaxMinProperty,
+                         ::testing::Range(1, 40));
+
+}  // namespace

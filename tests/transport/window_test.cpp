@@ -1,0 +1,141 @@
+// Tests of the shared window engine, exercised through DCTCP endpoints on a
+// real simulated path (the engine has no meaning without a network).
+#include <gtest/gtest.h>
+
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+#include "transport/dctcp.hpp"
+
+namespace {
+
+using namespace xpass;
+using sim::Time;
+
+struct DumbbellEnv {
+  sim::Simulator sim{11};
+  net::Topology topo{sim};
+  net::Dumbbell d;
+
+  explicit DumbbellEnv(runner::Protocol p = runner::Protocol::kDctcp,
+                       size_t pairs = 2) {
+    const auto link = runner::protocol_link_config(p, 10e9, Time::us(1));
+    d = net::build_dumbbell(topo, pairs, link, link);
+  }
+};
+
+TEST(WindowEngine, SingleFlowCompletesAndDeliversExactBytes) {
+  DumbbellEnv env;
+  transport::DctcpConfig cfg;
+  transport::DctcpTransport t(env.sim, cfg);
+  runner::FlowDriver driver(env.sim, t);
+  transport::FlowSpec s;
+  s.id = 1;
+  s.src = env.d.senders[0];
+  s.dst = env.d.receivers[0];
+  s.size_bytes = 1'000'000;
+  driver.add(s);
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(1)));
+  EXPECT_EQ(driver.connections()[0]->delivered_bytes(), 1'000'000u);
+  EXPECT_GT(driver.connections()[0]->fct(), Time::zero());
+}
+
+TEST(WindowEngine, ThroughputApproachesLineRate) {
+  DumbbellEnv env;
+  transport::DctcpTransport t(env.sim, {});
+  runner::FlowDriver driver(env.sim, t);
+  transport::FlowSpec s;
+  s.id = 1;
+  s.src = env.d.senders[0];
+  s.dst = env.d.receivers[0];
+  s.size_bytes = 10'000'000;
+  driver.add(s);
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(1)));
+  const double gbps =
+      10'000'000 * 8.0 / driver.connections()[0]->fct().to_sec() / 1e9;
+  EXPECT_GT(gbps, 8.0);  // goodput ~ 95% of 10G minus slow-start ramp
+}
+
+TEST(WindowEngine, TinyFlowSinglePacket) {
+  DumbbellEnv env;
+  transport::DctcpTransport t(env.sim, {});
+  runner::FlowDriver driver(env.sim, t);
+  transport::FlowSpec s;
+  s.id = 1;
+  s.src = env.d.senders[0];
+  s.dst = env.d.receivers[0];
+  s.size_bytes = 1;  // one byte
+  driver.add(s);
+  ASSERT_TRUE(driver.run_to_completion(Time::ms(100)));
+  EXPECT_EQ(driver.connections()[0]->delivered_bytes(), 1u);
+}
+
+TEST(WindowEngine, RecoversFromDropsViaRetransmission) {
+  // Shrink the bottleneck queue drastically so slow start overflows it.
+  sim::Simulator sim(13);
+  net::Topology topo(sim);
+  auto link = runner::protocol_link_config(runner::Protocol::kDctcp, 10e9,
+                                           Time::us(1));
+  net::LinkConfig tiny = link;
+  tiny.data_queue.capacity_bytes = 8 * net::kMaxWireBytes;
+  tiny.data_queue.ecn_threshold_bytes = 0;  // no ECN: force real drops
+  auto d = net::build_dumbbell(topo, 2, link, tiny);
+
+  transport::DctcpConfig cfg;
+  cfg.window.rto_min = Time::ms(1);
+  transport::DctcpTransport t(sim, cfg);
+  runner::FlowDriver driver(sim, t);
+  for (uint32_t i = 0; i < 2; ++i) {
+    transport::FlowSpec s;
+    s.id = i + 1;
+    s.src = d.senders[i];
+    s.dst = d.receivers[i];
+    s.size_bytes = 2'000'000;
+    driver.add(s);
+  }
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(5)));
+  EXPECT_GT(topo.data_drops(), 0u);  // drops did happen...
+  for (const auto& c : driver.connections()) {
+    EXPECT_EQ(c->delivered_bytes(), 2'000'000u);  // ...yet all bytes arrive
+    auto* w = dynamic_cast<transport::WindowConnection*>(c.get());
+    ASSERT_NE(w, nullptr);
+    EXPECT_GT(w->retransmits(), 0u);
+  }
+}
+
+TEST(WindowEngine, RttEstimateTracksPath) {
+  DumbbellEnv env;
+  transport::DctcpTransport t(env.sim, {});
+  runner::FlowDriver driver(env.sim, t);
+  transport::FlowSpec s;
+  s.id = 1;
+  s.src = env.d.senders[0];
+  s.dst = env.d.receivers[0];
+  s.size_bytes = 100'000;
+  driver.add(s);
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(1)));
+  auto* w = dynamic_cast<transport::WindowConnection*>(
+      driver.connections()[0].get());
+  // Base RTT: 4 links of 1us prop x2 + serialization ~ 10-20us.
+  EXPECT_GT(w->srtt(), Time::us(8));
+  EXPECT_LT(w->srtt(), Time::us(100));
+}
+
+TEST(WindowEngine, ManyFlowsAllComplete) {
+  DumbbellEnv env(runner::Protocol::kDctcp, 8);
+  transport::DctcpTransport t(env.sim, {});
+  runner::FlowDriver driver(env.sim, t);
+  for (uint32_t i = 0; i < 8; ++i) {
+    transport::FlowSpec s;
+    s.id = i + 1;
+    s.src = env.d.senders[i];
+    s.dst = env.d.receivers[i];
+    s.size_bytes = 500'000;
+    s.start_time = Time::us(13 * i);
+    driver.add(s);
+  }
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(2)));
+  EXPECT_EQ(driver.completed(), 8u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "net/topology_builders.hpp"
+#include "stats/fct.hpp"
+#include "workload/flow_size_dist.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace xpass;
+using namespace xpass::workload;
+
+// Table 2 reference values.
+struct WorkloadRef {
+  WorkloadKind kind;
+  double s, m, l, xl;  // bin masses
+  double avg_bytes;
+};
+
+class FlowSizeDistTest : public ::testing::TestWithParam<WorkloadRef> {};
+
+TEST_P(FlowSizeDistTest, AnalyticMeanMatchesTable2) {
+  const auto& ref = GetParam();
+  auto d = FlowSizeDist::make(ref.kind);
+  EXPECT_NEAR(d.mean() / ref.avg_bytes, 1.0, 0.02) << workload_name(ref.kind);
+}
+
+TEST_P(FlowSizeDistTest, EmpiricalBinMassesMatchTable2) {
+  const auto& ref = GetParam();
+  auto d = FlowSizeDist::make(ref.kind);
+  sim::Rng rng(17);
+  const int n = 200000;
+  std::array<int, 4> counts{};
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<size_t>(stats::size_bin(d.sample(rng)))];
+  }
+  EXPECT_NEAR(counts[0] / double(n), ref.s, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), ref.m, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), ref.l, 0.01);
+  EXPECT_NEAR(counts[3] / double(n), ref.xl, 0.01);
+}
+
+TEST_P(FlowSizeDistTest, EmpiricalMeanNearTarget) {
+  const auto& ref = GetParam();
+  auto d = FlowSizeDist::make(ref.kind);
+  sim::Rng rng(23);
+  double sum = 0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  EXPECT_NEAR(sum / n / ref.avg_bytes, 1.0, 0.1) << workload_name(ref.kind);
+}
+
+TEST_P(FlowSizeDistTest, SamplesWithinCaps) {
+  const auto& ref = GetParam();
+  auto d = FlowSizeDist::make(ref.kind);
+  sim::Rng rng(31);
+  const double cap = d.bins().back().hi;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t s = d.sample(rng);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(static_cast<double>(s), cap * (1 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, FlowSizeDistTest,
+    ::testing::Values(
+        WorkloadRef{WorkloadKind::kDataMining, 0.78, 0.05, 0.08, 0.09,
+                    7.41e6},
+        WorkloadRef{WorkloadKind::kWebSearch, 0.49, 0.03, 0.18, 0.30, 1.6e6},
+        WorkloadRef{WorkloadKind::kCacheFollower, 0.50, 0.03, 0.18, 0.29,
+                    701e3},
+        WorkloadRef{WorkloadKind::kWebServer, 0.63, 0.18, 0.19, 0.0, 64e3}),
+    [](const auto& info) {
+      return std::string(workload_name(info.param.kind));
+    });
+
+TEST(Generators, LambdaForLoad) {
+  // load 0.6 on 100G aggregate with 1MB flows: 0.6*100e9/(8e6) = 7500 fps.
+  EXPECT_DOUBLE_EQ(lambda_for_load(0.6, 100e9, 1e6), 7500.0);
+}
+
+TEST(Generators, PoissonFlowsBasicShape) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  auto star = net::build_star(topo, 16, net::LinkConfig{});
+  sim::Rng rng(5);
+  auto d = FlowSizeDist::make(WorkloadKind::kWebServer);
+  auto specs = poisson_flows(rng, star.hosts, d, 10000.0, 2000);
+  ASSERT_EQ(specs.size(), 2000u);
+  sim::Time prev;
+  for (const auto& s : specs) {
+    EXPECT_NE(s.src, s.dst);
+    EXPECT_GE(s.start_time, prev);  // non-decreasing arrivals
+    prev = s.start_time;
+    EXPECT_GE(s.size_bytes, 1u);
+    EXPECT_NE(s.src, nullptr);
+  }
+  // Mean inter-arrival ~ 1/lambda = 100us; total span ~ 200ms.
+  EXPECT_NEAR(specs.back().start_time.to_sec(), 0.2, 0.04);
+}
+
+TEST(Generators, PoissonFlowIdsUnique) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  auto star = net::build_star(topo, 4, net::LinkConfig{});
+  sim::Rng rng(5);
+  auto d = FlowSizeDist::make(WorkloadKind::kWebServer);
+  auto specs = poisson_flows(rng, star.hosts, d, 1000.0, 500, sim::Time(),
+                             100);
+  std::unordered_set<uint32_t> ids;
+  for (const auto& s : specs) ids.insert(s.id);
+  EXPECT_EQ(ids.size(), 500u);
+  EXPECT_EQ(specs.front().id, 100u);
+}
+
+TEST(Generators, IncastFanoutExceedingHostsCycles) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  auto star = net::build_star(topo, 8, net::LinkConfig{});
+  auto specs = incast_flows(star.hosts, star.hosts[0], 1000, 20);
+  ASSERT_EQ(specs.size(), 20u);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.dst, star.hosts[0]);
+    EXPECT_NE(s.src, star.hosts[0]);
+    EXPECT_EQ(s.size_bytes, 1000u);
+  }
+}
+
+TEST(Generators, ShuffleCounts) {
+  sim::Simulator sim(1);
+  net::Topology topo(sim);
+  auto star = net::build_star(topo, 4, net::LinkConfig{});
+  auto specs = shuffle_flows(star.hosts, 2, 100'000);
+  // 4 hosts * 3 other hosts * 2*2 task pairs = 48 flows.
+  EXPECT_EQ(specs.size(), 48u);
+  // Per-host incoming flow count = 3 (other hosts) * 4 = 12.
+  size_t to_h0 = 0;
+  for (const auto& s : specs) {
+    EXPECT_NE(s.src, s.dst);
+    if (s.dst == star.hosts[0]) ++to_h0;
+  }
+  EXPECT_EQ(to_h0, 12u);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// xpass_sim — command-line driver for the simulator.
+//
+// Examples:
+//   xpass_sim --topology=dumbbell --pairs=8 --protocol=expresspass \
+//             --flows=8 --bytes=long --duration-ms=50
+//   xpass_sim --topology=clos --protocol=dctcp --workload=websearch \
+//             --load=0.6 --flows=2000
+//   xpass_sim --topology=fattree --k=8 --protocol=expresspass \
+//             --incast=128 --bytes=100000
+//
+// Prints goodput, fairness, FCT percentiles, queue statistics, and drop
+// counters. All flags have defaults; unknown flags abort with usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/expresspass.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+#include "stats/fairness.hpp"
+#include "workload/generators.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+namespace {
+
+struct Options {
+  std::string topology = "dumbbell";
+  std::string protocol = "expresspass";
+  std::string workload;        // empty = fixed-size flows
+  size_t pairs = 4;            // dumbbell pairs / star hosts
+  size_t k = 4;                // fat-tree arity
+  size_t flows = 4;
+  size_t incast = 0;           // >0: incast fan-in instead of pair flows
+  uint64_t bytes = 1'000'000;  // 0 = long-running
+  double load = 0.6;
+  double rate_gbps = 10.0;
+  double duration_ms = 100.0;
+  uint64_t seed = 1;
+  bool spraying = false;
+};
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage: xpass_sim [--topology=dumbbell|star|fattree|clos]\n"
+      "  [--protocol=expresspass|naive|dctcp|rcp|hull|dx|cubic|dcqcn|timely]\n"
+      "  [--workload=websearch|webserver|cachefollower|datamining]\n"
+      "  [--pairs=N] [--k=N] [--flows=N] [--incast=N] [--bytes=N|long]\n"
+      "  [--load=F] [--rate-gbps=F] [--duration-ms=F] [--seed=N]\n"
+      "  [--spraying]\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* key) -> const char* {
+      const size_t n = std::strlen(key);
+      if (arg.compare(0, n, key) == 0 && arg[n] == '=') {
+        return arg.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = val("--topology")) {
+      o.topology = v;
+    } else if (const char* v = val("--protocol")) {
+      o.protocol = v;
+    } else if (const char* v = val("--workload")) {
+      o.workload = v;
+    } else if (const char* v = val("--pairs")) {
+      o.pairs = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = val("--k")) {
+      o.k = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = val("--flows")) {
+      o.flows = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = val("--incast")) {
+      o.incast = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = val("--bytes")) {
+      o.bytes = std::strcmp(v, "long") == 0 ? 0 : std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--load")) {
+      o.load = std::strtod(v, nullptr);
+    } else if (const char* v = val("--rate-gbps")) {
+      o.rate_gbps = std::strtod(v, nullptr);
+    } else if (const char* v = val("--duration-ms")) {
+      o.duration_ms = std::strtod(v, nullptr);
+    } else if (const char* v = val("--seed")) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--spraying") {
+      o.spraying = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage("help requested");
+    } else {
+      usage(("unknown flag: " + arg).c_str());
+    }
+  }
+  return o;
+}
+
+std::optional<workload::WorkloadKind> parse_workload(const std::string& w) {
+  if (w == "websearch") return workload::WorkloadKind::kWebSearch;
+  if (w == "webserver") return workload::WorkloadKind::kWebServer;
+  if (w == "cachefollower") return workload::WorkloadKind::kCacheFollower;
+  if (w == "datamining") return workload::WorkloadKind::kDataMining;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  auto proto = runner::parse_protocol(o.protocol);
+  if (!proto) usage("unknown protocol");
+
+  sim::Simulator sim(o.seed);
+  net::Topology topo(sim);
+  const double rate = o.rate_gbps * 1e9;
+  const auto link = runner::protocol_link_config(*proto, rate, Time::us(1));
+  const auto fabric =
+      runner::protocol_link_config(*proto, rate * 4, Time::us(4));
+
+  std::vector<net::Host*> hosts;
+  std::vector<net::Host*> peers;  // receivers for pairwise traffic
+  if (o.topology == "dumbbell") {
+    auto d = net::build_dumbbell(topo, std::max(o.pairs, o.flows), link, link);
+    hosts = d.senders;
+    peers = d.receivers;
+  } else if (o.topology == "star") {
+    auto s = net::build_star(topo, std::max<size_t>(o.pairs, 2), link);
+    hosts = s.hosts;
+  } else if (o.topology == "fattree") {
+    auto ft = net::build_fat_tree(topo, o.k, link, link);
+    hosts = ft.hosts;
+  } else if (o.topology == "clos") {
+    auto cl = net::build_clos(topo, 4, 4, 2, 2, 6, link, fabric);
+    hosts = cl.hosts;
+  } else {
+    usage("unknown topology");
+  }
+  if (o.spraying) {
+    for (auto* sw : topo.switches()) sw->set_packet_spraying(true);
+  }
+
+  auto transport = runner::make_transport(*proto, sim, topo, Time::us(100));
+  runner::FlowDriver driver(sim, *transport);
+
+  const uint64_t flow_bytes =
+      o.bytes == 0 ? transport::kLongRunning : o.bytes;
+  if (!o.workload.empty()) {
+    auto kind = parse_workload(o.workload);
+    if (!kind) usage("unknown workload");
+    auto dist = workload::FlowSizeDist::make(*kind);
+    std::vector<net::Host*> all = hosts;
+    all.insert(all.end(), peers.begin(), peers.end());
+    const double lambda = workload::lambda_for_load(
+        o.load, static_cast<double>(all.size()) * rate / 3.0, dist.mean());
+    driver.add_all(
+        workload::poisson_flows(sim.rng(), all, dist, lambda, o.flows));
+  } else if (o.incast > 0) {
+    std::vector<net::Host*> workers(hosts.begin() + 1, hosts.end());
+    driver.add_all(workload::incast_flows(workers, hosts[0], flow_bytes,
+                                          o.incast));
+  } else {
+    for (size_t i = 0; i < o.flows; ++i) {
+      transport::FlowSpec s;
+      s.id = static_cast<uint32_t>(i + 1);
+      s.src = hosts[i % hosts.size()];
+      s.dst = peers.empty() ? hosts[(i + 1 + hosts.size() / 2) % hosts.size()]
+                            : peers[i % peers.size()];
+      if (s.dst == s.src) s.dst = hosts[(i + 1) % hosts.size()];
+      s.size_bytes = flow_bytes;
+      s.start_time = sim::Time::seconds(sim.rng().uniform(0.0, 1e-3));
+      driver.add(s);
+    }
+  }
+
+  const Time horizon = Time::seconds(o.duration_ms * 1e-3);
+  const bool all_done = driver.run_to_completion(horizon);
+
+  std::printf("xpass_sim: %s on %s, %zu flows, %.1f Gbps links, seed %llu\n",
+              std::string(runner::protocol_name(*proto)).c_str(),
+              o.topology.c_str(), driver.scheduled(),
+              o.rate_gbps, static_cast<unsigned long long>(o.seed));
+  std::printf("  sim time        : %s%s\n", sim.now().str().c_str(),
+              all_done ? " (all flows completed)" : " (horizon reached)");
+  std::printf("  completed       : %zu / %zu\n", driver.completed(),
+              driver.scheduled());
+  auto rates = driver.rates().snapshot_rates(sim.now());
+  double sum = 0;
+  for (double r : rates) sum += r;
+  std::printf("  aggregate goodput: %.3f Gbps   (Jain fairness %.3f)\n",
+              sum / 1e9, stats::jain_index(rates));
+  if (driver.fcts().completed() > 0) {
+    const auto& f = driver.fcts().all();
+    std::printf("  FCT avg/p50/p99 : %.3f / %.3f / %.3f ms\n",
+                f.mean() * 1e3, f.percentile(0.5) * 1e3,
+                f.percentile(0.99) * 1e3);
+  }
+  std::printf("  max switch queue: %.1f KB\n",
+              topo.max_switch_data_queue_bytes() / 1e3);
+  std::printf("  data drops      : %llu   credit drops: %llu\n",
+              static_cast<unsigned long long>(topo.data_drops()),
+              static_cast<unsigned long long>(topo.credit_drops()));
+  return 0;
+}
