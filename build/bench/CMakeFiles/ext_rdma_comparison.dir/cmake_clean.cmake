@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rdma_comparison.dir/ext_rdma_comparison.cpp.o"
+  "CMakeFiles/ext_rdma_comparison.dir/ext_rdma_comparison.cpp.o.d"
+  "ext_rdma_comparison"
+  "ext_rdma_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rdma_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_queue_buildup.dir/fig01_queue_buildup.cpp.o"
+  "CMakeFiles/fig01_queue_buildup.dir/fig01_queue_buildup.cpp.o.d"
+  "fig01_queue_buildup"
+  "fig01_queue_buildup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_queue_buildup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

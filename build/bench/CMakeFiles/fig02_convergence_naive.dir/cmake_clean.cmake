@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_convergence_naive.dir/fig02_convergence_naive.cpp.o"
+  "CMakeFiles/fig02_convergence_naive.dir/fig02_convergence_naive.cpp.o.d"
+  "fig02_convergence_naive"
+  "fig02_convergence_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_convergence_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

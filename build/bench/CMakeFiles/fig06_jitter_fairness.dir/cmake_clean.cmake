@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_jitter_fairness.dir/fig06_jitter_fairness.cpp.o"
+  "CMakeFiles/fig06_jitter_fairness.dir/fig06_jitter_fairness.cpp.o.d"
+  "fig06_jitter_fairness"
+  "fig06_jitter_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_jitter_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_credit_queue.dir/fig09_credit_queue.cpp.o"
+  "CMakeFiles/fig09_credit_queue.dir/fig09_credit_queue.cpp.o.d"
+  "fig09_credit_queue"
+  "fig09_credit_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_credit_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

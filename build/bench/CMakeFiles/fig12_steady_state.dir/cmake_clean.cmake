@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_steady_state.dir/fig12_steady_state.cpp.o"
+  "CMakeFiles/fig12_steady_state.dir/fig12_steady_state.cpp.o.d"
+  "fig12_steady_state"
+  "fig12_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_convergence_trace.cpp" "bench/CMakeFiles/fig13_convergence_trace.dir/fig13_convergence_trace.cpp.o" "gcc" "bench/CMakeFiles/fig13_convergence_trace.dir/fig13_convergence_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calculus/CMakeFiles/xpass_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xpass_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/xpass_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xpass_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/xpass_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xpass_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xpass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xpass_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_convergence_trace.dir/fig13_convergence_trace.cpp.o"
+  "CMakeFiles/fig13_convergence_trace.dir/fig13_convergence_trace.cpp.o.d"
+  "fig13_convergence_trace"
+  "fig13_convergence_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_convergence_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

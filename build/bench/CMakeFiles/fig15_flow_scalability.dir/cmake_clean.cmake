@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_flow_scalability.dir/fig15_flow_scalability.cpp.o"
+  "CMakeFiles/fig15_flow_scalability.dir/fig15_flow_scalability.cpp.o.d"
+  "fig15_flow_scalability"
+  "fig15_flow_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_flow_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_convergence_speed.dir/fig16_convergence_speed.cpp.o"
+  "CMakeFiles/fig16_convergence_speed.dir/fig16_convergence_speed.cpp.o.d"
+  "fig16_convergence_speed"
+  "fig16_convergence_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_convergence_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_shuffle.dir/fig17_shuffle.cpp.o"
+  "CMakeFiles/fig17_shuffle.dir/fig17_shuffle.cpp.o.d"
+  "fig17_shuffle"
+  "fig17_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_fct_realistic.dir/fig19_fct_realistic.cpp.o"
+  "CMakeFiles/fig19_fct_realistic.dir/fig19_fct_realistic.cpp.o.d"
+  "fig19_fct_realistic"
+  "fig19_fct_realistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_fct_realistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_credit_waste.dir/fig20_credit_waste.cpp.o"
+  "CMakeFiles/fig20_credit_waste.dir/fig20_credit_waste.cpp.o.d"
+  "fig20_credit_waste"
+  "fig20_credit_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_credit_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

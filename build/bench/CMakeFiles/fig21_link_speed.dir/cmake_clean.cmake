@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_link_speed.dir/fig21_link_speed.cpp.o"
+  "CMakeFiles/fig21_link_speed.dir/fig21_link_speed.cpp.o.d"
+  "fig21_link_speed"
+  "fig21_link_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_link_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

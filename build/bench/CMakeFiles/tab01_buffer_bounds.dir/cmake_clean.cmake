@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_buffer_bounds.dir/tab01_buffer_bounds.cpp.o"
+  "CMakeFiles/tab01_buffer_bounds.dir/tab01_buffer_bounds.cpp.o.d"
+  "tab01_buffer_bounds"
+  "tab01_buffer_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_buffer_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_queue_occupancy.dir/tab03_queue_occupancy.cpp.o"
+  "CMakeFiles/tab03_queue_occupancy.dir/tab03_queue_occupancy.cpp.o.d"
+  "tab03_queue_occupancy"
+  "tab03_queue_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_queue_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

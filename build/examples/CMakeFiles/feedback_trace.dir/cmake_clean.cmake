@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_trace.dir/feedback_trace.cpp.o"
+  "CMakeFiles/feedback_trace.dir/feedback_trace.cpp.o.d"
+  "feedback_trace"
+  "feedback_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast.dir/incast.cpp.o"
+  "CMakeFiles/incast.dir/incast.cpp.o.d"
+  "incast"
+  "incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_classes.dir/qos_classes.cpp.o"
+  "CMakeFiles/qos_classes.dir/qos_classes.cpp.o.d"
+  "qos_classes"
+  "qos_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

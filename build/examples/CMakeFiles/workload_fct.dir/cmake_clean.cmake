@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_fct.dir/workload_fct.cpp.o"
+  "CMakeFiles/workload_fct.dir/workload_fct.cpp.o.d"
+  "workload_fct"
+  "workload_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpass_calculus.dir/buffer_bounds.cpp.o"
+  "CMakeFiles/xpass_calculus.dir/buffer_bounds.cpp.o.d"
+  "libxpass_calculus.a"
+  "libxpass_calculus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpass_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

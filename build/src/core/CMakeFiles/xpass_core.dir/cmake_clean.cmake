@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpass_core.dir/expresspass.cpp.o"
+  "CMakeFiles/xpass_core.dir/expresspass.cpp.o.d"
+  "libxpass_core.a"
+  "libxpass_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpass_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

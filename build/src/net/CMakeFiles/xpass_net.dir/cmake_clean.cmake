@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpass_net.dir/host.cpp.o"
+  "CMakeFiles/xpass_net.dir/host.cpp.o.d"
+  "CMakeFiles/xpass_net.dir/packet.cpp.o"
+  "CMakeFiles/xpass_net.dir/packet.cpp.o.d"
+  "CMakeFiles/xpass_net.dir/port.cpp.o"
+  "CMakeFiles/xpass_net.dir/port.cpp.o.d"
+  "CMakeFiles/xpass_net.dir/queue.cpp.o"
+  "CMakeFiles/xpass_net.dir/queue.cpp.o.d"
+  "CMakeFiles/xpass_net.dir/switch.cpp.o"
+  "CMakeFiles/xpass_net.dir/switch.cpp.o.d"
+  "CMakeFiles/xpass_net.dir/token_bucket.cpp.o"
+  "CMakeFiles/xpass_net.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/xpass_net.dir/topology.cpp.o"
+  "CMakeFiles/xpass_net.dir/topology.cpp.o.d"
+  "CMakeFiles/xpass_net.dir/topology_builders.cpp.o"
+  "CMakeFiles/xpass_net.dir/topology_builders.cpp.o.d"
+  "libxpass_net.a"
+  "libxpass_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpass_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxpass_net.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runner/flow_driver.cpp" "src/runner/CMakeFiles/xpass_runner.dir/flow_driver.cpp.o" "gcc" "src/runner/CMakeFiles/xpass_runner.dir/flow_driver.cpp.o.d"
+  "/root/repo/src/runner/protocols.cpp" "src/runner/CMakeFiles/xpass_runner.dir/protocols.cpp.o" "gcc" "src/runner/CMakeFiles/xpass_runner.dir/protocols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xpass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xpass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xpass_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/xpass_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xpass_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

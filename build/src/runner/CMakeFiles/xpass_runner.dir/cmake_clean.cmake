@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpass_runner.dir/flow_driver.cpp.o"
+  "CMakeFiles/xpass_runner.dir/flow_driver.cpp.o.d"
+  "CMakeFiles/xpass_runner.dir/protocols.cpp.o"
+  "CMakeFiles/xpass_runner.dir/protocols.cpp.o.d"
+  "libxpass_runner.a"
+  "libxpass_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpass_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

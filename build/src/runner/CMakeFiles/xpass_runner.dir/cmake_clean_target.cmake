@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxpass_runner.a"
+)

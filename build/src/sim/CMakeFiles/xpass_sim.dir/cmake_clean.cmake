@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpass_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/xpass_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/xpass_sim.dir/time.cpp.o"
+  "CMakeFiles/xpass_sim.dir/time.cpp.o.d"
+  "libxpass_sim.a"
+  "libxpass_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpass_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpass_stats.dir/fairness.cpp.o"
+  "CMakeFiles/xpass_stats.dir/fairness.cpp.o.d"
+  "CMakeFiles/xpass_stats.dir/fct.cpp.o"
+  "CMakeFiles/xpass_stats.dir/fct.cpp.o.d"
+  "CMakeFiles/xpass_stats.dir/percentile.cpp.o"
+  "CMakeFiles/xpass_stats.dir/percentile.cpp.o.d"
+  "CMakeFiles/xpass_stats.dir/rate_tracker.cpp.o"
+  "CMakeFiles/xpass_stats.dir/rate_tracker.cpp.o.d"
+  "libxpass_stats.a"
+  "libxpass_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpass_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

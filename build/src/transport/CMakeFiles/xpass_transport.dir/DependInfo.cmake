@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/cubic.cpp" "src/transport/CMakeFiles/xpass_transport.dir/cubic.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/cubic.cpp.o.d"
+  "/root/repo/src/transport/dcqcn.cpp" "src/transport/CMakeFiles/xpass_transport.dir/dcqcn.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/dcqcn.cpp.o.d"
+  "/root/repo/src/transport/dctcp.cpp" "src/transport/CMakeFiles/xpass_transport.dir/dctcp.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/dctcp.cpp.o.d"
+  "/root/repo/src/transport/dx.cpp" "src/transport/CMakeFiles/xpass_transport.dir/dx.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/dx.cpp.o.d"
+  "/root/repo/src/transport/hull.cpp" "src/transport/CMakeFiles/xpass_transport.dir/hull.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/hull.cpp.o.d"
+  "/root/repo/src/transport/ideal.cpp" "src/transport/CMakeFiles/xpass_transport.dir/ideal.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/ideal.cpp.o.d"
+  "/root/repo/src/transport/maxmin.cpp" "src/transport/CMakeFiles/xpass_transport.dir/maxmin.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/maxmin.cpp.o.d"
+  "/root/repo/src/transport/rcp.cpp" "src/transport/CMakeFiles/xpass_transport.dir/rcp.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/rcp.cpp.o.d"
+  "/root/repo/src/transport/timely.cpp" "src/transport/CMakeFiles/xpass_transport.dir/timely.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/timely.cpp.o.d"
+  "/root/repo/src/transport/window.cpp" "src/transport/CMakeFiles/xpass_transport.dir/window.cpp.o" "gcc" "src/transport/CMakeFiles/xpass_transport.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/xpass_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xpass_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/xpass_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

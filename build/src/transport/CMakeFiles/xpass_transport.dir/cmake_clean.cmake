@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpass_transport.dir/cubic.cpp.o"
+  "CMakeFiles/xpass_transport.dir/cubic.cpp.o.d"
+  "CMakeFiles/xpass_transport.dir/dcqcn.cpp.o"
+  "CMakeFiles/xpass_transport.dir/dcqcn.cpp.o.d"
+  "CMakeFiles/xpass_transport.dir/dctcp.cpp.o"
+  "CMakeFiles/xpass_transport.dir/dctcp.cpp.o.d"
+  "CMakeFiles/xpass_transport.dir/dx.cpp.o"
+  "CMakeFiles/xpass_transport.dir/dx.cpp.o.d"
+  "CMakeFiles/xpass_transport.dir/hull.cpp.o"
+  "CMakeFiles/xpass_transport.dir/hull.cpp.o.d"
+  "CMakeFiles/xpass_transport.dir/ideal.cpp.o"
+  "CMakeFiles/xpass_transport.dir/ideal.cpp.o.d"
+  "CMakeFiles/xpass_transport.dir/maxmin.cpp.o"
+  "CMakeFiles/xpass_transport.dir/maxmin.cpp.o.d"
+  "CMakeFiles/xpass_transport.dir/rcp.cpp.o"
+  "CMakeFiles/xpass_transport.dir/rcp.cpp.o.d"
+  "CMakeFiles/xpass_transport.dir/timely.cpp.o"
+  "CMakeFiles/xpass_transport.dir/timely.cpp.o.d"
+  "CMakeFiles/xpass_transport.dir/window.cpp.o"
+  "CMakeFiles/xpass_transport.dir/window.cpp.o.d"
+  "libxpass_transport.a"
+  "libxpass_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpass_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

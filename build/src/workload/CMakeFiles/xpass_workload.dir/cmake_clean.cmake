@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpass_workload.dir/flow_size_dist.cpp.o"
+  "CMakeFiles/xpass_workload.dir/flow_size_dist.cpp.o.d"
+  "CMakeFiles/xpass_workload.dir/generators.cpp.o"
+  "CMakeFiles/xpass_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/xpass_workload.dir/rpc_loop.cpp.o"
+  "CMakeFiles/xpass_workload.dir/rpc_loop.cpp.o.d"
+  "libxpass_workload.a"
+  "libxpass_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpass_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

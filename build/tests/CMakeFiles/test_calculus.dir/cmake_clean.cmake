@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calculus.dir/calculus/calculus_test.cpp.o"
+  "CMakeFiles/test_calculus.dir/calculus/calculus_test.cpp.o.d"
+  "test_calculus"
+  "test_calculus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_expresspass.dir/core/expresspass_test.cpp.o"
+  "CMakeFiles/test_expresspass.dir/core/expresspass_test.cpp.o.d"
+  "test_expresspass"
+  "test_expresspass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_expresspass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

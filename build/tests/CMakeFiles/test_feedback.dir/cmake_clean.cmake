@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feedback.dir/core/feedback_test.cpp.o"
+  "CMakeFiles/test_feedback.dir/core/feedback_test.cpp.o.d"
+  "test_feedback"
+  "test_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxmin.dir/transport/maxmin_test.cpp.o"
+  "CMakeFiles/test_maxmin.dir/transport/maxmin_test.cpp.o.d"
+  "test_maxmin"
+  "test_maxmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

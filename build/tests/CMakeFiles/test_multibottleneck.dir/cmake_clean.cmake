@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multibottleneck.dir/integration/multibottleneck_test.cpp.o"
+  "CMakeFiles/test_multibottleneck.dir/integration/multibottleneck_test.cpp.o.d"
+  "test_multibottleneck"
+  "test_multibottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multibottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfc.dir/net/pfc_test.cpp.o"
+  "CMakeFiles/test_pfc.dir/net/pfc_test.cpp.o.d"
+  "test_pfc"
+  "test_pfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

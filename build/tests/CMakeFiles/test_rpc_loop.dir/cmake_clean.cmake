@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpc_loop.dir/workload/rpc_loop_test.cpp.o"
+  "CMakeFiles/test_rpc_loop.dir/workload/rpc_loop_test.cpp.o.d"
+  "test_rpc_loop"
+  "test_rpc_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpc_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spraying_failure.dir/net/spraying_failure_test.cpp.o"
+  "CMakeFiles/test_spraying_failure.dir/net/spraying_failure_test.cpp.o.d"
+  "test_spraying_failure"
+  "test_spraying_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spraying_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

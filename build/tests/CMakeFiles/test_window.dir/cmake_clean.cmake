@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window.dir/transport/window_test.cpp.o"
+  "CMakeFiles/test_window.dir/transport/window_test.cpp.o.d"
+  "test_window"
+  "test_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero_loss.dir/integration/zero_loss_test.cpp.o"
+  "CMakeFiles/test_zero_loss.dir/integration/zero_loss_test.cpp.o.d"
+  "test_zero_loss"
+  "test_zero_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

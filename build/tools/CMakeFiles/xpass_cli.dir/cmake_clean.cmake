@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpass_cli.dir/xpass_sim.cpp.o"
+  "CMakeFiles/xpass_cli.dir/xpass_sim.cpp.o.d"
+  "xpass_cli"
+  "xpass_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpass_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
