@@ -1,0 +1,305 @@
+// Event-core performance baseline: measures schedule/cancel/fire throughput
+// of sim::EventQueue against an embedded copy of the seed implementation
+// (std::function callbacks, std::priority_queue, tombstone set), plus
+// end-to-end events/sec on the Fig-15 flow-scalability scenario, and emits
+// the results as BENCH_core.json (schema documented in EXPERIMENTS.md).
+//
+// This seeds the repo's perf trajectory: later PRs compare their committed
+// BENCH_core.json against this one. Usage:
+//
+//   bench_core [output.json]        # default output: ./BENCH_core.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace xpass;
+using sim::Time;
+
+// ---- Seed event queue (verbatim behavior of the pre-rebuild core) --------
+// Kept here, not in src/: it exists only so the speedup in BENCH_core.json
+// is measured in-binary under identical compiler flags, not against a stale
+// recorded number.
+
+class SeedEventQueue {
+ public:
+  struct TimerId {
+    uint64_t id = 0;
+    bool valid() const { return id != 0; }
+  };
+
+  TimerId schedule(Time t, std::function<void()> cb) {
+    const uint64_t seq = next_seq_++;
+    heap_.push(Entry{t, seq, std::move(cb)});
+    ++live_count_;
+    return TimerId{seq};
+  }
+
+  void cancel(TimerId id) {
+    if (!id.valid()) return;
+    cancelled_.insert(id.id);  // may have already fired: leaks forever
+  }
+
+  Time now() const { return now_; }
+
+  bool step() {
+    while (!heap_.empty()) {
+      Entry e = std::move(const_cast<Entry&>(heap_.top()));
+      heap_.pop();
+      auto it = cancelled_.find(e.seq);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        if (live_count_ > 0) --live_count_;
+        continue;
+      }
+      now_ = e.t;
+      if (live_count_ > 0) --live_count_;
+      e.cb();
+      return true;
+    }
+    return false;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  size_t tombstones() const { return cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Time t;
+    uint64_t seq;
+    std::function<void()> cb;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_set<uint64_t> cancelled_;
+  Time now_;
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+};
+
+// ---- Microbenchmarks -----------------------------------------------------
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr size_t kOps = 1 << 21;   // ~2M primitive cycles per microbench
+constexpr size_t kBatch = 4096;    // pending events per drain batch
+
+uint64_t lcg_next(uint64_t& s) {
+  s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+  return s;
+}
+
+// One op = schedule an event and (eventually) fire it.
+template <class Q>
+double bench_schedule_fire() {
+  Q q;
+  uint64_t sink = 0;
+  uint64_t rng = 42;
+  const double t0 = now_sec();
+  for (size_t done = 0; done < kOps; done += kBatch) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      q.schedule(q.now() + Time::ns(1 + (lcg_next(rng) >> 40) % 1000),
+                 [&sink] { ++sink; });
+    }
+    q.run();
+  }
+  const double dt = now_sec() - t0;
+  if (sink != kOps) std::fprintf(stderr, "bench bug: %llu fires\n",
+                                 static_cast<unsigned long long>(sink));
+  return static_cast<double>(kOps) / dt;
+}
+
+// One op = schedule an event, cancel it, and drain its queue entry. This is
+// the exact pattern of connection teardown and RTO rescheduling.
+template <class Q>
+double bench_schedule_cancel() {
+  Q q;
+  using Id = decltype(q.schedule(Time::zero(), [] {}));
+  std::vector<Id> ids;
+  ids.reserve(kBatch);
+  uint64_t rng = 43;
+  const double t0 = now_sec();
+  for (size_t done = 0; done < kOps; done += kBatch) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      ids.push_back(
+          q.schedule(q.now() + Time::ns(1 + (lcg_next(rng) >> 40) % 1000),
+                     [] {}));
+    }
+    for (const Id& id : ids) q.cancel(id);
+    ids.clear();
+    q.run();  // drain the cancelled entries
+  }
+  return static_cast<double>(kOps) / (now_sec() - t0);
+}
+
+// Mixed churn including cancel-after-fire, the leak path: each cycle
+// schedules two events, fires one, cancels the other, then cancels the
+// already-fired id (a no-op that the seed queue turns into a permanent
+// tombstone).
+template <class Q>
+double bench_churn() {
+  Q q;
+  uint64_t sink = 0;
+  uint64_t rng = 44;
+  const double t0 = now_sec();
+  for (size_t cycle = 0; cycle < kOps / 2; ++cycle) {
+    auto fired = q.schedule(q.now() + Time::ns(1), [&sink] { ++sink; });
+    auto live = q.schedule(
+        q.now() + Time::ns(2 + (lcg_next(rng) >> 40) % 100), [&sink] { ++sink; });
+    q.step();        // fires `fired`
+    q.cancel(live);  // cancel-before-fire
+    q.cancel(fired); // cancel-after-fire: must not retain state
+    if ((cycle & 1023) == 1023) q.run();  // drain cancelled entries
+  }
+  q.run();
+  return static_cast<double>(kOps) / (now_sec() - t0);
+}
+
+// ---- Fig-15 scenario events/sec ------------------------------------------
+
+struct ScenarioResult {
+  size_t flows;
+  uint64_t events_fired;
+  double wall_sec;
+  double events_per_sec;
+  double goodput_gbps;
+};
+
+ScenarioResult bench_fig15(size_t n_flows) {
+  const double t0 = now_sec();
+  sim::Simulator sim(29);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  auto d = net::build_dumbbell(topo, n_flows, link, link);
+  auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  bench::FlowSpecBuilder fb;
+  for (size_t i = 0; i < n_flows; ++i) {
+    driver.add(fb.make(d.senders[i], d.receivers[i], transport::kLongRunning,
+                       Time::seconds(sim.rng().uniform(0.0, 5e-3))));
+  }
+  const Time warmup = Time::ms(20);
+  const Time window = Time::ms(50);
+  sim.run_until(warmup);
+  driver.rates().snapshot_rates(warmup);
+  sim.run_until(warmup + window);
+  auto rates = driver.rates().snapshot_rates(window);
+  double sum = 0;
+  for (double x : rates) sum += x;
+  driver.stop_all();
+  ScenarioResult r;
+  r.flows = n_flows;
+  r.events_fired = sim.events().fired();
+  r.wall_sec = now_sec() - t0;
+  r.events_per_sec = static_cast<double>(r.events_fired) / r.wall_sec;
+  r.goodput_gbps = sum / 1e9;
+  return r;
+}
+
+}  // namespace
+
+// Best-of-3: microbench numbers gate later PRs, so shield them from
+// one-off scheduler noise.
+template <typename F>
+double best_of_3(F f) {
+  double best = 0.0;
+  for (int i = 0; i < 3; ++i) best = std::max(best, f());
+  return best;
+}
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_core.json";
+
+  std::printf("event-core microbenchmarks (%zu ops each, best of 3)...\n",
+              kOps);
+  const double sf = best_of_3(bench_schedule_fire<sim::EventQueue>);
+  const double sc = best_of_3(bench_schedule_cancel<sim::EventQueue>);
+  const double ch = best_of_3(bench_churn<sim::EventQueue>);
+  std::printf("  slot-pool queue : schedule+fire %.2fM/s  schedule+cancel "
+              "%.2fM/s  churn %.2fM/s\n",
+              sf / 1e6, sc / 1e6, ch / 1e6);
+  const double seed_sf = best_of_3(bench_schedule_fire<SeedEventQueue>);
+  const double seed_sc = best_of_3(bench_schedule_cancel<SeedEventQueue>);
+  const double seed_ch = best_of_3(bench_churn<SeedEventQueue>);
+  std::printf("  seed queue      : schedule+fire %.2fM/s  schedule+cancel "
+              "%.2fM/s  churn %.2fM/s\n",
+              seed_sf / 1e6, seed_sc / 1e6, seed_ch / 1e6);
+  std::printf("  speedup         : schedule+fire %.2fx  schedule+cancel "
+              "%.2fx  churn %.2fx\n",
+              sf / seed_sf, sc / seed_sc, ch / seed_ch);
+
+  std::printf("fig15 flow-scalability scenario (ExpressPass, dumbbell)...\n");
+  std::vector<ScenarioResult> scen;
+  for (size_t flows : {64, 256}) {
+    scen.push_back(bench_fig15(flows));
+    const ScenarioResult& r = scen.back();
+    std::printf("  %4zu flows: %llu events in %.2fs -> %.2fM events/s "
+                "(goodput %.2fG)\n",
+                r.flows, static_cast<unsigned long long>(r.events_fired),
+                r.wall_sec, r.events_per_sec / 1e6, r.goodput_gbps);
+  }
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"core\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"config\": {\"ops_per_microbench\": %zu, "
+                  "\"batch\": %zu},\n", kOps, kBatch);
+  std::fprintf(f, "  \"event_queue\": {\n");
+  std::fprintf(f, "    \"schedule_fire_ops_per_sec\": %.0f,\n", sf);
+  std::fprintf(f, "    \"schedule_cancel_ops_per_sec\": %.0f,\n", sc);
+  std::fprintf(f, "    \"churn_ops_per_sec\": %.0f\n", ch);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"seed_baseline\": {\n");
+  std::fprintf(f, "    \"schedule_fire_ops_per_sec\": %.0f,\n", seed_sf);
+  std::fprintf(f, "    \"schedule_cancel_ops_per_sec\": %.0f,\n", seed_sc);
+  std::fprintf(f, "    \"churn_ops_per_sec\": %.0f\n", seed_ch);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup_vs_seed\": {\n");
+  std::fprintf(f, "    \"schedule_fire\": %.3f,\n", sf / seed_sf);
+  std::fprintf(f, "    \"schedule_cancel\": %.3f,\n", sc / seed_sc);
+  std::fprintf(f, "    \"churn\": %.3f\n", ch / seed_ch);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fig15_scenario\": [\n");
+  for (size_t i = 0; i < scen.size(); ++i) {
+    const ScenarioResult& r = scen[i];
+    std::fprintf(f,
+                 "    {\"flows\": %zu, \"events_fired\": %llu, "
+                 "\"wall_sec\": %.3f, \"events_per_sec\": %.0f, "
+                 "\"goodput_gbps\": %.2f}%s\n",
+                 r.flows, static_cast<unsigned long long>(r.events_fired),
+                 r.wall_sec, r.events_per_sec, r.goodput_gbps,
+                 i + 1 < scen.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -28,6 +28,43 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  // Teardown pattern: schedule then cancel, draining the heap entries.
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1024; ++i) {
+      sim::TimerId id = q.schedule(sim::Time::ns(i * 7 % 997), [] {});
+      q.cancel(id);
+    }
+    q.run();
+    benchmark::DoNotOptimize(q.pending());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleCancel);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  // Mixed fire/cancel churn, including the cancel-after-fire no-op that a
+  // tombstone-based queue turns into a leak.
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 512; ++i) {
+      sim::TimerId fired =
+          q.schedule(q.now() + sim::Time::ns(1), [&sink] { ++sink; });
+      sim::TimerId live =
+          q.schedule(q.now() + sim::Time::ns(2), [&sink] { ++sink; });
+      q.step();
+      q.cancel(live);
+      q.cancel(fired);
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueChurn);
+
 void BM_SymmetricHash(benchmark::State& state) {
   uint64_t acc = 0;
   uint32_t i = 0;

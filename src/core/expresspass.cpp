@@ -51,6 +51,8 @@ void ExpressPassConnection::stop() {
   sim_.cancel(credit_timer_);
   sim_.cancel(feedback_timer_);
   sim_.cancel(request_timer_);
+  for (const sim::TimerId& id : release_timers_) sim_.cancel(id);
+  release_timers_.clear();
   credits_running_ = false;
 }
 
@@ -108,9 +110,14 @@ void ExpressPassConnection::sender_on_packet(Packet&& p) {
   const sim::Time release =
       std::max(host_release_, sim_.now() + spec_.src->sample_credit_delay());
   host_release_ = release;
-  sim_.at(release, [this, d = std::move(data)]() mutable {
-    spec_.src->send(std::move(d));
-  });
+  // Releases fire in FIFO order (times are non-decreasing and ties fire in
+  // scheduling order), so this event is release_timers_.front() when it
+  // runs.
+  release_timers_.push_back(
+      sim_.at(release, [this, d = std::move(data)]() mutable {
+        release_timers_.pop_front();
+        spec_.src->send(std::move(d));
+      }));
 }
 
 void ExpressPassConnection::send_credit_stop() {
@@ -126,9 +133,12 @@ void ExpressPassConnection::receiver_on_packet(Packet&& p) {
   switch (p.type) {
     case PktType::kSyn:
     case PktType::kCreditRequest:
-      if (!credits_running_) start_credits();
+      // done_ guards against a retransmitted request (Fig 7's timeout can
+      // leave one in flight) restarting credits for a finished flow.
+      if (!credits_running_ && !done_) start_credits();
       return;
     case PktType::kCreditStop:
+      done_ = true;
       credits_running_ = false;
       sim_.cancel(credit_timer_);
       sim_.cancel(feedback_timer_);
@@ -174,12 +184,16 @@ void ExpressPassConnection::receiver_on_packet(Packet&& p) {
           rcv_ooo_.emplace(p.seq, p.payload_bytes);
         }
       }
-      if (fin_end_ > 0 && rcv_next_ >= fin_end_ && credits_running_) {
-        // All data arrived: stop crediting immediately. Credits already in
-        // flight are the unavoidable waste of Fig 8b / Fig 20.
-        credits_running_ = false;
-        sim_.cancel(credit_timer_);
-        sim_.cancel(feedback_timer_);
+      if (fin_end_ > 0 && rcv_next_ >= fin_end_) {
+        // All data arrived: stop crediting immediately and for good.
+        // Credits already in flight are the unavoidable waste of Fig 8b /
+        // Fig 20.
+        done_ = true;
+        if (credits_running_) {
+          credits_running_ = false;
+          sim_.cancel(credit_timer_);
+          sim_.cancel(feedback_timer_);
+        }
       }
       return;
     }

@@ -15,6 +15,7 @@
 //     regresses below what was sent, the sender goes back and resends).
 #pragma once
 
+#include <deque>
 #include <map>
 
 #include "core/feedback.hpp"
@@ -63,6 +64,8 @@ class ExpressPassConnection : public transport::Connection {
   uint64_t credits_received() const { return credits_received_; }
   uint64_t credits_wasted() const { return credits_wasted_; }
   const CreditFeedback& feedback() const { return feedback_; }
+  // Host-release data sends scheduled but not yet on the wire.
+  size_t pending_releases() const { return release_timers_.size(); }
 
  private:
   // Sender side.
@@ -87,10 +90,18 @@ class ExpressPassConnection : public transport::Connection {
   sim::Time host_release_;  // host processing is FIFO: departures in order
   sim::Time last_data_sent_;  // guards loss-recovery against stale credits
   sim::TimerId request_timer_;
+  // Scheduled host-release sends, oldest first (releases are FIFO, so the
+  // front is always the next to fire). Cancelled in stop(): a connection
+  // destroyed with a release in flight must not fire into freed memory.
+  std::deque<sim::TimerId> release_timers_;
   bool any_credit_seen_ = false;
 
   // Receiver state (Fig 7b).
   bool credits_running_ = false;
+  // Latched once crediting ends for good (CREDIT_STOP received, or every
+  // byte up to the FIN arrived): a retransmitted SYN/CREDIT_REQUEST that
+  // was still in flight must not restart crediting for a finished flow.
+  bool done_ = false;
   uint64_t rcv_next_ = 0;        // in-order bytes received
   uint64_t fin_end_ = 0;         // flow length, learned from the FIN flag
   std::map<uint64_t, uint32_t> rcv_ooo_;  // reassembly (packet spraying)

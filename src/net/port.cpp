@@ -44,6 +44,7 @@ void Port::enqueue(Packet&& p) {
   if (is_credit_class(p.type)) {
     const size_t cls =
         std::min<size_t>(p.credit_class, credit_qs_.size() - 1);
+    if (credit_qs_[cls].empty()) rebaseline_credit_class(cls);
     credit_qs_[cls].enqueue(std::move(p), now);
   } else {
     // RCP stamps forward-path packets (data and the SYN rate probe) with the
@@ -139,6 +140,28 @@ void Port::try_transmit() {
              [peer, p = std::move(pkt)]() mutable {
                peer->owner().receive(std::move(p), *peer);
              });
+}
+
+void Port::rebaseline_credit_class(size_t cls) {
+  // A class returning from idle still carries the served-bytes counter it
+  // went idle with, which is stale: the classes that stayed backlogged kept
+  // accumulating, so the returning class's key (served/weight) can be
+  // arbitrarily far in the past and pick_credit_class would serve it
+  // exclusively until it "catches up" — monopolizing the shaped credit
+  // bandwidth and starving its peers for as long as it was idle. Classic
+  // WFQ restarts an arriving flow at the current virtual time; the
+  // equivalent here is clamping the returning class's normalized
+  // served-bytes up to the minimum over the currently backlogged classes.
+  double min_key = -1.0;
+  for (size_t i = 0; i < credit_qs_.size(); ++i) {
+    if (i == cls || credit_qs_[i].empty()) continue;
+    const double key = class_served_[i] / class_weights_[i];
+    if (min_key < 0.0 || key < min_key) min_key = key;
+  }
+  if (min_key > 0.0) {
+    class_served_[cls] =
+        std::max(class_served_[cls], min_key * class_weights_[cls]);
+  }
 }
 
 size_t Port::pick_credit_class() const {

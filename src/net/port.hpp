@@ -127,6 +127,9 @@ class Port {
   void signal_pfc(bool pause);
   // The backlogged credit class next in weighted order; SIZE_MAX if none.
   size_t pick_credit_class() const;
+  // Re-anchors an idle class's WFQ deficit as it becomes backlogged, so a
+  // long-idle class cannot monopolize the shaped credit bandwidth.
+  void rebaseline_credit_class(size_t cls);
   // Shaper cost of the head credit of class `cls` (includes the host
   // software-limiter noise, deterministic per credit).
   double credit_cost(size_t cls) const;

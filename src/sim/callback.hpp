@@ -1,0 +1,121 @@
+// Move-only callable with small-buffer optimization, the event queue's
+// callback type.
+//
+// std::function<void()> costs the hot path twice: it requires copyable
+// targets (so captures holding a Packet force a copy constructor into
+// existence) and it heap-allocates anything past its tiny SSO buffer —
+// which, at libstdc++'s 16 bytes, is every capture larger than two
+// pointers. Callback instead reserves enough inline storage for the
+// largest hot-path capture in the simulator: the port-to-port packet
+// forwarding lambda (a Port* plus a ~72-byte net::Packet), so scheduling a
+// packet hop never touches the allocator. Targets that still exceed the
+// buffer (or are not nothrow-movable) fall back to the heap transparently.
+//
+// Move-only targets are supported — a lambda capturing a std::unique_ptr
+// or a moved-in Packet schedules directly, no shared_ptr shims.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace xpass::sim {
+
+class Callback {
+ public:
+  // Sized so [Port* peer, net::Packet p] fits inline; see header comment.
+  static constexpr size_t kInlineCapacity = 104;
+
+  Callback() = default;
+  Callback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  Callback(Callback&& o) noexcept { move_from(o); }
+  Callback& operator=(Callback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // Destroys the target (releasing captured resources) without invoking it.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct the target into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static Fn* as(void* p) {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* p) { (*as<Fn>(p))(); },
+      [](void* dst, void* src) {
+        Fn* s = as<Fn>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { as<Fn>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* p) { (**as<Fn*>(p))(); },
+      [](void* dst, void* src) { ::new (dst) Fn*(*as<Fn*>(src)); },
+      [](void* p) { delete *as<Fn*>(p); },
+  };
+
+  void move_from(Callback& o) noexcept {
+    if (o.ops_ != nullptr) {
+      o.ops_->relocate(buf_, o.buf_);
+      ops_ = o.ops_;
+      o.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace xpass::sim

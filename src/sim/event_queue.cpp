@@ -1,53 +1,106 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace xpass::sim {
 
+namespace {
+constexpr size_t kArity = 4;
+}  // namespace
+
+uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != TimerId::kInvalidSlot) {
+    const uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.cb.reset();
+  s.armed = false;
+  ++s.gen;  // invalidate every TimerId handed out for this use of the slot
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
 TimerId EventQueue::schedule(Time t, Callback cb) {
   assert(t >= now_ && "cannot schedule into the past");
-  const uint64_t seq = next_seq_++;
-  heap_.push(Entry{t, seq, std::move(cb)});
+  const uint32_t idx = acquire_slot();
+  Slot& s = slots_[idx];
+  s.cb = std::move(cb);
+  s.armed = true;
+  // Deferred heapification: the entry sits in the unsorted staging buffer
+  // until the queue is next stepped or peeked. If it is cancelled before
+  // then (teardown, RTO reschedule), it never costs a sift at all.
+  staging_.push_back(Entry{t, next_seq_++, idx});
   ++live_count_;
-  return TimerId{seq};
+  return TimerId{idx, s.gen};
 }
 
 void EventQueue::cancel(TimerId id) {
-  if (!id.valid()) return;
-  if (cancelled_.insert(id.id).second) {
-    // May have already fired; live_count_ is corrected lazily in step().
-  }
+  if (id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  if (s.gen != id.gen || !s.armed) return;  // fired, cancelled, or reused
+  s.armed = false;
+  s.cb.reset();  // release captured resources now, not at heap drain
+  --live_count_;
+  ++cancelled_;
+  // The slot itself is reclaimed when its heap entry surfaces — except for
+  // the common cancel-and-reschedule pattern, where the entry is often the
+  // current top and can be reclaimed right away.
+  skim_cancelled();
 }
 
 bool EventQueue::step() {
+  flush_staging();
   while (!heap_.empty()) {
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    auto it = cancelled_.find(e.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      if (live_count_ > 0) --live_count_;
+    const Entry e = heap_pop();
+    Slot& s = slots_[e.slot];
+    if (!s.armed) {  // cancelled while queued
+      release_slot(e.slot);
       continue;
     }
+    Callback cb = std::move(s.cb);
+    release_slot(e.slot);
     now_ = e.t;
-    if (live_count_ > 0) --live_count_;
-    e.cb();
+    --live_count_;
+    ++fired_;
+    // No references into slots_/heap_ may be held across the call: the
+    // callback can schedule, growing either vector.
+    cb();
     return true;
   }
   return false;
 }
 
-void EventQueue::run_until(Time t_end) {
-  while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (cancelled_.count(top.seq)) {
-      cancelled_.erase(top.seq);
-      if (live_count_ > 0) --live_count_;
-      heap_.pop();
-      continue;
+void EventQueue::flush_staging() {
+  for (const Entry& e : staging_) {
+    if (slots_[e.slot].armed) {
+      heap_push(e);
+    } else {
+      release_slot(e.slot);  // cancelled while staged: skip the heap entirely
     }
-    if (top.t > t_end) break;
+  }
+  staging_.clear();
+}
+
+void EventQueue::skim_cancelled() {
+  while (!heap_.empty() && !slots_[heap_[0].slot].armed) {
+    release_slot(heap_pop().slot);
+  }
+}
+
+void EventQueue::run_until(Time t_end) {
+  for (;;) {
+    flush_staging();
+    skim_cancelled();
+    if (heap_.empty() || heap_[0].t > t_end) break;
     step();
   }
   if (now_ < t_end) now_ = t_end;
@@ -56,6 +109,51 @@ void EventQueue::run_until(Time t_end) {
 void EventQueue::run() {
   while (step()) {
   }
+}
+
+void EventQueue::heap_push(Entry e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+EventQueue::Entry EventQueue::heap_pop() {
+  const Entry top = heap_[0];
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
+  return top;
+}
+
+void EventQueue::sift_up(size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(size_t i) {
+  const size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    const size_t first = i * kArity + 1;
+    if (first >= n) break;
+    size_t best = first;
+    const size_t lim = std::min(first + kArity, n);
+    for (size_t c = first + 1; c < lim; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
 }
 
 }  // namespace xpass::sim

@@ -1,36 +1,69 @@
-// Discrete-event queue with cancellable timers.
+// Discrete-event queue with cancellable timers, built on a generation-tagged
+// slot pool and a 4-ary heap.
 //
 // Events with equal timestamps fire in scheduling order (FIFO tie-break via a
 // monotonic sequence number) so runs are fully deterministic.
+//
+// Design (and why it replaced the priority_queue + tombstone-set original):
+//
+//  * Every scheduled event owns a slot in a recycled pool; `TimerId` is the
+//    pair {slot index, slot generation}. `cancel()` checks the generation and
+//    disarms the slot — O(1), no lookup structure. A cancel on an id whose
+//    event already fired (or was already cancelled, or whose slot was since
+//    reused) sees a stale generation or a disarmed slot and is a no-op. The
+//    original kept cancelled ids in an unordered_set that was only cleaned
+//    when the id surfaced at the heap top, so cancelling an already-fired
+//    timer — which every completed connection does in stop() — left its id
+//    in the set forever. Here there is nothing to leak: the slot is
+//    reclaimed exactly when its heap entry pops, structurally.
+//
+//  * The heap stores 24-byte {time, seq, slot} entries in a 4-ary layout:
+//    shallower than binary (fewer cache misses per sift) and four children
+//    per cache line. Callbacks never move through the heap.
+//
+//  * Heapification is deferred: schedule() appends to an unsorted staging
+//    buffer, flushed into the heap only when the queue is next stepped or
+//    peeked. An event cancelled while still staged — the RTO-reschedule and
+//    teardown pattern, where most timers never fire — is dropped at flush
+//    without ever paying a sift.
+//
+//  * Callbacks are sim::Callback (small-buffer optimized, move-only): the
+//    common captures — a `this` pointer, or a Port* plus a Packet — live
+//    inline in the slot, so schedule/fire does not touch the allocator.
+//
+//  * `pending()`/`empty()` are exact: cancel decrements the live count
+//    immediately instead of "correcting it lazily" when the tombstone
+//    surfaced, so drivers can poll emptiness without phantom events.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace xpass::sim {
 
-using Callback = std::function<void()>;
-
-// Opaque handle for cancelling a scheduled event.
+// Opaque handle for cancelling a scheduled event. Value-semantic and cheap;
+// safe to cancel any number of times, including after the event fired or the
+// slot was reused (the generation tag makes stale handles inert).
 struct TimerId {
-  uint64_t id = 0;
-  bool valid() const { return id != 0; }
+  static constexpr uint32_t kInvalidSlot = 0xffffffffu;
+  uint32_t slot = kInvalidSlot;
+  uint32_t gen = 0;
+  bool valid() const { return slot != kInvalidSlot; }
 };
 
 class EventQueue {
  public:
   // Schedules `cb` at absolute time `t` (must be >= now()).
   TimerId schedule(Time t, Callback cb);
-  // Cancels a pending event; no-op if already fired or cancelled.
+  // Cancels a pending event in O(1); no-op if already fired or cancelled.
   void cancel(TimerId id);
 
   Time now() const { return now_; }
   bool empty() const { return live_count_ == 0; }
+  // Exact count of scheduled-and-not-yet-fired-or-cancelled events.
   size_t pending() const { return live_count_; }
 
   // Fires the next event. Returns false if none remain.
@@ -41,22 +74,52 @@ class EventQueue {
   // Runs everything.
   void run();
 
+  // Introspection for tests and benchmarks.
+  uint64_t fired() const { return fired_; }
+  uint64_t cancelled() const { return cancelled_; }
+  // Total slots ever allocated: bounded by the max number of simultaneously
+  // scheduled events, regardless of how many were cancelled over time.
+  size_t pool_slots() const { return slots_.size(); }
+  size_t heap_entries() const { return heap_.size() + staging_.size(); }
+
  private:
+  struct Slot {
+    Callback cb;
+    uint32_t gen = 0;  // bumped on release; stale TimerIds stop matching
+    uint32_t next_free = TimerId::kInvalidSlot;
+    bool armed = false;  // false = empty, cancelled, or already fired
+  };
   struct Entry {
     Time t;
     uint64_t seq;
-    Callback cb;
-    bool operator>(const Entry& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
-    }
+    uint32_t slot;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::unordered_set<uint64_t> cancelled_;
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  uint32_t acquire_slot();
+  void release_slot(uint32_t idx);
+  void heap_push(Entry e);
+  Entry heap_pop();
+  void sift_up(size_t i);
+  void sift_down(size_t i);
+  // Moves staged events into the heap, dropping already-cancelled ones.
+  void flush_staging();
+  // Reclaims cancelled entries sitting at the heap top.
+  void skim_cancelled();
+
+  std::vector<Entry> staging_;  // scheduled, not yet heapified
+  std::vector<Entry> heap_;     // 4-ary min-heap on (t, seq)
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = TimerId::kInvalidSlot;
   Time now_;
   uint64_t next_seq_ = 1;
   size_t live_count_ = 0;
+  uint64_t fired_ = 0;
+  uint64_t cancelled_ = 0;
 };
 
 }  // namespace xpass::sim

@@ -26,7 +26,11 @@ class Simulator {
   void run_until(Time t) { events_.run_until(t); }
   void run() { events_.run(); }
 
+  // Exact count of live (scheduled, not yet fired or cancelled) events.
+  size_t pending() const { return events_.pending(); }
+
   EventQueue& events() { return events_; }
+  const EventQueue& events() const { return events_; }
   Rng& rng() { return rng_; }
 
  private:

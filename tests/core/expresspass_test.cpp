@@ -249,6 +249,52 @@ TEST(ExpressPass, HostDelayModelShiftsData) {
   EXPECT_EQ(env.topo.data_drops(), 0u);
 }
 
+TEST(ExpressPass, DestroyWithInFlightHostReleaseIsSafe) {
+  // Regression (use-after-free): the host-release data send captured `this`
+  // without tracking its TimerId, so a connection destroyed with a pending
+  // release fired into freed memory. Run under the asan preset this test
+  // crashes without the fix.
+  Env env;
+  for (auto* h : env.topo.hosts()) {
+    // µs-scale credit-processing delays keep releases in flight at any cut.
+    h->set_delay_model(net::HostDelayModel::testbed());
+  }
+  core::ExpressPassTransport t(env.sim, default_cfg());
+  auto conn = t.create(env.spec(1, 1'000'000));
+  conn->start();
+  auto* c = dynamic_cast<core::ExpressPassConnection*>(conn.get());
+  // Step until a host release is actually scheduled, then tear down.
+  while (env.sim.now() < Time::ms(5) && c->pending_releases() == 0) {
+    ASSERT_TRUE(env.sim.events().step());
+  }
+  ASSERT_GT(c->pending_releases(), 0u);
+  conn.reset();  // ~ExpressPassConnection -> stop(): must cancel releases
+  env.sim.run_until(env.sim.now() + Time::ms(5));  // would fire into `c`
+  SUCCEED();
+}
+
+TEST(ExpressPass, RetransmittedRequestAfterStopDoesNotRestartCredits) {
+  // Regression: a SYN/CREDIT_REQUEST retransmission arriving after
+  // CREDIT_STOP (or after the FIN-complete early stop) restarted crediting
+  // for a finished flow, pacing credits at a dead sender forever.
+  Env env;
+  core::ExpressPassTransport t(env.sim, default_cfg());
+  runner::FlowDriver driver(env.sim, t);
+  driver.add(env.spec(1, 100'000));
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(1)));
+  // Let CREDIT_STOP and in-flight credits drain.
+  env.sim.run_until(env.sim.now() + Time::ms(5));
+  auto* c = dynamic_cast<core::ExpressPassConnection*>(
+      driver.connections()[0].get());
+  const uint64_t sent_before = c->credits_sent();
+  // A stale retransmitted credit request arrives at the receiver.
+  env.d.senders[0]->send(net::make_control(net::PktType::kSyn, 1,
+                                           env.d.senders[0]->id(),
+                                           env.d.receivers[0]->id()));
+  env.sim.run_until(env.sim.now() + Time::ms(5));
+  EXPECT_EQ(c->credits_sent(), sent_before);
+}
+
 TEST(ExpressPass, HundredGigLink) {
   Env env(2, 100e9);
   auto cfg = default_cfg();

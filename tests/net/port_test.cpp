@@ -183,6 +183,53 @@ TEST(Port, MixedTrafficCreditsPlusDataFillLink) {
   EXPECT_GT(total_bytes * 8.0 / 10e-3, 0.98 * 10e9);
 }
 
+TEST(Port, CreditClassReturningFromIdleDoesNotStarvePeers) {
+  // Regression: class_served_ deficits were never re-baselined, so a class
+  // idle for a long stretch returned with a stale (tiny) served-bytes
+  // counter and monopolized the shaped credit bandwidth until it "caught
+  // up" — starving the class that had been running, for as long as the
+  // other was idle.
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.credit_queue_pkts = 100000;
+  cfg.credit_class_weights = {1.0, 1.0};
+  cfg.host_credit_shaper_noise = 0.0;
+  TwoHosts env(cfg);
+  uint64_t arrived[2] = {0, 0};
+  uint64_t phase2[2] = {0, 0};
+  bool in_phase2 = false;
+  env.b->register_flow(7, [&](Packet&& p) {
+    ++arrived[p.credit_class];
+    if (in_phase2) ++phase2[p.credit_class];
+  });
+  auto offer = [&](uint8_t cls, int n, uint64_t seq0) {
+    for (int i = 0; i < n; ++i) {
+      Packet c = make_control(PktType::kCredit, 7, env.a->id(), env.b->id());
+      c.seq = seq0 + i;
+      c.credit_class = cls;
+      env.a->send(std::move(c));
+    }
+  };
+  // Phase 1: class 0 alone for 10 ms (~8000 credits at the shaped rate,
+  // ~800/ms); class 1 idle the whole time.
+  offer(0, 10000, 0);
+  env.sim.run_until(Time::ms(10));
+  ASSERT_GT(arrived[0], 6000u);
+  ASSERT_EQ(arrived[1], 0u);
+  // Phase 2: both classes continuously backlogged, measured over a 5 ms
+  // window (~4000 service slots) — shorter than class 1's ~10 ms stale
+  // deficit. Without re-baselining, class 1 wins every slot of the window
+  // (phase2[0] ~ 0); with it, equal weights share ~50/50 immediately.
+  in_phase2 = true;
+  offer(0, 20000, 100000);
+  offer(1, 20000, 200000);
+  env.sim.run_until(Time::ms(15));
+  const uint64_t total = phase2[0] + phase2[1];
+  ASSERT_GT(total, 2000u);
+  EXPECT_GT(phase2[0], total / 3);  // not starved
+  EXPECT_GT(phase2[1], total / 3);  // still served fairly
+}
+
 TEST(Port, TxCountersAccumulate) {
   TwoHosts env;
   env.a->send(make_data(7, env.a->id(), env.b->id(), 0, kMssBytes));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "net/topology_builders.hpp"
 #include "sim/random.hpp"
 

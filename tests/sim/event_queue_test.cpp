@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace {
@@ -44,7 +46,7 @@ TEST(EventQueue, CancelPreventsExecution) {
 TEST(EventQueue, CancelInvalidIdIsNoop) {
   EventQueue q;
   q.cancel(TimerId{});
-  q.cancel(TimerId{12345});
+  q.cancel(TimerId{12345, 0});  // slot that was never allocated
   int fired = 0;
   q.schedule(Time::us(1), [&] { ++fired; });
   q.run();
@@ -90,7 +92,7 @@ TEST(EventQueue, PendingCountsLiveEvents) {
   q.schedule(Time::us(2), [] {});
   EXPECT_EQ(q.pending(), 2u);
   q.cancel(a);
-  EXPECT_EQ(q.pending(), 2u);  // lazily reclaimed
+  EXPECT_EQ(q.pending(), 1u);  // exact, immediately
   q.run();
   EXPECT_TRUE(q.empty());
 }
@@ -111,6 +113,155 @@ TEST(EventQueue, CancelDuringExecutionOfEarlierEvent) {
   q.schedule(Time::us(1), [&] { q.cancel(later); });
   q.run();
   EXPECT_EQ(fired, 0);
+}
+
+// Regression: the seed implementation kept cancelled ids in a tombstone set
+// that was only cleaned when the id surfaced at the heap top, so cancelling
+// an already-fired timer — which every connection teardown does — grew the
+// set forever. The slot-pool design must retain no per-timer state after a
+// fire/cancel, for any interleaving.
+TEST(EventQueue, CancelAfterFireRetainsNoPerTimerState) {
+  EventQueue q;
+  for (int cycle = 0; cycle < 1'000'000; ++cycle) {
+    TimerId id = q.schedule(q.now() + Time::ns(1), [] {});
+    ASSERT_TRUE(q.step());
+    q.cancel(id);  // after fire: must be a no-op, retaining nothing
+  }
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.fired(), 1'000'000u);
+  EXPECT_EQ(q.cancelled(), 0u);  // every cancel hit an already-fired timer
+  // One live event at a time -> the pool never grew past one slot, no
+  // matter how many cancel-after-fire calls were made.
+  EXPECT_EQ(q.pool_slots(), 1u);
+  EXPECT_EQ(q.heap_entries(), 0u);
+}
+
+TEST(EventQueue, PendingStaysExactAcrossScheduleCancelChurn) {
+  // Deterministic mix of schedule / cancel-before-fire / cancel-after-fire /
+  // fire, shadow-tracked; pending() must match the shadow count at every
+  // step of 1e6 cycles, and all per-timer state must drain at the end.
+  EventQueue q;
+  uint64_t lcg = 12345;
+  struct Tracked {
+    TimerId id;
+    std::shared_ptr<bool> fired;  // set by the callback itself
+  };
+  std::vector<Tracked> live;
+  std::vector<TimerId> stale;  // ids known to be fired or cancelled
+  size_t expected = 0;
+  for (int cycle = 0; cycle < 1'000'000; ++cycle) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const uint32_t op = (lcg >> 33) % 4;
+    switch (op) {
+      case 0:  // schedule
+      case 1: {
+        auto flag = std::make_shared<bool>(false);
+        live.push_back(
+            {q.schedule(q.now() + Time::ns(1 + ((lcg >> 40) % 1000)),
+                        [flag] { *flag = true; }),
+             flag});
+        ++expected;
+        break;
+      }
+      case 2:  // cancel a tracked id (it may or may not have fired already)
+        if (!live.empty()) {
+          Tracked t = live.back();
+          live.pop_back();
+          const bool was_live = !*t.fired;
+          q.cancel(t.id);  // cancel-after-fire when !was_live: must be inert
+          if (was_live) --expected;
+          stale.push_back(t.id);
+        } else if (!stale.empty()) {
+          q.cancel(stale[(lcg >> 8) % stale.size()]);  // must be a no-op
+        }
+        break;
+      case 3:  // fire
+        if (expected > 0) {
+          ASSERT_TRUE(q.step());
+          --expected;
+        } else {
+          ASSERT_FALSE(q.step());
+        }
+        break;
+    }
+    ASSERT_EQ(q.pending(), expected);
+    if (stale.size() > 4096) stale.resize(1024);
+  }
+  q.run();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.heap_entries(), 0u);
+  // The pool is bounded by peak concurrency (a ~zero-drift random walk,
+  // thousands here), not by the ~500k schedules that passed through it.
+  EXPECT_LE(q.pool_slots(), 100'000u);
+}
+
+TEST(EventQueue, StaleCancelDoesNotKillSlotReuser) {
+  EventQueue q;
+  int fired = 0;
+  TimerId a = q.schedule(Time::us(1), [] {});
+  q.run();  // `a` fires; its slot returns to the free list
+  TimerId b = q.schedule(Time::us(2), [&] { ++fired; });
+  EXPECT_EQ(b.slot, a.slot);   // slot recycled...
+  EXPECT_NE(b.gen, a.gen);     // ...under a new generation
+  q.cancel(a);                 // stale handle must not cancel b
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DoubleCancelReleasesOnlyOnce) {
+  EventQueue q;
+  int fired = 0;
+  TimerId a = q.schedule(Time::us(1), [&] { ++fired; });
+  q.schedule(Time::us(2), [&] { ++fired; });
+  q.cancel(a);
+  q.cancel(a);  // second cancel sees a disarmed slot: no-op
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, MoveOnlyCallbacksSupported) {
+  // std::function required copyable targets; the SBO Callback must not.
+  EventQueue q;
+  auto p = std::make_unique<int>(42);
+  int got = 0;
+  q.schedule(Time::us(1), [p = std::move(p), &got] { got = *p; });
+  q.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueue, LargeCapturesFallBackToHeapCorrectly) {
+  EventQueue q;
+  std::array<char, 256> big{};
+  big[0] = 'x';
+  big[255] = 'y';
+  char first = 0, last = 0;
+  q.schedule(Time::us(1), [big, &first, &last] {
+    first = big[0];
+    last = big[255];
+  });
+  TimerId c = q.schedule(Time::us(2), [big, &first] { first = 'z'; });
+  q.cancel(c);  // cancelling a heap-backed callback must free it cleanly
+  q.run();
+  EXPECT_EQ(first, 'x');
+  EXPECT_EQ(last, 'y');
+}
+
+TEST(EventQueue, CancelFromWithinOwnCallbackWindow) {
+  // A callback cancelling its own (already-fired) id must be inert even
+  // though the slot was just recycled into the free list.
+  EventQueue q;
+  int fired = 0;
+  TimerId self{};
+  self = q.schedule(Time::us(1), [&] {
+    q.cancel(self);  // stale by the time it runs
+    ++fired;
+  });
+  q.schedule(Time::us(2), [&] { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pool_slots(), 2u);
 }
 
 }  // namespace

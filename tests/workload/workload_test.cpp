@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "net/topology_builders.hpp"
 #include "stats/fct.hpp"
 #include "workload/flow_size_dist.hpp"
