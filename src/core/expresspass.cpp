@@ -1,6 +1,7 @@
 #include "core/expresspass.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace xpass::core {
 
@@ -40,7 +41,9 @@ void ExpressPassConnection::start() {
     receiver_on_packet(std::move(p));
   });
   host_release_ = sim_.now();
+  cur_request_timeout_ = cfg_.request_timeout;
   send_request();
+  arm_watchdog();
 }
 
 void ExpressPassConnection::stop() {
@@ -63,15 +66,60 @@ void ExpressPassConnection::send_request() {
   Packet syn = net::make_control(PktType::kSyn, spec_.id, spec_.src->id(),
                                  spec_.dst->id());
   spec_.src->send(std::move(syn));
-  // Fig 7: timeout re-sends CREDIT_REQUEST if no credit shows up.
+  ++requests_sent_;
+}
+
+void ExpressPassConnection::arm_watchdog() {
   sim_.cancel(request_timer_);
-  request_timer_ = sim_.after(cfg_.request_timeout, [this] {
-    if (!any_credit_seen_) send_request();
-  });
+  double t_sec = cur_request_timeout_.to_sec();
+  if (cfg_.request_jitter > 0.0 && dead_retries_ > 0) {
+    // Desynchronize retries: after a shared link recovers, every starved
+    // flow's watchdog is pending; identical periods would re-request in
+    // lockstep. Healthy re-arms skip the draw so the watchdog leaves the
+    // traffic RNG stream untouched on fault-free runs.
+    t_sec *= 1.0 + cfg_.request_jitter * sim_.rng().uniform(-1.0, 1.0);
+  }
+  request_timer_ =
+      sim_.after(sim::Time::seconds(t_sec), [this] { on_watchdog(); });
+}
+
+void ExpressPassConnection::on_watchdog() {
+  // Fig 7's request timeout, generalized into a liveness watchdog: a period
+  // with no credit arrivals re-sends CREDIT_REQUEST with exponential
+  // backoff; enough consecutive silent periods means the path (or peer) is
+  // dead and the flow aborts instead of hanging forever.
+  if (completed() || failed() || sender_done()) return;
+  if (credits_received_ > credits_at_last_watchdog_) {
+    credits_at_last_watchdog_ = credits_received_;
+    dead_retries_ = 0;
+    cur_request_timeout_ = cfg_.request_timeout;
+    arm_watchdog();
+    return;
+  }
+  ++dead_retries_;
+  if (dead_retries_ > cfg_.max_dead_retries) {
+    abort_flow("sender: no credits after " +
+               std::to_string(cfg_.max_dead_retries) + " request retries");
+    return;
+  }
+  send_request();
+  cur_request_timeout_ = std::min(
+      sim::Time::seconds(cur_request_timeout_.to_sec() * cfg_.request_backoff),
+      cfg_.request_timeout_cap);
+  arm_watchdog();
+}
+
+void ExpressPassConnection::abort_flow(const std::string& why) {
+  sim_.cancel(request_timer_);
+  sim_.cancel(credit_timer_);
+  sim_.cancel(feedback_timer_);
+  credits_running_ = false;
+  done_ = true;
+  fail_flow(why);
 }
 
 void ExpressPassConnection::sender_on_packet(Packet&& p) {
-  if (p.type != PktType::kCredit) return;
+  if (p.type != PktType::kCredit || failed()) return;
   any_credit_seen_ = true;
   ++credits_received_;
 
@@ -87,9 +135,16 @@ void ExpressPassConnection::sender_on_packet(Packet&& p) {
   }
 
   if (size != kLongRunning && snd_nxt_ >= size) {
-    // Nothing to send: the credit is wasted (Fig 8b / Fig 20).
+    // Nothing to send: the credit is wasted (Fig 8b / Fig 20). CREDIT_STOP
+    // is unacknowledged — if it was lost, the receiver keeps crediting; the
+    // arrival of further credits this long after the last stop is exactly
+    // that evidence, so re-send it.
     ++credits_wasted_;
-    if (!stop_sent_ && p.ack >= size) send_credit_stop();
+    if (p.ack >= size &&
+        (!stop_sent_ ||
+         sim_.now() - last_stop_time_ >= cfg_.stop_retx_interval)) {
+      send_credit_stop();
+    }
     return;
   }
 
@@ -122,6 +177,8 @@ void ExpressPassConnection::sender_on_packet(Packet&& p) {
 
 void ExpressPassConnection::send_credit_stop() {
   stop_sent_ = true;
+  last_stop_time_ = sim_.now();
+  ++credit_stops_sent_;
   Packet stop = net::make_control(PktType::kCreditStop, spec_.id,
                                   spec_.src->id(), spec_.dst->id());
   spec_.src->send(std::move(stop));
@@ -130,6 +187,7 @@ void ExpressPassConnection::send_credit_stop() {
 // ----- Receiver (Fig 7b) --------------------------------------------------
 
 void ExpressPassConnection::receiver_on_packet(Packet&& p) {
+  if (failed()) return;  // an aborted flow is settled; ignore stragglers
   switch (p.type) {
     case PktType::kSyn:
     case PktType::kCreditRequest:
@@ -148,12 +206,15 @@ void ExpressPassConnection::receiver_on_packet(Packet&& p) {
       // Echoed credit sequence: gaps are credits lost at rate limiters.
       if (has_echo_) {
         if (p.ack > last_echo_seq_) {
-          credits_dropped_period_ += p.ack - last_echo_seq_ - 1;
+          const uint64_t gap = p.ack - last_echo_seq_ - 1;
+          credits_dropped_period_ += gap;
+          credits_detected_lost_ += gap;
           last_echo_seq_ = p.ack;
         }
       } else {
         has_echo_ = true;
         credits_dropped_period_ += p.ack;  // credits before the first echo
+        credits_detected_lost_ += p.ack;
         last_echo_seq_ = p.ack;
       }
       // The FIN flag tells the receiver where the flow ends (possibly out
@@ -242,6 +303,19 @@ void ExpressPassConnection::schedule_next_credit() {
 
 void ExpressPassConnection::run_feedback() {
   if (!credits_running_) return;
+  // Dead-flow detection: credits going out, nothing at all coming back, for
+  // long enough that even a min-rate sender (one data packet per ~13ms at
+  // 10G) would have shown up many times over. The sender is gone — stop
+  // pouring credits into the network and settle the flow as failed.
+  if (credits_sent_period_ > 0 && data_rcvd_period_ == 0) {
+    if (++dead_periods_ >= cfg_.receiver_dead_periods) {
+      abort_flow("receiver: credits paced but no data for " +
+                 std::to_string(dead_periods_) + " update periods");
+      return;
+    }
+  } else if (data_rcvd_period_ > 0) {
+    dead_periods_ = 0;
+  }
   if (!cfg_.naive && credits_sent_period_ > 0) {
     const uint64_t basis = credits_dropped_period_ + data_rcvd_period_;
     const double loss =

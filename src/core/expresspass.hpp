@@ -46,7 +46,29 @@ struct ExpressPassConfig {
   // meaningful when ports configure credit_class_weights).
   uint8_t traffic_class = 0;
   // Sender retries the credit request if no credit arrives (Fig 7 timeout).
+  // This is also the watchdog base interval: whenever a watchdog period
+  // passes with zero credits arriving, the sender re-sends the request.
   sim::Time request_timeout = sim::Time::us(400);
+  // Dead-path survival. Consecutive silent watchdog periods back off
+  // exponentially (doubling up to the cap, +/- jitter fraction so a rack's
+  // worth of flows doesn't re-request in lockstep after a link recovers);
+  // after max_dead_retries consecutive silent periods the flow aborts
+  // gracefully instead of re-requesting forever. Credits flowing again at
+  // any point reset the backoff and the retry budget.
+  double request_backoff = 2.0;
+  sim::Time request_timeout_cap = sim::Time::ms(25);
+  double request_jitter = 0.2;
+  uint32_t max_dead_retries = 12;
+  // Receiver-side dead-flow detection: this many consecutive feedback
+  // periods with credits paced but not one data packet back aborts the
+  // receiver half. Must comfortably exceed the worst-case credit->data gap
+  // at the minimum credit rate (max_rate/10000 floor ~ 13ms at 10G, vs.
+  // 600 x 100us = 60ms), so a merely-throttled flow can never trip it.
+  uint32_t receiver_dead_periods = 600;
+  // CREDIT_STOP is a single unacknowledged control packet; if it is lost
+  // the receiver credits forever. The sender re-sends it whenever credits
+  // are still arriving this long after the last stop went out.
+  sim::Time stop_retx_interval = sim::Time::us(400);
 };
 
 class ExpressPassConnection : public transport::Connection {
@@ -66,6 +88,11 @@ class ExpressPassConnection : public transport::Connection {
   const CreditFeedback& feedback() const { return feedback_; }
   // Host-release data sends scheduled but not yet on the wire.
   size_t pending_releases() const { return release_timers_.size(); }
+  // Cumulative credits the receiver detected as lost via echoed-sequence
+  // gaps (§3.2) — the run-long sum of credits_dropped_period_.
+  uint64_t credits_detected_lost() const { return credits_detected_lost_; }
+  uint64_t requests_sent() const { return requests_sent_; }
+  uint64_t credit_stops_sent() const { return credit_stops_sent_; }
 
  private:
   // Sender side.
@@ -73,6 +100,15 @@ class ExpressPassConnection : public transport::Connection {
   void on_credit(const net::Packet& credit);
   void send_request();
   void send_credit_stop();
+  void arm_watchdog();
+  void on_watchdog();
+  // All bytes sent and the stop signaled: the sender half is finished even
+  // though it cannot observe delivery directly.
+  bool sender_done() const {
+    return stop_sent_ && spec_.size_bytes != transport::kLongRunning &&
+           snd_nxt_ >= spec_.size_bytes;
+  }
+  void abort_flow(const std::string& why);
 
   // Receiver side.
   void receiver_on_packet(net::Packet&& p);
@@ -89,7 +125,13 @@ class ExpressPassConnection : public transport::Connection {
   bool stop_sent_ = false;
   sim::Time host_release_;  // host processing is FIFO: departures in order
   sim::Time last_data_sent_;  // guards loss-recovery against stale credits
-  sim::TimerId request_timer_;
+  sim::TimerId request_timer_;  // doubles as the dead-path watchdog
+  sim::Time cur_request_timeout_;   // current (backed-off) watchdog period
+  uint32_t dead_retries_ = 0;       // consecutive silent watchdog periods
+  uint64_t credits_at_last_watchdog_ = 0;
+  sim::Time last_stop_time_;        // last CREDIT_STOP departure
+  uint64_t requests_sent_ = 0;
+  uint64_t credit_stops_sent_ = 0;
   // Scheduled host-release sends, oldest first (releases are FIFO, so the
   // front is always the next to fire). Cancelled in stop(): a connection
   // destroyed with a release in flight must not fire into freed memory.
@@ -115,7 +157,9 @@ class ExpressPassConnection : public transport::Connection {
   bool has_echo_ = false;
   uint64_t last_echo_seq_ = 0;
   uint64_t credits_dropped_period_ = 0;
+  uint64_t credits_detected_lost_ = 0;  // run-long sum of the above
   uint64_t data_rcvd_period_ = 0;
+  uint32_t dead_periods_ = 0;  // consecutive periods: credits out, no data
   sim::TimerId credit_timer_;
   sim::TimerId feedback_timer_;
 

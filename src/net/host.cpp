@@ -23,6 +23,18 @@ sim::Time HostDelayModel::sample(sim::Rng& rng) const {
 
 void Host::receive(Packet&& p, Port& in) {
   (void)in;
+  // Bad FCS: the NIC verifies the frame checksum and silently discards
+  // corrupted frames — the transport only ever sees the resulting silence
+  // (a credit-sequence gap, or a data hole the receiver keeps crediting
+  // for). Switches, being cut-through, forwarded it anyway.
+  if (p.corrupted) {
+    if (is_credit_class(p.type)) {
+      ++corrupt_credit_drops_;
+    } else {
+      ++corrupt_data_drops_;
+    }
+    return;
+  }
   auto it = handlers_.find(p.flow);
   if (it == handlers_.end()) {
     if (p.type == PktType::kCredit) ++stray_credits_;

@@ -70,10 +70,18 @@ class Host : public Node {
   // sender finished): pure waste, counted for Fig 20.
   uint64_t stray_credits() const { return stray_credits_; }
 
+  // Frames that arrived with a broken FCS (link bit errors): the NIC
+  // discards them before the transport sees anything. Per-class counters
+  // close the fault-conservation ledger.
+  uint64_t corrupt_data_drops() const { return corrupt_data_drops_; }
+  uint64_t corrupt_credit_drops() const { return corrupt_credit_drops_; }
+
  private:
   std::unordered_map<FlowId, Handler> handlers_;
   HostDelayModel delay_model_;
   uint64_t stray_credits_ = 0;
+  uint64_t corrupt_data_drops_ = 0;
+  uint64_t corrupt_credit_drops_ = 0;
 };
 
 }  // namespace xpass::net

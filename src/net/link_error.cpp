@@ -1,0 +1,29 @@
+#include "net/link_error.hpp"
+
+namespace xpass::net {
+
+LinkError::Outcome LinkError::roll(const Packet& p) {
+  // Gilbert-Elliott first: burst loss is a property of the wire's current
+  // state, independent of what the frame is.
+  if (cfg_.ge_good_to_bad > 0.0) {
+    if (bad_) {
+      if (rng_.uniform() < cfg_.ge_bad_to_good) bad_ = false;
+    } else {
+      if (rng_.uniform() < cfg_.ge_good_to_bad) bad_ = true;
+    }
+    const double p_drop = bad_ ? cfg_.ge_drop_bad : cfg_.ge_drop_good;
+    if (p_drop > 0.0 && rng_.uniform() < p_drop) return Outcome::kDrop;
+  }
+  const bool credit = is_credit_class(p.type);
+  const double p_drop = credit ? cfg_.credit_drop : cfg_.data_drop;
+  if (p_drop > 0.0 && rng_.uniform() < p_drop) return Outcome::kDrop;
+  const double p_corrupt = credit ? cfg_.credit_corrupt : cfg_.data_corrupt;
+  // An already-corrupted frame cannot be corrupted "again" into a separate
+  // accounting event — it is delivered as-is and discarded downstream.
+  if (!p.corrupted && p_corrupt > 0.0 && rng_.uniform() < p_corrupt) {
+    return Outcome::kCorrupt;
+  }
+  return Outcome::kDeliver;
+}
+
+}  // namespace xpass::net

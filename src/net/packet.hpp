@@ -64,6 +64,10 @@ struct Packet {
   bool ecn_ce = false;  // congestion experienced (set by switch queues)
   bool ece = false;     // echoed by receiver in ACKs
   bool fin = false;     // last data packet of the flow
+  // FCS-breaking bit error (fault injection). The frame still spends wire
+  // time and buffer space; switches forward it (cut-through does not
+  // validate FCS) and the receiving host discards it on checksum.
+  bool corrupted = false;
   // Traffic class for multi-class credit scheduling (§7: QoS is enforced on
   // *credits* — weighting credit classes weights the data they admit).
   uint8_t credit_class = 0;

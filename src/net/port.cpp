@@ -114,8 +114,11 @@ void Port::try_transmit() {
   } else if (cls != SIZE_MAX) {
     // Only shaped credits are waiting: wake up when tokens suffice.
     if (!retry_pending_) {
-      retry_pending_ = true;
       const sim::Time wait = credit_shaper_.time_until(cost, now);
+      // A dead shaper (zero-rate link) never accrues tokens; don't schedule
+      // a wakeup at the sentinel — recovery re-kicks transmission.
+      if (wait == TokenBucket::kNever) return;
+      retry_pending_ = true;
       sim_.after(wait, [this] {
         retry_pending_ = false;
         try_transmit();
@@ -135,11 +138,69 @@ void Port::try_transmit() {
     try_transmit();
   });
   assert(peer_ != nullptr && "port not connected");
-  Port* peer = peer_;
-  sim_.after(tx + cfg_.prop_delay,
-             [peer, p = std::move(pkt)]() mutable {
-               peer->owner().receive(std::move(p), *peer);
-             });
+  sim_.after(tx + cfg_.prop_delay, [this, p = std::move(pkt)]() mutable {
+    deliver_to_peer(std::move(p));
+  });
+}
+
+void Port::deliver_to_peer(Packet&& p) {
+  // A link cut with drop semantics loses frames already on the wire. (If the
+  // link flapped down and back up before the frame's arrival instant, the
+  // frame survives — the cut only claims what is in flight while it holds.)
+  if (!up_ && fail_mode_ == LinkFailMode::kDrop) {
+    if (is_credit_class(p.type)) {
+      ++fault_.cut_credits;
+    } else {
+      ++fault_.cut_data;
+    }
+    return;
+  }
+  if (error_) {
+    switch (error_->roll(p)) {
+      case LinkError::Outcome::kDrop:
+        if (is_credit_class(p.type)) {
+          ++fault_.injected_credit_drops;
+        } else {
+          ++fault_.injected_data_drops;
+        }
+        return;
+      case LinkError::Outcome::kCorrupt:
+        p.corrupted = true;
+        if (is_credit_class(p.type)) {
+          ++fault_.corrupted_credits;
+        } else {
+          ++fault_.corrupted_data;
+        }
+        break;
+      case LinkError::Outcome::kDeliver:
+        break;
+    }
+  }
+  peer_->owner().receive(std::move(p), *peer_);
+}
+
+void Port::fail(LinkFailMode mode) {
+  fail_mode_ = mode;
+  if (!up_) return;  // already down; only the (possibly escalated) mode sticks
+  up_ = false;
+  ++fault_.failures;
+  if (mode == LinkFailMode::kDrop) {
+    const sim::Time now = sim_.now();
+    fault_.flushed_data += data_q_.clear(now);
+    for (CreditQueue& q : credit_qs_) fault_.flushed_credits += q.clear(now);
+  }
+}
+
+void Port::recover() {
+  if (up_) return;
+  up_ = true;
+  ++fault_.recoveries;
+  credit_shaper_.reset(sim_.now());
+  try_transmit();
+}
+
+void Port::set_error_model(const LinkErrorConfig& cfg, uint64_t seed) {
+  error_ = std::make_unique<LinkError>(cfg, seed);
 }
 
 void Port::rebaseline_credit_class(size_t cls) {

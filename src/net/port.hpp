@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/link_error.hpp"
 #include "net/queue.hpp"
 #include "net/token_bucket.hpp"
 #include "sim/simulator.hpp"
@@ -21,6 +22,30 @@
 namespace xpass::net {
 
 class Node;
+
+// What happens to queued and in-flight frames when a link fails.
+//  kDrain: transmission stops but nothing is lost — queued frames wait for
+//          recovery, in-flight frames deliver (admin-down / graceful drain).
+//  kDrop:  queued frames are flushed as drops and in-flight frames are cut
+//          mid-wire (yanked cable / dead transceiver).
+enum class LinkFailMode { kDrain, kDrop };
+
+// Per-port fault accounting, all injected-fault effects in one place so
+// invariant checks can close the conservation ledger: every credit the
+// network loses shows up in exactly one counter somewhere (queue drop,
+// error-model drop, in-flight cut, host FCS discard, or unroutable).
+struct FaultStats {
+  uint64_t injected_data_drops = 0;    // error-model drops, non-credit
+  uint64_t injected_credit_drops = 0;  // error-model drops, credits
+  uint64_t corrupted_data = 0;         // frames delivered with bad FCS
+  uint64_t corrupted_credits = 0;
+  uint64_t cut_data = 0;     // in flight when the link failed (kDrop)
+  uint64_t cut_credits = 0;
+  uint64_t flushed_data = 0;     // queued at failure time (kDrop); these
+  uint64_t flushed_credits = 0;  // also count in the queues' drop stats
+  uint64_t failures = 0;
+  uint64_t recoveries = 0;
+};
 
 struct LinkConfig {
   double rate_bps = 10e9;
@@ -114,12 +139,36 @@ class Port {
   bool data_paused() const { return pause_count_ > 0; }
   uint64_t pause_events() const { return pause_events_; }
 
-  // Link-failure modeling (§3.1 mentions excluding failed links from ECMP).
-  void set_up(bool up) { up_ = up; }
+  // Link-failure modeling (§3.1 mentions excluding failed links from ECMP;
+  // route() excludes a link unless both directions are up). set_up is the
+  // legacy admin toggle: down == fail(kDrain), up == recover().
+  void set_up(bool up) {
+    if (up) {
+      recover();
+    } else {
+      fail(LinkFailMode::kDrain);
+    }
+  }
   bool is_up() const { return up_; }
+  // Takes this direction of the link down. kDrop flushes the queues (counted
+  // as drops) and loses frames already on the wire; kDrain preserves both.
+  void fail(LinkFailMode mode);
+  // Brings the link back: the credit meter restarts empty (a recovering
+  // link must not burst out the allowance accrued while dark) and
+  // transmission resumes from whatever is queued.
+  void recover();
+
+  // Fault injection: per-frame error model on this direction of the link.
+  void set_error_model(const LinkErrorConfig& cfg, uint64_t seed);
+  void clear_error_model() { error_.reset(); }
+  const LinkError* error_model() const { return error_.get(); }
+  const FaultStats& fault_stats() const { return fault_; }
 
  private:
   void try_transmit();
+  // Runs at wire-arrival time: applies link failure / error-model fate,
+  // then hands the frame to the peer's owner.
+  void deliver_to_peer(Packet&& p);
   void rcp_update();
   // PFC threshold checks on this egress queue; pauses/resumes the owning
   // switch's ingress links.
@@ -154,6 +203,9 @@ class Port {
   uint64_t pause_events_ = 0;
   bool pause_sent_ = false;  // this egress has paused its switch's ingresses
   bool up_ = true;
+  LinkFailMode fail_mode_ = LinkFailMode::kDrain;
+  std::unique_ptr<LinkError> error_;
+  FaultStats fault_;
 
   uint64_t tx_packets_ = 0;
   uint64_t tx_bytes_ = 0;

@@ -74,4 +74,21 @@ Packet CreditQueue::dequeue(sim::Time now) {
   return p;
 }
 
+size_t DropTailQueue::clear(sim::Time now) {
+  account(now);
+  const size_t n = items_.size();
+  stats_.dropped += n;
+  items_.clear();
+  bytes_ = 0;
+  return n;
+}
+
+size_t CreditQueue::clear(sim::Time now) {
+  (void)now;
+  const size_t n = items_.size();
+  stats_.dropped += n;
+  items_.clear();
+  return n;
+}
+
 }  // namespace xpass::net

@@ -55,6 +55,9 @@ class DropTailQueue {
   // Precondition: !empty(). Adds queue residence time to pkt.queue_delay.
   Packet dequeue(sim::Time now);
   const Packet& front() const { return items_.front().pkt; }
+  // Discards every queued packet (link failure with drop semantics),
+  // counting them as drops. Returns how many were flushed.
+  size_t clear(sim::Time now);
 
   uint64_t bytes() const { return bytes_; }
   size_t packets() const { return items_.size(); }
@@ -85,6 +88,9 @@ class CreditQueue {
   bool empty() const { return items_.empty(); }
   Packet dequeue(sim::Time now);
   const Packet& front() const { return items_.front(); }
+  // Discards every queued credit, counting them as drops (they were lost to
+  // the fault, exactly like a rate-limiter overflow). Returns the count.
+  size_t clear(sim::Time now);
 
   size_t packets() const { return items_.size(); }
   size_t capacity() const { return capacity_; }

@@ -59,7 +59,11 @@ void Switch::receive(Packet&& p, Port& in) {
     out = route(p.src, p.dst, p.flow);
   }
   if (out == nullptr) {
-    ++unroutable_;
+    if (is_credit_class(p.type)) {
+      ++unroutable_credits_;
+    } else {
+      ++unroutable_data_;
+    }
     return;
   }
   out->enqueue(std::move(p));

@@ -51,14 +51,21 @@ class Switch : public Node {
   void set_packet_spraying(bool on) { spraying_ = on; }
   bool packet_spraying() const { return spraying_; }
 
-  uint64_t unroutable_drops() const { return unroutable_; }
+  uint64_t unroutable_drops() const {
+    return unroutable_data_ + unroutable_credits_;
+  }
+  // Per-class split so the fault-conservation ledger can account lost
+  // credits separately from lost data.
+  uint64_t unroutable_data() const { return unroutable_data_; }
+  uint64_t unroutable_credits() const { return unroutable_credits_; }
 
  private:
   std::vector<std::vector<Port*>> routes_;
   std::vector<uint32_t> dist_;
   bool spraying_ = false;
   uint64_t rr_counter_ = 0;
-  uint64_t unroutable_ = 0;
+  uint64_t unroutable_data_ = 0;
+  uint64_t unroutable_credits_ = 0;
 };
 
 }  // namespace xpass::net

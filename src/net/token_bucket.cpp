@@ -22,9 +22,12 @@ sim::Time TokenBucket::time_until(double bytes, sim::Time now) {
   refill(now);
   if (tokens_ + 1e-9 >= bytes) return sim::Time::zero();
   const double deficit = bytes - tokens_;
+  if (rate_ <= 0.0) return kNever;
+  const double wait_sec = deficit / rate_;
+  if (wait_sec > kMaxWaitSec) return kNever;
   // Never round down to zero: a 0-wait answer to a failed try_consume would
   // spin the caller's retry loop at the same timestamp forever.
-  return std::max(sim::Time::seconds(deficit / rate_), sim::Time::ps(1));
+  return std::max(sim::Time::seconds(wait_sec), sim::Time::ps(1));
 }
 
 }  // namespace xpass::net

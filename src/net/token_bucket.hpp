@@ -16,10 +16,19 @@ class TokenBucket {
   TokenBucket(double rate_bytes_per_sec, double burst_bytes)
       : rate_(rate_bytes_per_sec), burst_(burst_bytes), tokens_(burst_bytes) {}
 
+  // time_until's "no finite answer" sentinel: the tokens will never accrue
+  // at the current rate. Callers must not schedule a wakeup at this time.
+  static constexpr sim::Time kNever = sim::Time::max();
+  // Waits beyond this are reported as kNever: they exceed any simulated
+  // horizon and a finite conversion could overflow Time's picosecond range.
+  static constexpr double kMaxWaitSec = 1e5;
+
   void refill(sim::Time now);
   // Consumes `bytes` if available after refilling to `now`.
   bool try_consume(double bytes, sim::Time now);
-  // Time from `now` until `bytes` tokens will be available (zero if already).
+  // Time from `now` until `bytes` tokens will be available (zero if
+  // already). A zero-rate bucket — a failed or admin-down link — or a wait
+  // beyond kMaxWaitSec returns kNever instead of inf/NaN.
   sim::Time time_until(double bytes, sim::Time now);
 
   double tokens() const { return tokens_; }
@@ -28,6 +37,12 @@ class TokenBucket {
   void set_rate(double rate_bytes_per_sec, sim::Time now) {
     refill(now);
     rate_ = rate_bytes_per_sec;
+  }
+  // Restarts the meter empty at `now`: a link returning from failure must
+  // re-earn its allowance rather than burst out tokens accrued while dark.
+  void reset(sim::Time now) {
+    tokens_ = 0.0;
+    last_ = now;
   }
 
  private:

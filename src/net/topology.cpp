@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 #include <queue>
+#include <stdexcept>
 
 namespace xpass::net {
 
@@ -30,6 +31,19 @@ Switch& Topology::add_switch(std::string name) {
 std::pair<Port&, Port&> Topology::connect(Node& a, Node& b,
                                           const LinkConfig& cfg) {
   assert(!finalized_ && "connect() after finalize()");
+  if (a.id() == b.id()) {
+    throw std::invalid_argument("Topology::connect: self-loop on node '" +
+                                a.name() + "'");
+  }
+  for (const LinkRec& l : links_) {
+    if ((l.a == a.id() && l.b == b.id()) ||
+        (l.a == b.id() && l.b == a.id())) {
+      throw std::invalid_argument("Topology::connect: duplicate link between '" +
+                                  a.name() + "' and '" + b.name() +
+                                  "' (parallel links are not supported; "
+                                  "raise the link rate instead)");
+    }
+  }
   Port& pa = a.add_port(cfg);
   Port& pb = b.add_port(cfg);
   pa.set_peer(&pb);
@@ -40,13 +54,37 @@ std::pair<Port&, Port&> Topology::connect(Node& a, Node& b,
 
 void Topology::finalize() {
   assert(!finalized_);
+  // A node with zero links is almost always a construction bug (a host that
+  // never gets traffic, or a switch BFS silently routes around); likewise a
+  // host with several NICs — Host::nic()/send() assume port 0 is the NIC.
+  for (const auto& node : nodes_) {
+    if (node->num_ports() == 0) {
+      throw std::invalid_argument("Topology::finalize: node '" +
+                                  node->name() +
+                                  "' is dangling (no links connected)");
+    }
+    if (node->kind() == Node::Kind::kHost && node->num_ports() > 1) {
+      throw std::invalid_argument(
+          "Topology::finalize: host '" + node->name() + "' has " +
+          std::to_string(node->num_ports()) +
+          " links; hosts are single-NIC (port 0)");
+    }
+  }
   finalized_ = true;
+  recompute_routes();
+}
+
+void Topology::recompute_routes() {
+  assert(finalized_ && "recompute_routes() before finalize()");
   const size_t n = nodes_.size();
 
-  // Adjacency: per node, (egress port, neighbor id), sorted by neighbor id
-  // for deterministic ECMP ordering.
+  // Adjacency over live links only: a failed direction takes the whole
+  // full-duplex link out of the control plane (credits and data must stay
+  // path-symmetric, §3.1). Per node, (egress port, neighbor id), sorted by
+  // neighbor id for deterministic ECMP ordering.
   std::vector<std::vector<std::pair<Port*, NodeId>>> adj(n);
   for (const LinkRec& l : links_) {
+    if (!l.pa->is_up() || !l.pb->is_up()) continue;
     adj[l.a].push_back({l.pa, l.b});
     adj[l.b].push_back({l.pb, l.a});
   }

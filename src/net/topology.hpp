@@ -14,6 +14,14 @@ namespace xpass::net {
 
 class Topology {
  public:
+  // One full-duplex link: both directional ports plus the endpoint ids, so
+  // fault injection can target "the link between a and b" as a unit.
+  struct LinkRec {
+    NodeId a, b;
+    Port* pa;  // on a, toward b
+    Port* pb;  // on b, toward a
+  };
+
   explicit Topology(sim::Simulator& sim) : sim_(sim) {}
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
@@ -23,12 +31,25 @@ class Topology {
 
   // Creates a full-duplex link; both directions use `cfg` (rate, delay,
   // queues). Returns {port on a toward b, port on b toward a}.
+  // Throws std::invalid_argument on a self-loop or a duplicate link,
+  // naming the offending node pair.
   std::pair<Port&, Port&> connect(Node& a, Node& b, const LinkConfig& cfg);
 
   // Computes all-pairs shortest-path ECMP tables and installs them on every
   // switch. Candidate lists are sorted by neighbor node id (deterministic
   // ECMP). Must be called once, after all connect() calls.
+  // Throws std::invalid_argument if a node is dangling (zero links) or a
+  // host has more than one NIC port, naming the node.
   void finalize();
+
+  // Rebuilds the ECMP tables over live links only (a link counts as live
+  // when both of its ports are up). This is the control plane reconverging
+  // after a failure: §3.1 excludes failed links from ECMP hashing, which a
+  // switch's local up-check alone cannot do for a dead link several hops
+  // away. Convergence is modeled as instantaneous; the window between a
+  // failure and the caller invoking this is data-plane blackholing, which
+  // the transports' loss recovery absorbs. Requires finalize().
+  void recompute_routes();
 
   sim::Simulator& simulator() { return sim_; }
   const std::vector<Host*>& hosts() const { return hosts_; }
@@ -48,6 +69,9 @@ class Topology {
   std::vector<Port*> switch_ports();
   void enable_rcp(sim::Time d0);
 
+  // All full-duplex links, in connect() order (fault targeting).
+  const std::vector<LinkRec>& links() const { return links_; }
+
   // Network-wide counters ---------------------------------------------
   uint64_t data_drops() const;
   uint64_t credit_drops() const;
@@ -55,12 +79,6 @@ class Topology {
   uint64_t stray_credits() const;
 
  private:
-  struct LinkRec {
-    NodeId a, b;
-    Port* pa;  // on a, toward b
-    Port* pb;  // on b, toward a
-  };
-
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Host*> hosts_;

@@ -1,0 +1,135 @@
+#include "runner/faults.hpp"
+
+#include <memory>
+#include <string>
+
+#include "core/expresspass.hpp"
+
+namespace xpass::runner {
+
+void apply_fault_scenario(const FaultScenario& sc, net::FaultInjector& inj,
+                          net::Node& a, net::Node& b) {
+  if (sc.has_flap()) {
+    inj.schedule_flap(a, b, sc.flap_down, sc.flap_up, sc.fail_mode);
+  }
+  if (sc.has_kill()) inj.schedule_death(a, b, sc.kill_at, sc.fail_mode);
+  if (sc.errors.enabled()) {
+    inj.schedule_error_window(a, b, sc.errors, sim::Time::zero(),
+                              sim::Time::max());
+  }
+}
+
+namespace {
+
+// Everywhere a credit can end up other than the sender's handler. Each
+// disposition is counted exactly once (flushed queue frames are already in
+// the queues' drop stats), so the sum can exceed sent only through a bug.
+uint64_t credits_disposed(const net::Topology& topo) {
+  uint64_t n = topo.credit_drops() + topo.stray_credits();
+  for (const net::Host* h : topo.hosts()) n += h->corrupt_credit_drops();
+  for (const net::Switch* sw : topo.switches()) n += sw->unroutable_credits();
+  for (const net::Topology::LinkRec& l : topo.links()) {
+    for (const net::Port* p : {l.pa, l.pb}) {
+      n += p->fault_stats().injected_credit_drops;
+      n += p->fault_stats().cut_credits;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+void register_network_invariants(sim::InvariantChecker& chk,
+                                 net::Topology& topo,
+                                 const FlowDriver& driver,
+                                 const sim::FaultPlan* plan,
+                                 const NetInvariantOptions& opts) {
+  chk.add_check("credit-conservation", [&topo, &driver] {
+    uint64_t sent = 0;
+    uint64_t received = 0;
+    bool any_xp = false;
+    for (const auto& c : driver.connections()) {
+      const auto* xp =
+          dynamic_cast<const core::ExpressPassConnection*>(c.get());
+      if (xp == nullptr) continue;
+      any_xp = true;
+      sent += xp->credits_sent();
+      received += xp->credits_received();
+    }
+    if (!any_xp) return std::string();
+    const uint64_t disposed = received + credits_disposed(topo);
+    if (disposed > sent) {
+      return "credits disposed (" + std::to_string(disposed) +
+             ") exceed credits sent (" + std::to_string(sent) +
+             "): some credit was counted twice or conjured";
+    }
+    return std::string();
+  });
+
+  if (opts.data_queue_bound_bytes > 0) {
+    const uint64_t bound = opts.data_queue_bound_bytes;
+    chk.add_check("data-queue-bound", [&topo, plan, bound] {
+      if (plan != nullptr && plan->any_fault_active()) return std::string();
+      for (const net::Switch* sw : topo.switches()) {
+        for (size_t i = 0; i < sw->num_ports(); ++i) {
+          const uint64_t occ = sw->port(i).data_queue().bytes();
+          if (occ > bound) {
+            return "switch '" + sw->name() + "' port " + std::to_string(i) +
+                   " data queue at " + std::to_string(occ) +
+                   "B exceeds the zero-loss bound " + std::to_string(bound) +
+                   "B with no fault active";
+          }
+        }
+      }
+      return std::string();
+    });
+  }
+
+  if (opts.expect_zero_data_loss) {
+    // Drops during a fault window are legitimate (flushed queues, brute
+    // loss); the baseline moves past them whenever fault state changed
+    // since the last sweep, and only drops accrued across two consecutive
+    // healthy sweeps violate.
+    struct LossState {
+      uint64_t baseline = 0;
+      uint64_t last_fired = 0;
+      bool primed = false;
+    };
+    auto st = std::make_shared<LossState>();
+    chk.add_check("no-data-drops", [&topo, plan, st] {
+      const uint64_t drops = topo.data_drops();
+      const bool active = plan != nullptr && plan->any_fault_active();
+      const uint64_t fired = plan != nullptr ? plan->fired() : 0;
+      const bool churned = active || fired != st->last_fired;
+      st->last_fired = fired;
+      if (churned || !st->primed) {
+        st->baseline = drops;
+        st->primed = true;
+        return std::string();
+      }
+      if (drops > st->baseline) {
+        const uint64_t fresh = drops - st->baseline;
+        st->baseline = drops;
+        return std::to_string(fresh) +
+               " data packet(s) dropped with no fault active "
+               "(ExpressPass guarantees zero data loss)";
+      }
+      return std::string();
+    });
+  }
+
+  chk.add_check("delivery-bounded", [&driver] {
+    for (const auto& c : driver.connections()) {
+      const uint64_t size = c->spec().size_bytes;
+      if (size == transport::kLongRunning) continue;
+      if (c->delivered_bytes() > size) {
+        return "flow " + std::to_string(c->spec().id) + " delivered " +
+               std::to_string(c->delivered_bytes()) + "B of a " +
+               std::to_string(size) + "B flow";
+      }
+    }
+    return std::string();
+  });
+}
+
+}  // namespace xpass::runner

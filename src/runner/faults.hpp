@@ -1,0 +1,69 @@
+// Scenario-level fault wiring: a declarative FaultScenario that runner
+// configs / the CLI can fill in and apply to a topology's bottleneck link,
+// plus registration of the cross-cutting network invariants (credit
+// conservation, §3.1 data-queue bound, zero data loss) on an
+// InvariantChecker.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fault_injector.hpp"
+#include "net/topology.hpp"
+#include "runner/flow_driver.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/invariants.hpp"
+
+namespace xpass::runner {
+
+// Declarative fault description for one target link. Zero times / empty
+// error config mean "that fault disabled"; apply_fault_scenario turns the
+// active parts into FaultPlan events via a FaultInjector.
+struct FaultScenario {
+  // Link flap: both directions down at `flap_down`, back up at `flap_up`.
+  sim::Time flap_down;
+  sim::Time flap_up;
+  // Permanent link death at `kill_at` (never recovers).
+  sim::Time kill_at;
+  // What failing does to queued/in-flight frames.
+  net::LinkFailMode fail_mode = net::LinkFailMode::kDrop;
+  // Per-frame error model, active from t=0 for the whole run (opens a
+  // permanent fault window: error injection counts as an active fault).
+  net::LinkErrorConfig errors;
+
+  bool has_flap() const {
+    return flap_up > flap_down && flap_up > sim::Time::zero();
+  }
+  bool has_kill() const { return kill_at > sim::Time::zero(); }
+  bool any() const { return has_flap() || has_kill() || errors.enabled(); }
+};
+
+// Adds the scenario's events to the injector's plan, all targeting the
+// a--b link. Caller arms the plan afterwards.
+void apply_fault_scenario(const FaultScenario& sc, net::FaultInjector& inj,
+                          net::Node& a, net::Node& b);
+
+struct NetInvariantOptions {
+  // §3.1 zero-loss bound on any single switch data queue, enforced only
+  // while no fault window is open. 0 disables the check.
+  uint64_t data_queue_bound_bytes = 0;
+  // Enforce "ExpressPass drops no data" while the network is healthy
+  // (rebaselined across fault windows).
+  bool expect_zero_data_loss = true;
+};
+
+// Registers the network-wide invariants on `chk`:
+//   credit-conservation  — credits a network disposes of (delivered, stray,
+//                          FCS-discarded, queue-dropped, error-dropped, cut
+//                          in flight, unroutable) never exceed credits sent;
+//   data-queue-bound     — switch data queues respect the §3.1 bound while
+//                          no fault is active;
+//   no-data-drops        — no new data-queue drops while healthy;
+//   delivery-bounded     — no finite flow delivers more than its size.
+// `plan` may be null (no faults: every check is unconditional).
+void register_network_invariants(sim::InvariantChecker& chk,
+                                 net::Topology& topo,
+                                 const FlowDriver& driver,
+                                 const sim::FaultPlan* plan,
+                                 const NetInvariantOptions& opts = {});
+
+}  // namespace xpass::runner

@@ -9,6 +9,7 @@ transport::Connection& FlowDriver::add(const transport::FlowSpec& spec) {
   conn->set_on_complete([this](transport::Connection& c) {
     fcts_.record(c.spec().size_bytes, c.fct());
   });
+  conn->set_on_fail([this](transport::Connection&) { ++failed_; });
   transport::Connection* raw = conn.get();
   conns_.push_back(std::move(conn));
   sim_.at(spec.start_time, [raw] { raw->start(); });
@@ -18,7 +19,7 @@ transport::Connection& FlowDriver::add(const transport::FlowSpec& spec) {
 bool FlowDriver::run_to_completion(sim::Time deadline) {
   const sim::Time chunk = sim::Time::ms(1);
   while (sim_.now() < deadline) {
-    if (completed() >= scheduled_) return true;
+    if (completed() + failed_ >= scheduled_) break;
     sim::Time next = sim_.now() + chunk;
     if (next > deadline) next = deadline;
     sim_.run_until(next);

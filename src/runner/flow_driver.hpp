@@ -27,12 +27,16 @@ class FlowDriver {
     for (const auto& s : specs) add(s);
   }
 
-  // Runs until all scheduled flows completed or `deadline` passes.
-  // Returns true if everything completed.
+  // Runs until every scheduled flow is settled (completed or failed) or
+  // `deadline` passes. Returns true iff everything *completed* — aborted
+  // flows end the wait but still count as a false result.
   bool run_to_completion(sim::Time deadline);
 
   size_t scheduled() const { return scheduled_; }
   size_t completed() const { return fcts_.completed(); }
+  // Flows the protocol gave up on (endpoint unreachable past the retry
+  // budget). completed() + failed() == scheduled() once everything settled.
+  size_t failed() const { return failed_; }
   stats::FctCollector& fcts() { return fcts_; }
   stats::RateTracker& rates() { return rates_; }
 
@@ -50,6 +54,7 @@ class FlowDriver {
   stats::FctCollector fcts_;
   stats::RateTracker rates_;
   size_t scheduled_ = 0;
+  size_t failed_ = 0;
 };
 
 }  // namespace xpass::runner

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "sim/simulator.hpp"
@@ -33,8 +34,17 @@ class Connection {
   sim::Time completion_time() const { return completion_time_; }
   sim::Time fct() const { return completion_time_ - spec_.start_time; }
 
+  // True once the protocol gave up on the flow (endpoint unreachable past
+  // its retry budget). A failed flow is settled: it will make no further
+  // progress, but it never "completes".
+  bool failed() const { return failed_; }
+  const std::string& fail_reason() const { return fail_reason_; }
+
   void set_on_complete(std::function<void(Connection&)> cb) {
     on_complete_ = std::move(cb);
+  }
+  void set_on_fail(std::function<void(Connection&)> cb) {
+    on_fail_ = std::move(cb);
   }
   void set_rate_tracker(stats::RateTracker* rt) { tracker_ = rt; }
 
@@ -51,14 +61,26 @@ class Connection {
     }
   }
 
+  // Protocol-side: give up on the flow (graceful abort after exhausting
+  // retries against a dead path). Idempotent; completed flows cannot fail.
+  void fail_flow(std::string reason) {
+    if (completed_ || failed_) return;
+    failed_ = true;
+    fail_reason_ = std::move(reason);
+    if (on_fail_) on_fail_(*this);
+  }
+
   sim::Simulator& sim_;
   FlowSpec spec_;
 
  private:
   uint64_t delivered_ = 0;
   bool completed_ = false;
+  bool failed_ = false;
+  std::string fail_reason_;
   sim::Time completion_time_;
   std::function<void(Connection&)> on_complete_;
+  std::function<void(Connection&)> on_fail_;
   stats::RateTracker* tracker_ = nullptr;
 };
 

@@ -295,6 +295,105 @@ TEST(ExpressPass, RetransmittedRequestAfterStopDoesNotRestartCredits) {
   EXPECT_EQ(c->credits_sent(), sent_before);
 }
 
+TEST(ExpressPass, CreditEchoGapAccountingIsExact) {
+  // Unit-level check of the credit-loss signal (§3.2): inject crafted data
+  // packets with skipping echoed credit sequences straight at the receiver
+  // and verify the detected-loss ledger to the credit.
+  Env env;
+  core::ExpressPassTransport t(env.sim, default_cfg());
+  auto conn = t.create(env.spec(1, transport::kLongRunning));
+  // Quarantine the real sender so no genuine data pollutes the count: its
+  // NIC is drain-failed before the SYN can escape, so crediting never
+  // starts and only our hand-built frames reach the receiver.
+  env.d.senders[0]->nic().fail(net::LinkFailMode::kDrain);
+  conn->start();
+  env.sim.run_until(Time::us(10));
+  auto* c = dynamic_cast<core::ExpressPassConnection*>(conn.get());
+  ASSERT_EQ(c->credits_detected_lost(), 0u);
+
+  auto inject = [&](uint64_t echo_seq, uint64_t data_seq) {
+    net::Packet p = net::make_data(1, env.d.senders[1]->id(),
+                                   env.d.receivers[0]->id(), data_seq, 1000);
+    p.ack = echo_seq;  // echoed credit sequence
+    env.d.senders[1]->send(std::move(p));
+    env.sim.run_until(env.sim.now() + Time::us(10));
+  };
+  inject(3, 0);  // credits 0..2 preceded the first echo: +3
+  EXPECT_EQ(c->credits_detected_lost(), 3u);
+  inject(5, 1000);  // gap of one (credit 4): +1
+  EXPECT_EQ(c->credits_detected_lost(), 4u);
+  inject(5, 2000);  // duplicate echo: no change
+  inject(4, 3000);  // reordered (stale) echo: no change
+  EXPECT_EQ(c->credits_detected_lost(), 4u);
+  inject(9, 4000);  // credits 6,7,8 lost: +3
+  EXPECT_EQ(c->credits_detected_lost(), 7u);
+}
+
+TEST(ExpressPass, RequestBackoffAbortsWhenPeerUnreachable) {
+  // The request watchdog backs off exponentially while the peer is silent
+  // and aborts the flow after max_dead_retries periods instead of hanging.
+  Env env;
+  auto cfg = default_cfg();
+  cfg.request_timeout = Time::us(200);
+  cfg.request_timeout_cap = Time::ms(2);
+  cfg.max_dead_retries = 6;
+  core::ExpressPassTransport t(env.sim, cfg);
+  runner::FlowDriver driver(env.sim, t);
+  // Receiver unreachable from t=0 (both directions of its access link).
+  env.d.receivers[0]->nic().fail(net::LinkFailMode::kDrop);
+  env.d.receivers[0]->nic().peer()->fail(net::LinkFailMode::kDrop);
+  driver.add(env.spec(1, 1'000'000));
+  EXPECT_FALSE(driver.run_to_completion(Time::sec(5)));
+  EXPECT_EQ(driver.failed(), 1u);
+  auto* c = dynamic_cast<core::ExpressPassConnection*>(
+      driver.connections()[0].get());
+  EXPECT_TRUE(c->failed());
+  EXPECT_FALSE(c->fail_reason().empty());
+  // One initial request plus one retransmission per silent period.
+  EXPECT_EQ(c->requests_sent(), 1u + cfg.max_dead_retries);
+  // Backoff actually spread the retries (6 flat periods would be 1.4ms),
+  // yet the flow settled far before the driver deadline.
+  EXPECT_GT(env.sim.now(), Time::ms(5));
+  EXPECT_LT(env.sim.now(), Time::sec(1));
+}
+
+TEST(ExpressPass, CreditStopRetransmitsWhileCreditsKeepArriving) {
+  // CREDIT_STOP is unacknowledged. If it is lost the receiver keeps pacing
+  // credits at a finished sender; each late credit re-triggers the stop,
+  // rate-limited to one per stop_retx_interval.
+  Env env;
+  core::ExpressPassTransport t(env.sim, default_cfg());
+  runner::FlowDriver driver(env.sim, t);
+  driver.add(env.spec(1, 100'000));
+  ASSERT_TRUE(driver.run_to_completion(Time::sec(1)));
+  env.sim.run_until(env.sim.now() + Time::ms(5));
+  auto* c = dynamic_cast<core::ExpressPassConnection*>(
+      driver.connections()[0].get());
+  // A clean run needs no CREDIT_STOP at all: the receiver's FIN-complete
+  // path stops crediting by itself before any credit is wasted.
+  const uint64_t stops = c->credit_stops_sent();
+
+  // Play a receiver that kept crediting (its early stop never engaged,
+  // or a previous CREDIT_STOP was lost): stray credits for the finished
+  // flow arrive at the sender.
+  auto credit_at = [&](Time at) {
+    env.sim.at(at, [&env] {
+      net::Packet p = net::make_control(net::PktType::kCredit, 1,
+                                        env.d.receivers[0]->id(),
+                                        env.d.senders[0]->id());
+      p.seq = 1000;      // credit sequence (echo source; irrelevant here)
+      p.ack = 100'000;   // cum-ack: receiver has everything
+      env.d.receivers[0]->send(std::move(p));
+    });
+  };
+  const Time base = env.sim.now();
+  credit_at(base + Time::us(10));   // > stop_retx_interval since the stop
+  credit_at(base + Time::us(50));   // within the interval of the re-send
+  credit_at(base + Time::ms(1));    // beyond it again
+  env.sim.run_until(base + Time::ms(2));
+  EXPECT_EQ(c->credit_stops_sent(), stops + 2);
+}
+
 TEST(ExpressPass, HundredGigLink) {
   Env env(2, 100e9);
   auto cfg = default_cfg();

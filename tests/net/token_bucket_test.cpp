@@ -71,4 +71,32 @@ TEST(TokenBucket, NonMonotonicRefillIgnored) {
   EXPECT_FALSE(tb.try_consume(1.0, Time::ms(100)));
 }
 
+TEST(TokenBucket, ZeroRateNeverFills) {
+  // A zero-rate bucket (e.g. a credit shaper throttled to nothing) must
+  // report "never" instead of a bogus or infinite wait.
+  TokenBucket tb(0.0, 168.0);
+  ASSERT_TRUE(tb.try_consume(168.0, Time::zero()));  // initial burst
+  EXPECT_FALSE(tb.try_consume(84.0, Time::sec(1)));
+  EXPECT_EQ(tb.time_until(84.0, Time::sec(1)), TokenBucket::kNever);
+}
+
+TEST(TokenBucket, AbsurdWaitClampsToNever) {
+  // A tiny-but-nonzero rate with a huge deficit also degenerates to kNever
+  // rather than overflowing the picosecond clock.
+  TokenBucket tb(1e-12, 168.0);
+  ASSERT_TRUE(tb.try_consume(168.0, Time::zero()));
+  EXPECT_EQ(tb.time_until(168.0, Time::zero()), TokenBucket::kNever);
+}
+
+TEST(TokenBucket, ResetEmptiesBucket) {
+  // Link recovery restarts the meter empty: tokens "accrued" during an
+  // outage must not let the port burst at recovery time.
+  TokenBucket tb(1000.0, 168.0);
+  tb.refill(Time::ms(100));
+  tb.reset(Time::ms(100));
+  EXPECT_FALSE(tb.try_consume(1.0, Time::ms(100)));
+  // It refills at the configured rate from the reset point.
+  EXPECT_TRUE(tb.try_consume(50.0, Time::ms(150)));
+}
+
 }  // namespace

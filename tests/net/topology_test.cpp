@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 
 #include "net/topology_builders.hpp"
@@ -166,6 +168,64 @@ TEST(Topology, MultiBottleneckWiring) {
             3u);
   // Long flows cross L1, L2, L3: NIC + 3 + final hop = 5 ports.
   EXPECT_EQ(topo.trace_path(m.srcs[0]->id(), m.dsts[0]->id(), 2).size(), 5u);
+}
+
+TEST(Topology, SelfLoopRejected) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Switch& sw = topo.add_switch("tor0");
+  try {
+    topo.connect(sw, sw, link10g());
+    FAIL() << "self-loop accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("tor0"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Topology, DuplicateLinkRejectedNamingBothNodes) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Switch& s0 = topo.add_switch("s0");
+  Switch& s1 = topo.add_switch("s1");
+  topo.connect(s0, s1, link10g());
+  // Same pair in either orientation is a duplicate.
+  try {
+    topo.connect(s1, s0, link10g());
+    FAIL() << "duplicate link accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("s0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("s1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Topology, DanglingNodeRejectedAtFinalize) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Host& a = topo.add_host("a");
+  Host& b = topo.add_host("b");
+  topo.connect(a, b, link10g());
+  topo.add_switch("lonely");
+  try {
+    topo.finalize();
+    FAIL() << "dangling node accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lonely"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Topology, MultiNicHostRejectedAtFinalize) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  Host& h = topo.add_host("h");
+  Switch& s0 = topo.add_switch("s0");
+  Switch& s1 = topo.add_switch("s1");
+  topo.connect(h, s0, link10g());
+  topo.connect(h, s1, link10g());
+  topo.connect(s0, s1, link10g());
+  EXPECT_THROW(topo.finalize(), std::invalid_argument);
 }
 
 TEST(Topology, DropCountersStartZero) {

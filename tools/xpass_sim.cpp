@@ -17,9 +17,13 @@
 #include <string>
 
 #include "core/expresspass.hpp"
+#include "net/fault_injector.hpp"
 #include "net/topology_builders.hpp"
+#include "runner/faults.hpp"
 #include "runner/flow_driver.hpp"
 #include "runner/protocols.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/invariants.hpp"
 #include "stats/fairness.hpp"
 #include "workload/generators.hpp"
 
@@ -42,6 +46,13 @@ struct Options {
   double duration_ms = 100.0;
   uint64_t seed = 1;
   bool spraying = false;
+  // Fault injection (all target the first switch--switch link, or the
+  // first link if the topology has no fabric link).
+  double flap_down_ms = 0.0, flap_up_ms = 0.0;  // --flap-ms=D,U
+  double kill_ms = 0.0;                         // --kill-ms=T
+  net::LinkErrorConfig errors;
+  uint64_t fault_seed = 0xfa17;
+  bool check_invariants = false;
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -53,7 +64,11 @@ struct Options {
       "  [--workload=websearch|webserver|cachefollower|datamining]\n"
       "  [--pairs=N] [--k=N] [--flows=N] [--incast=N] [--bytes=N|long]\n"
       "  [--load=F] [--rate-gbps=F] [--duration-ms=F] [--seed=N]\n"
-      "  [--spraying]\n");
+      "  [--spraying]\n"
+      "  faults (target: first fabric link):\n"
+      "  [--flap-ms=DOWN,UP] [--kill-ms=T] [--data-drop=P] [--credit-drop=P]\n"
+      "  [--data-corrupt=P] [--credit-corrupt=P] [--fault-seed=N]\n"
+      "  [--check-invariants]\n");
   std::exit(2);
 }
 
@@ -94,6 +109,26 @@ Options parse(int argc, char** argv) {
       o.seed = std::strtoull(v, nullptr, 10);
     } else if (arg == "--spraying") {
       o.spraying = true;
+    } else if (const char* v = val("--flap-ms")) {
+      char* rest = nullptr;
+      o.flap_down_ms = std::strtod(v, &rest);
+      if (rest == nullptr || *rest != ',') usage("--flap-ms wants DOWN,UP");
+      o.flap_up_ms = std::strtod(rest + 1, nullptr);
+      if (o.flap_up_ms <= o.flap_down_ms) usage("--flap-ms: UP must be > DOWN");
+    } else if (const char* v = val("--kill-ms")) {
+      o.kill_ms = std::strtod(v, nullptr);
+    } else if (const char* v = val("--data-drop")) {
+      o.errors.data_drop = std::strtod(v, nullptr);
+    } else if (const char* v = val("--credit-drop")) {
+      o.errors.credit_drop = std::strtod(v, nullptr);
+    } else if (const char* v = val("--data-corrupt")) {
+      o.errors.data_corrupt = std::strtod(v, nullptr);
+    } else if (const char* v = val("--credit-corrupt")) {
+      o.errors.credit_corrupt = std::strtod(v, nullptr);
+    } else if (const char* v = val("--fault-seed")) {
+      o.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--check-invariants") {
+      o.check_invariants = true;
     } else if (arg == "--help" || arg == "-h") {
       usage("help requested");
     } else {
@@ -180,8 +215,48 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fault plan: every fault targets the first fabric (switch--switch) link
+  // — the bottleneck in all built-in topologies — falling back to the first
+  // link for single-switch stars.
+  runner::FaultScenario scenario;
+  scenario.flap_down = Time::seconds(o.flap_down_ms * 1e-3);
+  scenario.flap_up = Time::seconds(o.flap_up_ms * 1e-3);
+  scenario.kill_at = Time::seconds(o.kill_ms * 1e-3);
+  scenario.errors = o.errors;
+  sim::FaultPlan plan(o.fault_seed);
+  net::FaultInjector injector(topo, plan);
+  if (scenario.any()) {
+    const net::Topology::LinkRec* target = nullptr;
+    for (const auto& l : topo.links()) {
+      if (topo.node(l.a).kind() == net::Node::Kind::kSwitch &&
+          topo.node(l.b).kind() == net::Node::Kind::kSwitch) {
+        target = &l;
+        break;
+      }
+    }
+    if (target == nullptr && !topo.links().empty()) {
+      target = &topo.links().front();
+    }
+    if (target == nullptr) usage("no link to inject faults on");
+    runner::apply_fault_scenario(scenario, injector, topo.node(target->a),
+                                 topo.node(target->b));
+    plan.arm(sim);
+  }
+
+  sim::InvariantChecker checker(sim);
+  if (o.check_invariants) {
+    runner::NetInvariantOptions iopts;
+    iopts.expect_zero_data_loss = *proto == runner::Protocol::kExpressPass ||
+                                  *proto == runner::Protocol::kExpressPassNaive;
+    runner::register_network_invariants(checker, topo, driver,
+                                        scenario.any() ? &plan : nullptr,
+                                        iopts);
+    checker.start(Time::us(100));
+  }
+
   const Time horizon = Time::seconds(o.duration_ms * 1e-3);
   const bool all_done = driver.run_to_completion(horizon);
+  if (o.check_invariants) checker.run_checks();
 
   std::printf("xpass_sim: %s on %s, %zu flows, %.1f Gbps links, seed %llu\n",
               std::string(runner::protocol_name(*proto)).c_str(),
@@ -207,5 +282,31 @@ int main(int argc, char** argv) {
   std::printf("  data drops      : %llu   credit drops: %llu\n",
               static_cast<unsigned long long>(topo.data_drops()),
               static_cast<unsigned long long>(topo.credit_drops()));
+  if (scenario.any()) {
+    const net::FaultStats t = injector.totals();
+    std::printf("  faults          : %llu events fired, %llu failures, "
+                "%llu recoveries, %zu flows aborted\n",
+                static_cast<unsigned long long>(plan.fired()),
+                static_cast<unsigned long long>(t.failures),
+                static_cast<unsigned long long>(t.recoveries),
+                driver.failed());
+    std::printf("  injected loss   : data %llu drop / %llu corrupt / %llu "
+                "cut, credit %llu drop / %llu corrupt / %llu cut\n",
+                static_cast<unsigned long long>(t.injected_data_drops),
+                static_cast<unsigned long long>(t.corrupted_data),
+                static_cast<unsigned long long>(t.cut_data + t.flushed_data),
+                static_cast<unsigned long long>(t.injected_credit_drops),
+                static_cast<unsigned long long>(t.corrupted_credits),
+                static_cast<unsigned long long>(t.cut_credits +
+                                                t.flushed_credits));
+  }
+  if (o.check_invariants) {
+    std::printf("  invariants      : %llu sweeps, %llu violations\n",
+                static_cast<unsigned long long>(checker.sweeps()),
+                static_cast<unsigned long long>(checker.violations()));
+    for (const std::string& m : checker.messages()) {
+      std::printf("    violation: %s\n", m.c_str());
+    }
+  }
   return 0;
 }
