@@ -4,10 +4,21 @@
 // end-to-end events/sec on the Fig-15 flow-scalability scenario, and emits
 // the results as BENCH_core.json (schema documented in EXPERIMENTS.md).
 //
+// It also emits BENCH_hotpath.json: per-packet-hop event accounting for the
+// fig15 scenario in both port event modes (legacy tx-done events vs the
+// coalesced self-scheduling port), the comparison against the committed
+// baseline throughput, and the 12-point scalability sweep timed at
+// --jobs 1 vs --jobs N with a byte-identity check on the reduced rows.
+//
 // This seeds the repo's perf trajectory: later PRs compare their committed
 // BENCH_core.json against this one. Usage:
 //
-//   bench_core [output.json]        # default output: ./BENCH_core.json
+//   bench_core [core.json] [hotpath.json] [--ops=N] [--sweep-jobs=N]
+//              [--no-sweep]
+//
+// Defaults: ./BENCH_core.json ./BENCH_hotpath.json, ops = 2^21, sweep-jobs
+// = hardware concurrency. --ops shrinks the microbenches for CI smoke runs
+// (the committed JSONs must be regenerated with the default).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -101,7 +112,7 @@ double now_sec() {
       .count();
 }
 
-constexpr size_t kOps = 1 << 21;   // ~2M primitive cycles per microbench
+size_t g_ops = 1 << 21;            // primitive cycles per microbench (--ops)
 constexpr size_t kBatch = 4096;    // pending events per drain batch
 
 uint64_t lcg_next(uint64_t& s) {
@@ -116,7 +127,7 @@ double bench_schedule_fire() {
   uint64_t sink = 0;
   uint64_t rng = 42;
   const double t0 = now_sec();
-  for (size_t done = 0; done < kOps; done += kBatch) {
+  for (size_t done = 0; done < g_ops; done += kBatch) {
     for (size_t i = 0; i < kBatch; ++i) {
       q.schedule(q.now() + Time::ns(1 + (lcg_next(rng) >> 40) % 1000),
                  [&sink] { ++sink; });
@@ -124,9 +135,9 @@ double bench_schedule_fire() {
     q.run();
   }
   const double dt = now_sec() - t0;
-  if (sink != kOps) std::fprintf(stderr, "bench bug: %llu fires\n",
+  if (sink != g_ops) std::fprintf(stderr, "bench bug: %llu fires\n",
                                  static_cast<unsigned long long>(sink));
-  return static_cast<double>(kOps) / dt;
+  return static_cast<double>(g_ops) / dt;
 }
 
 // One op = schedule an event, cancel it, and drain its queue entry. This is
@@ -139,7 +150,7 @@ double bench_schedule_cancel() {
   ids.reserve(kBatch);
   uint64_t rng = 43;
   const double t0 = now_sec();
-  for (size_t done = 0; done < kOps; done += kBatch) {
+  for (size_t done = 0; done < g_ops; done += kBatch) {
     for (size_t i = 0; i < kBatch; ++i) {
       ids.push_back(
           q.schedule(q.now() + Time::ns(1 + (lcg_next(rng) >> 40) % 1000),
@@ -149,7 +160,7 @@ double bench_schedule_cancel() {
     ids.clear();
     q.run();  // drain the cancelled entries
   }
-  return static_cast<double>(kOps) / (now_sec() - t0);
+  return static_cast<double>(g_ops) / (now_sec() - t0);
 }
 
 // Mixed churn including cancel-after-fire, the leak path: each cycle
@@ -162,7 +173,7 @@ double bench_churn() {
   uint64_t sink = 0;
   uint64_t rng = 44;
   const double t0 = now_sec();
-  for (size_t cycle = 0; cycle < kOps / 2; ++cycle) {
+  for (size_t cycle = 0; cycle < g_ops / 2; ++cycle) {
     auto fired = q.schedule(q.now() + Time::ns(1), [&sink] { ++sink; });
     auto live = q.schedule(
         q.now() + Time::ns(2 + (lcg_next(rng) >> 40) % 100), [&sink] { ++sink; });
@@ -172,25 +183,32 @@ double bench_churn() {
     if ((cycle & 1023) == 1023) q.run();  // drain cancelled entries
   }
   q.run();
-  return static_cast<double>(kOps) / (now_sec() - t0);
+  return static_cast<double>(g_ops) / (now_sec() - t0);
 }
 
-// ---- Fig-15 scenario events/sec ------------------------------------------
+// ---- Fig-15 scenario events/sec and events/packet-hop --------------------
 
 struct ScenarioResult {
   size_t flows;
   uint64_t events_fired;
+  uint64_t packet_hops;  // sum of tx_packets over every port in the network
   double wall_sec;
   double events_per_sec;
+  double events_per_hop;
   double goodput_gbps;
 };
 
-ScenarioResult bench_fig15(size_t n_flows) {
+// `legacy` selects the pre-coalescing port event pattern (a serializer-done
+// event per transmission) so the event diet is measurable in-binary on the
+// identical trajectory; the two modes deliver the same packets at the same
+// times.
+ScenarioResult bench_fig15(size_t n_flows, bool legacy) {
   const double t0 = now_sec();
   sim::Simulator sim(29);
   net::Topology topo(sim);
-  const auto link = runner::protocol_link_config(
+  auto link = runner::protocol_link_config(
       runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  link.legacy_tx_events = legacy;
   auto d = net::build_dumbbell(topo, n_flows, link, link);
   auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
                                   Time::us(100));
@@ -208,14 +226,77 @@ ScenarioResult bench_fig15(size_t n_flows) {
   auto rates = driver.rates().snapshot_rates(window);
   double sum = 0;
   for (double x : rates) sum += x;
-  driver.stop_all();
   ScenarioResult r;
   r.flows = n_flows;
   r.events_fired = sim.events().fired();
+  r.packet_hops = 0;
+  for (size_t n = 0; n < topo.num_nodes(); ++n) {
+    net::Node& node = topo.node(static_cast<net::NodeId>(n));
+    for (size_t i = 0; i < node.num_ports(); ++i) {
+      r.packet_hops += node.port(i).tx_packets();
+    }
+  }
+  driver.stop_all();
   r.wall_sec = now_sec() - t0;
   r.events_per_sec = static_cast<double>(r.events_fired) / r.wall_sec;
+  r.events_per_hop = static_cast<double>(r.events_fired) /
+                     static_cast<double>(r.packet_hops);
   r.goodput_gbps = sum / 1e9;
   return r;
+}
+
+// ---- 12-point sweep: --jobs scaling and byte-identity --------------------
+
+struct SweepResult {
+  size_t points = 0;
+  size_t jobs = 1;
+  double wall_jobs1_sec = 0;
+  double wall_jobsN_sec = 0;
+  bool identical_output = false;
+};
+
+std::string sweep_rows(size_t jobs) {
+  const std::vector<runner::Protocol> protos = {
+      runner::Protocol::kExpressPass, runner::Protocol::kDctcp,
+      runner::Protocol::kRcp};
+  const std::vector<size_t> counts = {4, 16, 64, 256};
+  struct Cell {
+    runner::Protocol proto;
+    size_t flows;
+  };
+  std::vector<Cell> grid;
+  for (auto p : protos) {
+    for (size_t n : counts) grid.push_back({p, n});
+  }
+  exec::SweepRunner pool(jobs);
+  const auto cells = pool.map(grid.size(), [&](size_t i) {
+    return bench::scalability_cell(grid[i].proto, grid[i].flows, false);
+  });
+  std::string out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%d %zu %.9g %.9g %.9g %llu\n",
+                  static_cast<int>(grid[i].proto), grid[i].flows,
+                  cells[i].util_gbps, cells[i].fairness, cells[i].max_q_kb,
+                  static_cast<unsigned long long>(cells[i].drops));
+    out += buf;
+  }
+  return out;
+}
+
+SweepResult bench_sweep(size_t jobs) {
+  SweepResult s;
+  s.points = 12;
+  s.jobs = jobs;
+  const double t0 = now_sec();
+  const std::string serial = sweep_rows(1);
+  const double t1 = now_sec();
+  const std::string parallel = sweep_rows(jobs);
+  const double t2 = now_sec();
+  s.wall_jobs1_sec = t1 - t0;
+  s.wall_jobsN_sec = t2 - t1;
+  s.identical_output = serial == parallel;
+  return s;
 }
 
 }  // namespace
@@ -229,11 +310,48 @@ double best_of_3(F f) {
   return best;
 }
 
+namespace {
+
+// Committed-baseline fig15 throughput from BENCH_core.json at the event-core
+// rebuild (PR 1). The hotpath report compares against these constants so the
+// speedup is visible without parsing a second JSON at run time; regenerate
+// them if the committed baseline is ever re-measured.
+constexpr double kBaselineEps64 = 8048926.0;
+constexpr double kBaselineEps256 = 7095552.0;
+constexpr uint64_t kBaselineEvents64 = 1369573;
+constexpr uint64_t kBaselineEvents256 = 5069478;
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_core.json";
+  const char* core_path = "BENCH_core.json";
+  const char* hotpath_path = "BENCH_hotpath.json";
+  size_t sweep_jobs = xpass::exec::default_jobs();
+  bool run_sweep = true;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      const long v = std::strtol(argv[i] + 6, nullptr, 10);
+      if (v >= 1) g_ops = static_cast<size_t>(v);
+    } else if (std::strncmp(argv[i], "--sweep-jobs=", 13) == 0) {
+      const long v = std::strtol(argv[i] + 13, nullptr, 10);
+      if (v >= 1) sweep_jobs = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      run_sweep = false;
+    } else if (positional == 0) {
+      core_path = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      hotpath_path = argv[i];
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
 
   std::printf("event-core microbenchmarks (%zu ops each, best of 3)...\n",
-              kOps);
+              g_ops);
   const double sf = best_of_3(bench_schedule_fire<sim::EventQueue>);
   const double sc = best_of_3(bench_schedule_cancel<sim::EventQueue>);
   const double ch = best_of_3(bench_churn<sim::EventQueue>);
@@ -250,27 +368,61 @@ int main(int argc, char** argv) {
               "%.2fx  churn %.2fx\n",
               sf / seed_sf, sc / seed_sc, ch / seed_ch);
 
-  std::printf("fig15 flow-scalability scenario (ExpressPass, dumbbell)...\n");
-  std::vector<ScenarioResult> scen;
+  std::printf("fig15 flow-scalability scenario (ExpressPass, dumbbell, "
+              "best of 3)...\n");
+  // The scenario is deterministic — every repeat fires the identical event
+  // sequence — so best-of-3 only filters scheduler noise out of wall_sec,
+  // exactly as for the microbenches above.
+  const auto best_fig15 = [](size_t flows, bool legacy_mode) {
+    ScenarioResult best = bench_fig15(flows, legacy_mode);
+    for (int i = 0; i < 2; ++i) {
+      ScenarioResult r = bench_fig15(flows, legacy_mode);
+      if (r.wall_sec < best.wall_sec) best = r;
+    }
+    return best;
+  };
+  std::vector<ScenarioResult> scen;     // coalesced ports (default)
+  std::vector<ScenarioResult> legacy;   // pre-diet tx-done event pattern
   for (size_t flows : {64, 256}) {
-    scen.push_back(bench_fig15(flows));
+    scen.push_back(best_fig15(flows, /*legacy=*/false));
+    legacy.push_back(best_fig15(flows, /*legacy=*/true));
     const ScenarioResult& r = scen.back();
-    std::printf("  %4zu flows: %llu events in %.2fs -> %.2fM events/s "
-                "(goodput %.2fG)\n",
+    const ScenarioResult& l = legacy.back();
+    std::printf("  %4zu flows: %llu events in %.2fs -> %.2fM events/s, "
+                "%.2f ev/hop (goodput %.2fG)\n",
                 r.flows, static_cast<unsigned long long>(r.events_fired),
-                r.wall_sec, r.events_per_sec / 1e6, r.goodput_gbps);
+                r.wall_sec, r.events_per_sec / 1e6, r.events_per_hop,
+                r.goodput_gbps);
+    std::printf("       legacy: %llu events in %.2fs -> %.2fM events/s, "
+                "%.2f ev/hop (%.1f%% fewer events coalesced)\n",
+                static_cast<unsigned long long>(l.events_fired), l.wall_sec,
+                l.events_per_sec / 1e6, l.events_per_hop,
+                100.0 * (1.0 - static_cast<double>(r.events_fired) /
+                                   static_cast<double>(l.events_fired)));
   }
 
-  FILE* f = std::fopen(out_path, "w");
+  SweepResult sweep;
+  if (run_sweep) {
+    std::printf("12-point scalability sweep (3 protocols x {4,16,64,256} "
+                "flows, jobs=1 vs jobs=%zu)...\n", sweep_jobs);
+    sweep = bench_sweep(sweep_jobs);
+    std::printf("  jobs=1: %.2fs   jobs=%zu: %.2fs   speedup %.2fx   "
+                "output %s\n",
+                sweep.wall_jobs1_sec, sweep.jobs, sweep.wall_jobsN_sec,
+                sweep.wall_jobs1_sec / sweep.wall_jobsN_sec,
+                sweep.identical_output ? "byte-identical" : "DIVERGED");
+  }
+
+  FILE* f = std::fopen(core_path, "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", out_path);
+    std::fprintf(stderr, "cannot open %s\n", core_path);
     return 1;
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"core\",\n");
   std::fprintf(f, "  \"schema_version\": 1,\n");
   std::fprintf(f, "  \"config\": {\"ops_per_microbench\": %zu, "
-                  "\"batch\": %zu},\n", kOps, kBatch);
+                  "\"batch\": %zu},\n", g_ops, kBatch);
   std::fprintf(f, "  \"event_queue\": {\n");
   std::fprintf(f, "    \"schedule_fire_ops_per_sec\": %.0f,\n", sf);
   std::fprintf(f, "    \"schedule_cancel_ops_per_sec\": %.0f,\n", sc);
@@ -300,6 +452,76 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("wrote %s\n", out_path);
+  std::printf("wrote %s\n", core_path);
+
+  // ---- BENCH_hotpath.json ------------------------------------------------
+  // Two speedup figures against the committed baseline, reported side by
+  // side because the event diet changes what "an event" means:
+  //  - raw = events_per_sec / baseline_eps. Understates the win: the diet
+  //    deleted the *cheapest* events (tx-done), so surviving events are
+  //    heavier on average.
+  //  - work_normalized = (legacy-pattern event count / new wall) /
+  //    baseline_eps. Holds the workload definition fixed at the pre-diet
+  //    event pattern, so it measures wall-clock progress on the same work.
+  FILE* h = std::fopen(hotpath_path, "w");
+  if (h == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", hotpath_path);
+    return 1;
+  }
+  std::fprintf(h, "{\n");
+  std::fprintf(h, "  \"bench\": \"hotpath\",\n");
+  std::fprintf(h, "  \"schema_version\": 1,\n");
+  std::fprintf(h, "  \"fig15\": [\n");
+  for (size_t i = 0; i < scen.size(); ++i) {
+    const ScenarioResult& r = scen[i];
+    const ScenarioResult& l = legacy[i];
+    const double baseline_eps = r.flows == 64 ? kBaselineEps64
+                                              : kBaselineEps256;
+    const uint64_t baseline_events =
+        r.flows == 64 ? kBaselineEvents64 : kBaselineEvents256;
+    std::fprintf(h, "    {\n");
+    std::fprintf(h, "      \"flows\": %zu,\n", r.flows);
+    std::fprintf(h, "      \"events_fired\": %llu,\n",
+                 static_cast<unsigned long long>(r.events_fired));
+    std::fprintf(h, "      \"packet_hops\": %llu,\n",
+                 static_cast<unsigned long long>(r.packet_hops));
+    std::fprintf(h, "      \"wall_sec\": %.3f,\n", r.wall_sec);
+    std::fprintf(h, "      \"events_per_sec\": %.0f,\n", r.events_per_sec);
+    std::fprintf(h, "      \"events_per_hop\": %.3f,\n", r.events_per_hop);
+    std::fprintf(h, "      \"goodput_gbps\": %.2f,\n", r.goodput_gbps);
+    std::fprintf(h, "      \"legacy\": {\"events_fired\": %llu, "
+                    "\"wall_sec\": %.3f, \"events_per_sec\": %.0f, "
+                    "\"events_per_hop\": %.3f},\n",
+                 static_cast<unsigned long long>(l.events_fired), l.wall_sec,
+                 l.events_per_sec, l.events_per_hop);
+    std::fprintf(h, "      \"event_reduction_vs_legacy\": %.3f,\n",
+                 1.0 - static_cast<double>(r.events_fired) /
+                           static_cast<double>(l.events_fired));
+    std::fprintf(h, "      \"committed_baseline\": {\"events_fired\": %llu, "
+                    "\"events_per_sec\": %.0f},\n",
+                 static_cast<unsigned long long>(baseline_events),
+                 baseline_eps);
+    std::fprintf(h, "      \"raw_speedup_vs_baseline\": %.3f,\n",
+                 r.events_per_sec / baseline_eps);
+    std::fprintf(h, "      \"work_normalized_speedup_vs_baseline\": %.3f\n",
+                 (static_cast<double>(l.events_fired) / r.wall_sec) /
+                     baseline_eps);
+    std::fprintf(h, "    }%s\n", i + 1 < scen.size() ? "," : "");
+  }
+  std::fprintf(h, "  ],\n");
+  if (run_sweep) {
+    std::fprintf(h, "  \"sweep\": {\"points\": %zu, \"jobs\": %zu, "
+                    "\"wall_jobs1_sec\": %.3f, \"wall_jobsN_sec\": %.3f, "
+                    "\"speedup\": %.3f, \"identical_output\": %s}\n",
+                 sweep.points, sweep.jobs, sweep.wall_jobs1_sec,
+                 sweep.wall_jobsN_sec,
+                 sweep.wall_jobs1_sec / sweep.wall_jobsN_sec,
+                 sweep.identical_output ? "true" : "false");
+  } else {
+    std::fprintf(h, "  \"sweep\": null\n");
+  }
+  std::fprintf(h, "}\n");
+  std::fclose(h);
+  std::printf("wrote %s\n", hotpath_path);
   return 0;
 }

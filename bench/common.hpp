@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/expresspass.hpp"
+#include "exec/sweep_runner.hpp"
 #include "net/topology_builders.hpp"
 #include "runner/flow_driver.hpp"
 #include "runner/protocols.hpp"
@@ -28,6 +29,23 @@ inline bool full_mode(int argc, char** argv) {
   return env != nullptr && env[0] == '1';
 }
 
+// Worker count for sweep-style benches: `--jobs N` / `--jobs=N`, else the
+// SweepRunner default (XPASS_JOBS env or hardware concurrency). Results are
+// identical for every value — only wall-clock changes.
+inline size_t jobs_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const long v = std::strtol(argv[i + 1], nullptr, 10);
+      if (v >= 1) return static_cast<size_t>(v);
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      const long v = std::strtol(argv[i] + 7, nullptr, 10);
+      if (v >= 1) return static_cast<size_t>(v);
+    }
+  }
+  return exec::default_jobs();
+}
+
 inline void header(const char* title, const char* paper_ref) {
   std::printf("\n================================================================\n");
   std::printf("%s\n(reproduces %s)\n", title, paper_ref);
@@ -38,6 +56,51 @@ inline void header(const char* title, const char* paper_ref) {
 inline double data_ceiling_bps(double link_bps) {
   return link_bps * static_cast<double>(net::kMaxWireBytes) /
          static_cast<double>(net::kCreditCycleBytes);
+}
+
+// One cell of the Fig-15 flow-scalability grid (also the 12-point sweep the
+// hotpath bench times): long-running flows on a 10G dumbbell, measured over
+// a post-warmup window.
+struct ScalabilityCell {
+  double util_gbps = 0;
+  double fairness = 0;
+  double max_q_kb = 0;
+  uint64_t drops = 0;
+};
+
+inline ScalabilityCell scalability_cell(runner::Protocol proto, size_t n_flows,
+                                        bool full) {
+  sim::Simulator sim(29);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(proto, 10e9, sim::Time::us(1));
+  auto d = net::build_dumbbell(topo, n_flows, link, link);
+  auto t = runner::make_transport(proto, sim, topo, sim::Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  uint32_t next_id = 1;
+  for (size_t i = 0; i < n_flows; ++i) {
+    transport::FlowSpec s;
+    s.id = next_id++;
+    s.src = d.senders[i];
+    s.dst = d.receivers[i];
+    s.size_bytes = transport::kLongRunning;
+    s.start_time = sim::Time::seconds(sim.rng().uniform(0.0, 5e-3));
+    driver.add(s);
+  }
+  const sim::Time warmup = sim::Time::ms(full ? 50 : 20);
+  const sim::Time window = sim::Time::ms(full ? 100 : 50);
+  sim.run_until(warmup);
+  driver.rates().snapshot_rates(warmup);
+  sim.run_until(warmup + window);
+  auto rates = driver.rates().snapshot_rates(window);
+  ScalabilityCell r;
+  double sum = 0;
+  for (double x : rates) sum += x;
+  r.util_gbps = sum / 1e9;
+  r.fairness = stats::jain_index(rates);
+  r.max_q_kb = d.bottleneck->data_queue().stats().max_bytes / 1e3;
+  r.drops = topo.data_drops();
+  driver.stop_all();
+  return r;
 }
 
 struct FlowSpecBuilder {

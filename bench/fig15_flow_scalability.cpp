@@ -12,43 +12,7 @@ using namespace xpass;
 using sim::Time;
 
 namespace {
-
-struct Row {
-  double util_gbps;
-  double fairness;
-  double max_q_kb;
-  uint64_t drops;
-};
-
-Row run(runner::Protocol proto, size_t n_flows, bool full) {
-  sim::Simulator sim(29);
-  net::Topology topo(sim);
-  const auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
-  auto d = net::build_dumbbell(topo, n_flows, link, link);
-  auto t = runner::make_transport(proto, sim, topo, Time::us(100));
-  runner::FlowDriver driver(sim, *t);
-  bench::FlowSpecBuilder fb;
-  for (size_t i = 0; i < n_flows; ++i) {
-    driver.add(fb.make(d.senders[i], d.receivers[i], transport::kLongRunning,
-                       sim::Time::seconds(sim.rng().uniform(0.0, 5e-3))));
-  }
-  const Time warmup = Time::ms(full ? 50 : 20);
-  const Time window = Time::ms(full ? 100 : 50);
-  sim.run_until(warmup);
-  driver.rates().snapshot_rates(warmup);
-  sim.run_until(warmup + window);
-  auto rates = driver.rates().snapshot_rates(window);
-  Row r;
-  double sum = 0;
-  for (double x : rates) sum += x;
-  r.util_gbps = sum / 1e9;
-  r.fairness = stats::jain_index(rates);
-  r.max_q_kb = d.bottleneck->data_queue().stats().max_bytes / 1e3;
-  r.drops = topo.data_drops();
-  driver.stop_all();
-  return r;
-}
-
+using Row = bench::ScalabilityCell;
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,13 +25,28 @@ int main(int argc, char** argv) {
   const std::vector<runner::Protocol> protos = {
       runner::Protocol::kExpressPass, runner::Protocol::kDctcp,
       runner::Protocol::kRcp};
+  // Every (protocol, flow-count) cell is an independent simulation: compute
+  // the grid in parallel, print in grid order.
+  struct Cell {
+    runner::Protocol proto;
+    size_t flows;
+  };
+  std::vector<Cell> grid;
+  for (auto proto : protos) {
+    for (size_t n : counts) grid.push_back({proto, n});
+  }
+  exec::SweepRunner pool(bench::jobs_arg(argc, argv));
+  const auto rows = pool.map(grid.size(), [&](size_t i) {
+    return bench::scalability_cell(grid[i].proto, grid[i].flows, full);
+  });
+  size_t at = 0;
   for (auto proto : protos) {
     std::printf("\n--- %s ---\n",
                 std::string(runner::protocol_name(proto)).c_str());
     std::printf("%8s %12s %10s %12s %8s\n", "flows", "goodput(G)", "Jain",
                 "maxQ(KB)", "drops");
     for (size_t n : counts) {
-      Row r = run(proto, n, full);
+      const Row& r = rows[at++];
       std::printf("%8zu %12.2f %10.3f %12.1f %8zu\n", n, r.util_gbps,
                   r.fairness, r.max_q_kb, static_cast<size_t>(r.drops));
     }

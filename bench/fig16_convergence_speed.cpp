@@ -50,22 +50,28 @@ double converge_rtts(runner::Protocol proto, double rate_bps, double alpha,
   return -1;
 }
 
-void row(const char* name, runner::Protocol p, double alpha, int cap10,
-         int cap100, const char* paper) {
-  const double r10 = converge_rtts(p, 10e9, alpha, cap10);
-  const double r100 = converge_rtts(p, 100e9, alpha, cap100);
+struct RowSpec {
+  const char* name;
+  runner::Protocol proto;
+  double alpha;
+  int cap10;
+  int cap100;
+  const char* paper;
+};
+
+void print_row(const RowSpec& s, double r10, double r100) {
   char b10[32], b100[32];
   if (r10 < 0) {
-    std::snprintf(b10, sizeof b10, ">%d", cap10);
+    std::snprintf(b10, sizeof b10, ">%d", s.cap10);
   } else {
     std::snprintf(b10, sizeof b10, "%.0f", r10);
   }
   if (r100 < 0) {
-    std::snprintf(b100, sizeof b100, ">%d", cap100);
+    std::snprintf(b100, sizeof b100, ">%d", s.cap100);
   } else {
     std::snprintf(b100, sizeof b100, "%.0f", r100);
   }
-  std::printf("%-28s %10s %10s   [paper: %s]\n", name, b10, b100, paper);
+  std::printf("%-28s %10s %10s   [paper: %s]\n", s.name, b10, b100, s.paper);
 }
 
 }  // namespace
@@ -75,13 +81,26 @@ int main(int argc, char** argv) {
   bench::header("Fig 16: convergence time in RTTs (RTT=100us)",
                 "Fig 16, SIGCOMM'17");
   std::printf("%-28s %10s %10s\n", "protocol", "@10G", "@100G");
-  row("ExpressPass (a=1/2)", runner::Protocol::kExpressPass, 0.5, 40, 40,
-      "3 RTTs @10G and @100G");
-  row("ExpressPass (a=1/16)", runner::Protocol::kExpressPass, 1.0 / 16, 60,
-      60, "6 RTTs @10G and @100G");
-  row("RCP", runner::Protocol::kRcp, 0, 40, 40, "3 RTTs");
-  row("DCTCP", runner::Protocol::kDctcp, 0, full ? 1000 : 600,
-      full ? 6000 : 1200, "260 RTTs @10G, 2350 @100G");
+  const std::vector<RowSpec> specs = {
+      {"ExpressPass (a=1/2)", runner::Protocol::kExpressPass, 0.5, 40, 40,
+       "3 RTTs @10G and @100G"},
+      {"ExpressPass (a=1/16)", runner::Protocol::kExpressPass, 1.0 / 16, 60,
+       60, "6 RTTs @10G and @100G"},
+      {"RCP", runner::Protocol::kRcp, 0, 40, 40, "3 RTTs"},
+      {"DCTCP", runner::Protocol::kDctcp, 0, full ? 1000 : 600,
+       full ? 6000 : 1200, "260 RTTs @10G, 2350 @100G"},
+  };
+  // Each (row, link speed) pair is an independent simulation; the DCTCP
+  // 100G run dominates serial wall-clock, so fan the grid out.
+  exec::SweepRunner pool(bench::jobs_arg(argc, argv));
+  const auto rtts = pool.map(specs.size() * 2, [&](size_t i) {
+    const RowSpec& s = specs[i / 2];
+    return i % 2 == 0 ? converge_rtts(s.proto, 10e9, s.alpha, s.cap10)
+                      : converge_rtts(s.proto, 100e9, s.alpha, s.cap100);
+  });
+  for (size_t r = 0; r < specs.size(); ++r) {
+    print_row(specs[r], rtts[2 * r], rtts[2 * r + 1]);
+  }
   std::printf(
       "\nShape check: ExpressPass/RCP converge in a few RTTs at both\n"
       "speeds; DCTCP needs O(BDP) RTTs and degrades ~10x from 10G->100G.\n");

@@ -28,6 +28,25 @@ int main(int argc, char** argv) {
       runner::Protocol::kDctcp, runner::Protocol::kDx,
       runner::Protocol::kHull};
 
+  // The (workload, protocol) grid is embarrassingly parallel: each cell
+  // builds its own fabric and flow schedule. Compute all cells up front,
+  // then print in grid order.
+  std::vector<bench::WorkloadRunConfig> grid;
+  for (auto kind : kinds) {
+    for (auto proto : protos) {
+      bench::WorkloadRunConfig cfg;
+      cfg.kind = kind;
+      cfg.proto = proto;
+      cfg.full_scale = full;
+      cfg.n_flows = full ? 20000 : 1200;
+      grid.push_back(cfg);
+    }
+  }
+  exec::SweepRunner pool(bench::jobs_arg(argc, argv));
+  const auto results =
+      pool.map(grid.size(), [&](size_t i) { return bench::run_workload(grid[i]); });
+
+  size_t at = 0;
   for (auto kind : kinds) {
     std::printf("\n### workload: %s\n",
                 std::string(workload::workload_name(kind)).c_str());
@@ -40,12 +59,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     for (auto proto : protos) {
-      bench::WorkloadRunConfig cfg;
-      cfg.kind = kind;
-      cfg.proto = proto;
-      cfg.full_scale = full;
-      cfg.n_flows = full ? 20000 : 1200;
-      auto r = bench::run_workload(cfg);
+      const auto& r = results[at++];
       std::printf("%-14s %6zu/%zu",
                   std::string(runner::protocol_name(proto)).c_str(),
                   r.completed, r.scheduled);

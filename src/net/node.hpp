@@ -36,6 +36,16 @@ class Node {
   Kind kind() const { return kind_; }
   const std::string& name() const { return name_; }
 
+  // Topology-wide link-liveness epoch, shared by every node of a Topology
+  // (null for nodes built standalone). Port::fail()/recover() bump it;
+  // Switch::route() caches per-destination live-candidate tables keyed on
+  // it, so fault-free runs never rescan liveness per packet.
+  void set_liveness_epoch(uint64_t* epoch) { liveness_epoch_ = epoch; }
+  const uint64_t* liveness_epoch() const { return liveness_epoch_; }
+  void bump_liveness_epoch() {
+    if (liveness_epoch_ != nullptr) ++*liveness_epoch_;
+  }
+
  protected:
   sim::Simulator& sim_;
 
@@ -44,6 +54,7 @@ class Node {
   Kind kind_;
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
+  uint64_t* liveness_epoch_ = nullptr;
 };
 
 }  // namespace xpass::net

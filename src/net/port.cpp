@@ -58,6 +58,13 @@ void Port::enqueue(Packet&& p) {
     data_q_.enqueue(std::move(p), now);
     check_pfc();
   }
+  if (up_ && now < free_at_) {
+    // Serializer busy: the queues are non-empty (even a drop-on-full leaves
+    // the full queue behind), so skip try_transmit's rescan and just make
+    // sure the service wakeup is armed.
+    schedule_kick();
+    return;
+  }
   try_transmit();
 }
 
@@ -95,9 +102,33 @@ void Port::pfc_resume() {
   if (--pause_count_ == 0) try_transmit();
 }
 
+bool Port::work_queued() const {
+  if (!data_q_.empty()) return true;
+  for (const CreditQueue& q : credit_qs_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+void Port::schedule_kick() {
+  if (kick_pending_) return;
+  kick_pending_ = true;
+  sim_.at(free_at_, [this] {
+    kick_pending_ = false;
+    try_transmit();
+  });
+}
+
 void Port::try_transmit() {
-  if (busy_ || !up_) return;
+  if (!up_) return;
   const sim::Time now = sim_.now();
+  if (now < free_at_) {
+    // Serializer busy. Every caller that can add work lands here; arm the
+    // wakeup at serializer-free time once (the legacy path armed it
+    // unconditionally at transmission start).
+    if (work_queued()) schedule_kick();
+    return;
+  }
 
   Packet pkt;
   const size_t cls = pick_credit_class();
@@ -129,14 +160,15 @@ void Port::try_transmit() {
     return;
   }
 
-  busy_ = true;
   ++tx_packets_;
   tx_bytes_ += pkt.wire_bytes;
   const sim::Time tx = sim::tx_time(pkt.wire_bytes, cfg_.rate_bps);
-  sim_.after(tx, [this] {
-    busy_ = false;
-    try_transmit();
-  });
+  free_at_ = now + tx;
+  // One event per transmission: the delivery at tx+prop. A serializer-done
+  // kick is added only when something is already waiting to be served then
+  // (scheduled before the delivery, preserving the legacy event order for
+  // same-timestamp ties).
+  if (cfg_.legacy_tx_events || work_queued()) schedule_kick();
   assert(peer_ != nullptr && "port not connected");
   sim_.after(tx + cfg_.prop_delay, [this, p = std::move(pkt)]() mutable {
     deliver_to_peer(std::move(p));
@@ -183,6 +215,7 @@ void Port::fail(LinkFailMode mode) {
   fail_mode_ = mode;
   if (!up_) return;  // already down; only the (possibly escalated) mode sticks
   up_ = false;
+  owner_.bump_liveness_epoch();  // invalidate cached live-candidate tables
   ++fault_.failures;
   if (mode == LinkFailMode::kDrop) {
     const sim::Time now = sim_.now();
@@ -194,6 +227,7 @@ void Port::fail(LinkFailMode mode) {
 void Port::recover() {
   if (up_) return;
   up_ = true;
+  owner_.bump_liveness_epoch();
   ++fault_.recoveries;
   credit_shaper_.reset(sim_.now());
   try_transmit();
@@ -213,6 +247,7 @@ void Port::rebaseline_credit_class(size_t cls) {
   // WFQ restarts an arriving flow at the current virtual time; the
   // equivalent here is clamping the returning class's normalized
   // served-bytes up to the minimum over the currently backlogged classes.
+  if (credit_qs_.size() == 1) return;  // no peers to rebaseline against
   double min_key = -1.0;
   for (size_t i = 0; i < credit_qs_.size(); ++i) {
     if (i == cls || credit_qs_[i].empty()) continue;
@@ -229,6 +264,7 @@ size_t Port::pick_credit_class() const {
   // Weighted fair selection: among backlogged classes, serve the one whose
   // served-bytes / weight is smallest (deficit-style WFQ over the shaped
   // credit bandwidth).
+  if (credit_qs_.size() == 1) return credit_qs_[0].empty() ? SIZE_MAX : 0;
   size_t best = SIZE_MAX;
   double best_key = 0.0;
   for (size_t i = 0; i < credit_qs_.size(); ++i) {

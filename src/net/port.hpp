@@ -85,6 +85,13 @@ struct LinkConfig {
   bool pfc = false;
   uint64_t pfc_pause_bytes = 150'000;
   uint64_t pfc_resume_bytes = 75'000;
+  // Pre-coalescing event pattern: schedule a serializer-done wakeup for
+  // every transmission, even when nothing is waiting to follow it. The
+  // default self-scheduling path skips that event whenever the port's
+  // queues are empty at transmission start (the common case off the
+  // bottleneck), halving the event count on those hops. Kept as an option
+  // so tests can prove the two paths produce identical traces.
+  bool legacy_tx_events = false;
 };
 
 // Per-port RCP state (enabled only for RCP runs). Implements the classic
@@ -166,6 +173,11 @@ class Port {
 
  private:
   void try_transmit();
+  // Ensures a service wakeup fires when the serializer frees (at
+  // free_at_). Idempotent: at most one kick is outstanding per port.
+  void schedule_kick();
+  // Anything queued that the scheduler could serve next?
+  bool work_queued() const;
   // Runs at wire-arrival time: applies link failure / error-model fate,
   // then hands the frame to the peer's owner.
   void deliver_to_peer(Packet&& p);
@@ -197,7 +209,13 @@ class Port {
   TokenBucket credit_shaper_;
   std::unique_ptr<RcpState> rcp_;
 
-  bool busy_ = false;
+  // Serializer state machine: the port is busy until free_at_. Instead of
+  // an unconditional tx-done event per transmission, a single delivery
+  // event is scheduled at tx+prop, and a service "kick" at free_at_ only
+  // when queued work will actually be waiting there (self-scheduling; see
+  // LinkConfig::legacy_tx_events).
+  sim::Time free_at_;
+  bool kick_pending_ = false;
   bool retry_pending_ = false;
   uint32_t pause_count_ = 0;
   uint64_t pause_events_ = 0;

@@ -47,8 +47,7 @@ bool DropTailQueue::enqueue(Packet&& p, sim::Time now) {
 
 Packet DropTailQueue::dequeue(sim::Time now) {
   account(now);
-  Item it = std::move(items_.front());
-  items_.pop_front();
+  Item it = items_.pop_front();
   bytes_ -= it.pkt.wire_bytes;
   it.pkt.queue_delay += now - it.enq_time;
   return std::move(it.pkt);
@@ -69,9 +68,7 @@ bool CreditQueue::enqueue(Packet&& p, sim::Time now) {
 
 Packet CreditQueue::dequeue(sim::Time now) {
   (void)now;
-  Packet p = std::move(items_.front());
-  items_.pop_front();
-  return p;
+  return items_.pop_front();
 }
 
 size_t DropTailQueue::clear(sim::Time now) {

@@ -11,9 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "net/packet.hpp"
+#include "net/ring_buffer.hpp"
 #include "sim/time.hpp"
 
 namespace xpass::net {
@@ -73,7 +73,7 @@ class DropTailQueue {
   };
 
   Config cfg_;
-  std::deque<Item> items_;
+  RingBuffer<Item> items_;
   uint64_t bytes_ = 0;
   double phantom_bytes_ = 0.0;
   sim::Time phantom_last_;
@@ -98,7 +98,7 @@ class CreditQueue {
 
  private:
   size_t capacity_;
-  std::deque<Packet> items_;
+  RingBuffer<Packet> items_;
   QueueStats stats_;
 };
 

@@ -1,0 +1,73 @@
+// Reusable FIFO ring buffer, the storage behind the egress queues.
+//
+// std::deque allocates and frees a map node roughly every 512 bytes of
+// traffic that passes through a queue, so a saturated port pays the
+// allocator continuously even when its occupancy is tiny. This ring keeps a
+// power-of-two slot array that only ever grows: enqueue/dequeue cycles
+// recycle the same slots forever, and a drained queue retains its high-water
+// capacity for the next burst. Elements must be default-constructible and
+// movable (Packet and the queues' Item wrappers are); a popped slot holds a
+// moved-from element until it is overwritten, which is free for types that
+// own no resources.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace xpass::net {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  void push_back(T&& v) {
+    if (size_ == slots_.size()) grow();
+    slots_[(head_ + size_) & mask_] = std::move(v);
+    ++size_;
+  }
+
+  // Precondition: !empty().
+  T pop_front() {
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return out;
+  }
+
+  // Drops every element (overwriting lazily); capacity is retained.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  void grow() {
+    const size_t cap = slots_.empty() ? kInitialCapacity : slots_.size() * 2;
+    std::vector<T> next(cap);
+    for (size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(next);
+    head_ = 0;
+    mask_ = cap - 1;
+  }
+
+  static constexpr size_t kInitialCapacity = 8;  // power of two
+
+  std::vector<T> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace xpass::net

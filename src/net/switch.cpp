@@ -20,41 +20,50 @@ uint64_t Switch::symmetric_hash(NodeId a, NodeId b, FlowId flow) {
   return mix((lo << 40) ^ (hi << 20) ^ flow);
 }
 
-Port* Switch::route(NodeId src, NodeId dst, FlowId flow) const {
-  if (dst >= routes_.size() || routes_[dst].empty()) return nullptr;
-  const auto& cands = routes_[dst];
+const std::vector<Port*>* Switch::live_candidates(NodeId dst) const {
   // Exclude failed links; requiring both directions up implements §3.1's
   // symmetric exclusion of unidirectionally failed links.
-  size_t n_up = 0;
-  for (Port* c : cands) {
-    if (c->is_up() && c->peer()->is_up()) ++n_up;
+  const auto& cands = routes_[dst];
+  const uint64_t* epoch = liveness_epoch();
+  if (epoch == nullptr) {
+    // Standalone switch (unit tests): no shared epoch, scan every call.
+    scan_scratch_.clear();
+    for (Port* c : cands) {
+      if (c->is_up() && c->peer()->is_up()) scan_scratch_.push_back(c);
+    }
+    return &scan_scratch_;
   }
-  if (n_up == 0) return nullptr;
-  if (n_up == 1 && cands.size() == 1) return cands[0];
+  LiveCache& cache = cache_[dst];
+  if (cache.epoch != *epoch) {
+    cache.live.clear();
+    for (Port* c : cands) {
+      if (c->is_up() && c->peer()->is_up()) cache.live.push_back(c);
+    }
+    cache.epoch = *epoch;
+  }
+  return &cache.live;
+}
+
+Port* Switch::route(NodeId src, NodeId dst, FlowId flow) const {
+  if (dst >= routes_.size() || routes_[dst].empty()) return nullptr;
+  const std::vector<Port*>& live = *live_candidates(dst);
+  // Selecting live[h % n_up] reproduces the pre-cache scan exactly: the
+  // cache preserves candidate order, so "the pick-th up candidate" is a
+  // direct index.
+  if (live.empty()) return nullptr;
+  if (live.size() == 1) return live[0];
   const uint64_t h =
       mix(symmetric_hash(src, dst, flow) ^
           (static_cast<uint64_t>(dist_[dst]) * 0xd1342543de82ef95ULL));
-  size_t pick = h % n_up;
-  for (Port* c : cands) {
-    if (!c->is_up() || !c->peer()->is_up()) continue;
-    if (pick == 0) return c;
-    --pick;
-  }
-  return nullptr;
+  return live[h % live.size()];
 }
 
 void Switch::receive(Packet&& p, Port& in) {
   (void)in;
   Port* out = nullptr;
   if (spraying_ && p.dst < routes_.size() && routes_[p.dst].size() > 1) {
-    const auto& cands = routes_[p.dst];
-    for (size_t attempt = 0; attempt < cands.size(); ++attempt) {
-      Port* c = cands[rr_counter_++ % cands.size()];
-      if (c->is_up() && c->peer()->is_up()) {
-        out = c;
-        break;
-      }
-    }
+    const std::vector<Port*>& live = *live_candidates(p.dst);
+    if (!live.empty()) out = live[rr_counter_++ % live.size()];
   } else {
     out = route(p.src, p.dst, p.flow);
   }

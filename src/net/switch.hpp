@@ -23,11 +23,12 @@ class Switch : public Node {
 
   // Routing table: per destination node id, the ECMP candidate egress ports
   // (sorted deterministically by Topology::finalize) and the hop distance
-  // to that destination.
+  // to that destination. Installing a table drops the live-candidate caches.
   void set_routes(std::vector<std::vector<Port*>> table,
                   std::vector<uint32_t> dist) {
     routes_ = std::move(table);
     dist_ = std::move(dist);
+    cache_.assign(routes_.size(), LiveCache{});
   }
   const std::vector<Port*>& candidates(NodeId dst) const {
     return routes_[dst];
@@ -60,8 +61,27 @@ class Switch : public Node {
   uint64_t unroutable_credits() const { return unroutable_credits_; }
 
  private:
+  // Per-destination cache of the ECMP candidates whose links are live in
+  // both directions, in candidate order. Valid while its epoch matches the
+  // topology's liveness epoch; fail()/recover()/recompute_routes() bump
+  // that counter, so the fault-free forwarding path costs one integer
+  // compare instead of an is_up() scan per packet. kNeverBuilt forces the
+  // first build even at topology epoch 0.
+  struct LiveCache {
+    static constexpr uint64_t kNeverBuilt = ~0ull;
+    std::vector<Port*> live;
+    uint64_t epoch = kNeverBuilt;
+  };
+
+  // The live candidates toward dst, refreshed when the epoch moved. Falls
+  // back to a per-call scan for switches built outside a Topology (no
+  // shared epoch to key the cache on).
+  const std::vector<Port*>* live_candidates(NodeId dst) const;
+
   std::vector<std::vector<Port*>> routes_;
   std::vector<uint32_t> dist_;
+  mutable std::vector<LiveCache> cache_;
+  mutable std::vector<Port*> scan_scratch_;  // no-epoch fallback storage
   bool spraying_ = false;
   uint64_t rr_counter_ = 0;
   uint64_t unroutable_data_ = 0;

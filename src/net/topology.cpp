@@ -13,6 +13,7 @@ Host& Topology::add_host(std::string name) {
   if (name.empty()) name = "host" + std::to_string(id);
   auto h = std::make_unique<Host>(sim_, id, std::move(name));
   Host* raw = h.get();
+  raw->set_liveness_epoch(&liveness_epoch_);
   nodes_.push_back(std::move(h));
   hosts_.push_back(raw);
   return *raw;
@@ -23,6 +24,7 @@ Switch& Topology::add_switch(std::string name) {
   if (name.empty()) name = "sw" + std::to_string(id);
   auto s = std::make_unique<Switch>(sim_, id, std::move(name));
   Switch* raw = s.get();
+  raw->set_liveness_epoch(&liveness_epoch_);
   nodes_.push_back(std::move(s));
   switches_.push_back(raw);
   return *raw;
@@ -35,14 +37,14 @@ std::pair<Port&, Port&> Topology::connect(Node& a, Node& b,
     throw std::invalid_argument("Topology::connect: self-loop on node '" +
                                 a.name() + "'");
   }
-  for (const LinkRec& l : links_) {
-    if ((l.a == a.id() && l.b == b.id()) ||
-        (l.a == b.id() && l.b == a.id())) {
-      throw std::invalid_argument("Topology::connect: duplicate link between '" +
-                                  a.name() + "' and '" + b.name() +
-                                  "' (parallel links are not supported; "
-                                  "raise the link rate instead)");
-    }
+  const uint64_t key =
+      (static_cast<uint64_t>(std::min(a.id(), b.id())) << 32) |
+      std::max(a.id(), b.id());
+  if (!link_keys_.insert(key).second) {
+    throw std::invalid_argument("Topology::connect: duplicate link between '" +
+                                a.name() + "' and '" + b.name() +
+                                "' (parallel links are not supported; "
+                                "raise the link rate instead)");
   }
   Port& pa = a.add_port(cfg);
   Port& pb = b.add_port(cfg);
@@ -76,6 +78,7 @@ void Topology::finalize() {
 
 void Topology::recompute_routes() {
   assert(finalized_ && "recompute_routes() before finalize()");
+  ++liveness_epoch_;  // new tables, new live-candidate caches
   const size_t n = nodes_.size();
 
   // Adjacency over live links only: a failed direction takes the whole

@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "net/host.hpp"
@@ -84,6 +85,13 @@ class Topology {
   std::vector<Host*> hosts_;
   std::vector<Switch*> switches_;
   std::vector<LinkRec> links_;
+  // Normalized (min,max) endpoint keys of every link, so connect()'s
+  // duplicate check is O(1) instead of a scan over all previous links.
+  std::unordered_set<uint64_t> link_keys_;
+  // Link-liveness epoch shared by every node (see Node::liveness_epoch):
+  // bumped on any port fail/recover and on route recomputation, it keys the
+  // switches' live-candidate caches.
+  uint64_t liveness_epoch_ = 0;
   bool finalized_ = false;
 };
 

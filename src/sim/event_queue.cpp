@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace xpass::sim {
@@ -15,6 +16,12 @@ uint32_t EventQueue::acquire_slot() {
     const uint32_t idx = free_head_;
     free_head_ = slots_[idx].next_free;
     return idx;
+  }
+  // Pool growth only happens when every existing slot is pending, so this
+  // check is off the per-event path.
+  if (slots_.size() > kSlotMask) {
+    throw std::length_error(
+        "EventQueue: more than 2^20 concurrently pending events");
   }
   slots_.emplace_back();
   return static_cast<uint32_t>(slots_.size() - 1);
@@ -38,7 +45,7 @@ TimerId EventQueue::schedule(Time t, Callback cb) {
   // Deferred heapification: the entry sits in the unsorted staging buffer
   // until the queue is next stepped or peeked. If it is cancelled before
   // then (teardown, RTO reschedule), it never costs a sift at all.
-  staging_.push_back(Entry{t, next_seq_++, idx});
+  staging_.push_back(Entry{t, (next_seq_++ << kSlotBits) | idx});
   ++live_count_;
   return TimerId{idx, s.gen};
 }
@@ -57,51 +64,81 @@ void EventQueue::cancel(TimerId id) {
   skim_cancelled();
 }
 
+void EventQueue::fire_top() {
+  // Pop-push fusion: firing leaves a hole at the root instead of eagerly
+  // re-heapifying. The fired callback almost always schedules a successor
+  // event (the simulation's "hold" pattern), and the successor is usually
+  // near-future — the next flush drops it straight into the hole, where its
+  // sift_down terminates after a level or two. The eager alternative pays a
+  // full-depth sift_down (moving the far-future *last* element down from
+  // the root) plus a full-depth sift_up for the new event, every event.
+  const Entry e = heap_[0];
+  hole_ = true;
+  Slot& s = slots_[e.slot()];
+  Callback cb = std::move(s.cb);
+  release_slot(e.slot());
+  now_ = e.t;
+  --live_count_;
+  ++fired_;
+  // No references into slots_/heap_ may be held across the call: the
+  // callback can schedule, growing either vector.
+  cb();
+}
+
 bool EventQueue::step() {
-  flush_staging();
-  while (!heap_.empty()) {
-    const Entry e = heap_pop();
-    Slot& s = slots_[e.slot];
-    if (!s.armed) {  // cancelled while queued
-      release_slot(e.slot);
-      continue;
-    }
-    Callback cb = std::move(s.cb);
-    release_slot(e.slot);
-    now_ = e.t;
-    --live_count_;
-    ++fired_;
-    // No references into slots_/heap_ may be held across the call: the
-    // callback can schedule, growing either vector.
-    cb();
-    return true;
-  }
-  return false;
+  if (!staging_.empty()) flush_staging();
+  skim_cancelled();
+  if (heap_.empty()) return false;
+  fire_top();
+  return true;
 }
 
 void EventQueue::flush_staging() {
   for (const Entry& e : staging_) {
-    if (slots_[e.slot].armed) {
-      heap_push(e);
+    if (slots_[e.slot()].armed) {
+      if (hole_) {
+        // Fill the fired event's root hole directly (see fire_top).
+        hole_ = false;
+        heap_[0] = e;
+        sift_down(0);
+      } else {
+        heap_push(e);
+      }
     } else {
-      release_slot(e.slot);  // cancelled while staged: skip the heap entirely
+      release_slot(e.slot());  // cancelled while staged: skip the heap entirely
     }
   }
   staging_.clear();
 }
 
+void EventQueue::fill_hole() {
+  // No staged event claimed the root hole: close it the eager way, by
+  // sifting the last element down from the root.
+  if (!hole_) return;
+  hole_ = false;
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
+}
+
 void EventQueue::skim_cancelled() {
-  while (!heap_.empty() && !slots_[heap_[0].slot].armed) {
-    release_slot(heap_pop().slot);
+  fill_hole();
+  while (!heap_.empty() && !slots_[heap_[0].slot()].armed) {
+    release_slot(heap_pop().slot());
   }
 }
 
 void EventQueue::run_until(Time t_end) {
+  // One flush + one skim + one pop per fired event; step()'s re-checks are
+  // folded in rather than paid twice per iteration.
   for (;;) {
-    flush_staging();
+    if (!staging_.empty()) flush_staging();
     skim_cancelled();
     if (heap_.empty() || heap_[0].t > t_end) break;
-    step();
+    fire_top();
   }
   if (now_ < t_end) now_ = t_end;
 }

@@ -17,15 +17,25 @@
 //    in the set forever. Here there is nothing to leak: the slot is
 //    reclaimed exactly when its heap entry pops, structurally.
 //
-//  * The heap stores 24-byte {time, seq, slot} entries in a 4-ary layout:
-//    shallower than binary (fewer cache misses per sift) and four children
-//    per cache line. Callbacks never move through the heap.
+//  * The heap stores 16-byte {time, seq<<20|slot} entries in a 4-ary
+//    layout: shallower than binary (fewer cache misses per sift), and a
+//    sibling group spans at most two cache lines. The packed second word
+//    compares identically to the sequence number (seqs are unique, so the
+//    slot bits never decide), keeping the FIFO tie-break while halving
+//    what a sift moves. Callbacks never move through the heap.
 //
 //  * Heapification is deferred: schedule() appends to an unsorted staging
 //    buffer, flushed into the heap only when the queue is next stepped or
 //    peeked. An event cancelled while still staged — the RTO-reschedule and
 //    teardown pattern, where most timers never fire — is dropped at flush
 //    without ever paying a sift.
+//
+//  * Pop and push fuse: firing leaves a hole at the root, and the flush
+//    drops the fired callback's successor event (the dominant "hold"
+//    pattern) straight into it. A near-future successor sifts down a level
+//    or two instead of paying the eager full-depth sift_down + sift_up
+//    pair. Fire order is unaffected — the minimum is unique, whatever the
+//    internal layout.
 //
 //  * Callbacks are sim::Callback (small-buffer optimized, move-only): the
 //    common captures — a `this` pointer, or a Port* plus a Packet — live
@@ -80,7 +90,9 @@ class EventQueue {
   // Total slots ever allocated: bounded by the max number of simultaneously
   // scheduled events, regardless of how many were cancelled over time.
   size_t pool_slots() const { return slots_.size(); }
-  size_t heap_entries() const { return heap_.size() + staging_.size(); }
+  size_t heap_entries() const {
+    return heap_.size() + staging_.size() - (hole_ ? 1 : 0);
+  }
 
  private:
   struct Slot {
@@ -89,15 +101,22 @@ class EventQueue {
     uint32_t next_free = TimerId::kInvalidSlot;
     bool armed = false;  // false = empty, cancelled, or already fired
   };
+  // Slot indices live in the low bits of the packed key; the pool is hard
+  // capped at 2^20 concurrently pending events (enforced on pool growth).
+  // The remaining 44 bits of sequence number cover ~1.7e13 scheduled events
+  // per queue lifetime.
+  static constexpr uint32_t kSlotBits = 20;
+  static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
   struct Entry {
     Time t;
-    uint64_t seq;
-    uint32_t slot;
+    uint64_t key;  // (seq << kSlotBits) | slot
+    uint32_t slot() const { return static_cast<uint32_t>(key) & kSlotMask; }
   };
+  static_assert(sizeof(Entry) == 16);
 
   static bool earlier(const Entry& a, const Entry& b) {
     if (a.t != b.t) return a.t < b.t;
-    return a.seq < b.seq;
+    return a.key < b.key;  // == seq order: seqs are unique
   }
 
   uint32_t acquire_slot();
@@ -110,11 +129,18 @@ class EventQueue {
   void flush_staging();
   // Reclaims cancelled entries sitting at the heap top.
   void skim_cancelled();
+  // Closes a root hole left by fire_top when no staged event claimed it.
+  void fill_hole();
+  // Pops the (flushed, armed) top entry and invokes its callback.
+  void fire_top();
 
   std::vector<Entry> staging_;  // scheduled, not yet heapified
   std::vector<Entry> heap_;     // 4-ary min-heap on (t, seq)
   std::vector<Slot> slots_;
   uint32_t free_head_ = TimerId::kInvalidSlot;
+  // True while heap_[0] is a fired event's stale entry, waiting to be
+  // overwritten by the next staged event (pop-push fusion; see fire_top).
+  bool hole_ = false;
   Time now_;
   uint64_t next_seq_ = 1;
   size_t live_count_ = 0;

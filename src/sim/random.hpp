@@ -1,42 +1,94 @@
 // Deterministic PRNG wrapper used everywhere in the simulator.
 //
-// A single seeded mt19937_64 per Simulator keeps runs reproducible; helpers
-// cover the distributions the experiments need.
+// One seeded generator per Simulator keeps runs reproducible. The engine is
+// xoshiro256++ (seeded through splitmix64) with every distribution spelled
+// out explicitly, for two reasons:
+//
+//  * The hot path draws twice per credit (randomized credit size, pacing
+//    jitter); mt19937_64's 2.5 KB state and bulk-refill step showed up at
+//    ~7% of scenario runtime, while xoshiro256++ is four 64-bit words and a
+//    handful of cycles per draw.
+//  * std::uniform_int_distribution and friends are implementation-defined:
+//    the same seed produces different streams on different standard
+//    libraries. Hand-rolled conversions make a seed's trajectory identical
+//    on every toolchain, which the cross-thread determinism tests (and any
+//    cross-machine baseline comparison) rely on.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
-#include <random>
 
 namespace xpass::sim {
 
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 1) : eng_(seed) {}
+  explicit Rng(uint64_t seed = 1) { this->seed(seed); }
 
-  void seed(uint64_t s) { eng_.seed(s); }
-
-  double uniform() { return uni_(eng_); }  // [0, 1)
-  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-  // Inclusive integer range.
-  int64_t uniform_int(int64_t lo, int64_t hi) {
-    return std::uniform_int_distribution<int64_t>(lo, hi)(eng_);
+  void seed(uint64_t s) {
+    // splitmix64 stream: decorrelates nearby seeds and guarantees a nonzero
+    // xoshiro state for every input, including 0.
+    for (auto& word : state_) {
+      s += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = s;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
   }
-  double exponential(double mean) {
-    return -mean * std::log(1.0 - uniform());
+
+  // xoshiro256++ (Blackman & Vigna): full-period 2^256-1, passes BigCrush.
+  uint64_t bits() {
+    const uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // [0, 1), 53-bit resolution.
+  double uniform() { return static_cast<double>(bits() >> 11) * 0x1.0p-53; }
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Inclusive integer range, exactly uniform (Lemire multiply-shift with
+  // rejection).
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    const uint64_t span =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<int64_t>(bits());  // full 2^64 range
+    unsigned __int128 m = static_cast<unsigned __int128>(bits()) * span;
+    uint64_t frac = static_cast<uint64_t>(m);
+    if (frac < span) {
+      const uint64_t reject_below = (0 - span) % span;
+      while (frac < reject_below) {
+        m = static_cast<unsigned __int128>(bits()) * span;
+        frac = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                                static_cast<uint64_t>(m >> 64));
+  }
+
+  double exponential(double mean) { return -mean * std::log(1.0 - uniform()); }
+
+  // Box-Muller; uses two uniforms per draw (no cached spare, so the stream
+  // position is a pure function of call count).
+  double normal(double mean, double stddev) {
+    const double u1 = 1.0 - uniform();  // (0, 1]: keeps the log finite
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
   }
   double lognormal(double mu, double sigma) {
-    return std::lognormal_distribution<double>(mu, sigma)(eng_);
+    return std::exp(normal(mu, sigma));
   }
-  double normal(double mean, double stddev) {
-    return std::normal_distribution<double>(mean, stddev)(eng_);
-  }
-  uint64_t bits() { return eng_(); }
-
-  std::mt19937_64& engine() { return eng_; }
 
  private:
-  std::mt19937_64 eng_;
-  std::uniform_real_distribution<double> uni_{0.0, 1.0};
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
 };
 
 }  // namespace xpass::sim

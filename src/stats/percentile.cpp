@@ -6,28 +6,19 @@
 namespace xpass::stats {
 
 double Samples::mean() const {
+  // sum_ accumulates in insertion order, matching what a rescan would
+  // compute, so callers see the same value as the pre-cache implementation.
   if (values_.empty()) return 0.0;
-  double s = 0.0;
-  for (double v : values_) s += v;
-  return s / static_cast<double>(values_.size());
+  return sum_ / static_cast<double>(values_.size());
 }
 
-double Samples::min() const {
-  return values_.empty() ? 0.0
-                         : *std::min_element(values_.begin(), values_.end());
-}
+double Samples::min() const { return min_; }
 
-double Samples::max() const {
-  return values_.empty() ? 0.0
-                         : *std::max_element(values_.begin(), values_.end());
-}
+double Samples::max() const { return max_; }
 
 double Samples::stddev() const {
   if (values_.size() < 2) return 0.0;
-  const double m = mean();
-  double s = 0.0;
-  for (double v : values_) s += (v - m) * (v - m);
-  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+  return std::sqrt(m2_ / static_cast<double>(values_.size() - 1));
 }
 
 const std::vector<double>& Samples::sorted() const {

@@ -1,4 +1,9 @@
 // Sample collector with exact percentiles (sorting on demand).
+//
+// mean/min/max/stddev are maintained incrementally in add() — O(1) per query
+// regardless of sample count — so per-window stat reads in the hot reporting
+// path never rescan the sample vector. Percentiles still sort lazily (and
+// only re-sort after new samples arrive).
 #pragma once
 
 #include <cstddef>
@@ -11,6 +16,19 @@ class Samples {
   void add(double v) {
     values_.push_back(v);
     sorted_ = false;
+    sum_ += v;
+    // Welford's running second moment: numerically stable for the long
+    // (millions of FCT samples) accumulations the workload benches produce.
+    const double delta = v - running_mean_;
+    running_mean_ += delta / static_cast<double>(values_.size());
+    m2_ += delta * (v - running_mean_);
+    if (values_.size() == 1) {
+      min_ = v;
+      max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
   }
   size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
@@ -26,6 +44,11 @@ class Samples {
  private:
   mutable std::vector<double> values_;
   mutable bool sorted_ = false;
+  double sum_ = 0.0;
+  double running_mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace xpass::stats

@@ -3,7 +3,10 @@
 // injected, the network-wide invariants must hold with zero violations.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/expresspass.hpp"
+#include "exec/sweep_runner.hpp"
 #include "net/fault_injector.hpp"
 #include "net/topology_builders.hpp"
 #include "runner/faults.hpp"
@@ -175,6 +178,89 @@ TEST(FaultMatrix, DeadSenderStopsReceiverCrediting) {
   EXPECT_FALSE(driver.run_to_completion(Time::sec(10)));
   EXPECT_EQ(driver.failed(), 1u);
   EXPECT_LT(sim.now(), Time::sec(1));
+}
+
+// The full fault matrix — {drop, drain} flap semantics × three error
+// models — swept through exec::SweepRunner the way the benches sweep
+// figures: each cell is an independent Simulator, cell seeds derive from
+// exec::task_seed, results reduce in grid order. Every cell must complete
+// all flows with zero invariant violations, and the sweep result must not
+// depend on the worker count.
+TEST(FaultMatrix, ScenarioGridSurvivesUnderParallelSweep) {
+  struct Cell {
+    net::LinkFailMode mode;
+    double credit_corrupt;
+    double data_drop;
+  };
+  std::vector<Cell> grid;
+  for (auto mode : {LinkFailMode::kDrop, LinkFailMode::kDrain}) {
+    grid.push_back({mode, 0.01, 0.0});   // corrupted credits
+    grid.push_back({mode, 0.0, 0.005});  // lossy data class
+    grid.push_back({mode, 0.01, 0.005}); // both at once
+  }
+
+  struct CellResult {
+    size_t completed = 0;
+    size_t failed = 0;
+    uint64_t violations = 0;
+    uint64_t fault_failures = 0;
+  };
+  auto run_cell = [&](size_t i) {
+    const Cell& c = grid[i];
+    sim::Simulator sim(exec::task_seed(29, i));
+    Topology topo(sim);
+    auto d = build_dumbbell(topo, 4, xp_link(), xp_link());
+    auto transport = runner::make_transport(runner::Protocol::kExpressPass,
+                                            sim, topo, Time::us(100));
+    runner::FlowDriver driver(sim, *transport);
+    for (uint32_t f = 0; f < 4; ++f) {
+      transport::FlowSpec s;
+      s.id = f + 1;
+      s.src = d.senders[f];
+      s.dst = d.receivers[f];
+      s.size_bytes = 1'000'000;
+      driver.add(s);
+    }
+    sim::FaultPlan plan(exec::task_seed(0xfa17, i));
+    FaultInjector inj(topo, plan);
+    runner::FaultScenario sc;
+    sc.flap_down = Time::ms(1);
+    sc.flap_up = Time::ms(4);
+    sc.fail_mode = c.mode;
+    sc.errors.credit_corrupt = c.credit_corrupt;
+    sc.errors.data_drop = c.data_drop;
+    runner::apply_fault_scenario(sc, inj, *d.left, *d.right);
+    plan.arm(sim);
+    sim::InvariantChecker chk(sim, sim::InvariantChecker::Mode::kCounting);
+    runner::register_network_invariants(chk, topo, driver, &plan);
+    chk.start(Time::us(100));
+    CellResult r;
+    driver.run_to_completion(Time::sec(5));
+    chk.run_checks();
+    r.completed = driver.completed();
+    r.failed = driver.failed();
+    r.violations = chk.violations();
+    r.fault_failures = inj.totals().failures;
+    return r;
+  };
+
+  exec::SweepRunner pool(4);
+  const auto results = pool.map(grid.size(), run_cell);
+  ASSERT_EQ(results.size(), grid.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].completed, 4u) << "cell " << i;
+    EXPECT_EQ(results[i].failed, 0u) << "cell " << i;
+    EXPECT_EQ(results[i].violations, 0u) << "cell " << i;
+    EXPECT_EQ(results[i].fault_failures, 2u) << "cell " << i;  // flap bit
+  }
+
+  // Worker count must not leak into results: re-run the grid inline.
+  exec::SweepRunner serial(1);
+  const auto again = serial.map(grid.size(), run_cell);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].completed, again[i].completed) << "cell " << i;
+    EXPECT_EQ(results[i].violations, again[i].violations) << "cell " << i;
+  }
 }
 
 // Fig-scenario control run: no faults, invariants armed (including the

@@ -1,0 +1,91 @@
+// The port event diet (coalesced serializer-done + delivery events with
+// self-scheduled service kicks) must be a pure event-count optimization:
+// with LinkConfig::legacy_tx_events toggled, the same scenario must deliver
+// the same packets at the same times — identical goodput, queue highwater,
+// hop counts, and drops — while firing strictly fewer simulator events.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+
+namespace {
+
+using namespace xpass;
+using sim::Time;
+
+struct Trace {
+  std::unordered_map<uint32_t, double> rates;  // per-flow goodput, window
+  double max_q_bytes = 0;
+  uint64_t packet_hops = 0;
+  uint64_t drops = 0;
+  uint64_t events_fired = 0;
+};
+
+Trace run(runner::Protocol proto, bool legacy) {
+  sim::Simulator sim(61);
+  net::Topology topo(sim);
+  auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
+  link.legacy_tx_events = legacy;
+  auto d = net::build_dumbbell(topo, 8, link, link);
+  auto t = runner::make_transport(proto, sim, topo, Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  for (uint32_t i = 1; i <= 8; ++i) {
+    transport::FlowSpec s;
+    s.id = i;
+    s.src = d.senders[i - 1];
+    s.dst = d.receivers[i - 1];
+    s.size_bytes = transport::kLongRunning;
+    s.start_time = Time::seconds(sim.rng().uniform(0.0, 1e-3));
+    driver.add(s);
+  }
+  sim.run_until(Time::ms(5));
+  driver.rates().snapshot_rates_by_flow(Time::ms(5));
+  sim.run_until(Time::ms(15));
+  Trace tr;
+  tr.rates = driver.rates().snapshot_rates_by_flow(Time::ms(10));
+  tr.max_q_bytes = d.bottleneck->data_queue().stats().max_bytes;
+  tr.drops = topo.data_drops();
+  tr.events_fired = sim.events().fired();
+  for (size_t n = 0; n < topo.num_nodes(); ++n) {
+    net::Node& node = topo.node(static_cast<net::NodeId>(n));
+    for (size_t i = 0; i < node.num_ports(); ++i) {
+      tr.packet_hops += node.port(i).tx_packets();
+    }
+  }
+  driver.stop_all();
+  return tr;
+}
+
+class PortEventDiet : public ::testing::TestWithParam<runner::Protocol> {};
+
+TEST_P(PortEventDiet, LegacyAndCoalescedTracesIdentical) {
+  const Trace legacy = run(GetParam(), true);
+  const Trace lean = run(GetParam(), false);
+
+  ASSERT_EQ(legacy.rates.size(), lean.rates.size());
+  for (const auto& [id, r] : legacy.rates) {
+    auto it = lean.rates.find(id);
+    ASSERT_NE(it, lean.rates.end()) << "flow " << id << " missing";
+    EXPECT_DOUBLE_EQ(r, it->second) << "flow " << id << " goodput differs";
+  }
+  EXPECT_DOUBLE_EQ(legacy.max_q_bytes, lean.max_q_bytes);
+  EXPECT_EQ(legacy.packet_hops, lean.packet_hops);
+  EXPECT_EQ(legacy.drops, lean.drops);
+
+  // The diet must actually remove events, not just match traces.
+  EXPECT_LT(lean.events_fired, legacy.events_fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, PortEventDiet,
+    ::testing::Values(runner::Protocol::kExpressPass, runner::Protocol::kDctcp,
+                      runner::Protocol::kRcp),
+    [](const auto& info) {
+      return std::string(runner::protocol_name(info.param));
+    });
+
+}  // namespace

@@ -10,11 +10,14 @@
 //
 // Prints goodput, fairness, FCT percentiles, queue statistics, and drop
 // counters. All flags have defaults; unknown flags abort with usage.
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+
+#include "exec/sweep_runner.hpp"
 
 #include "core/expresspass.hpp"
 #include "net/fault_injector.hpp"
@@ -53,6 +56,11 @@ struct Options {
   net::LinkErrorConfig errors;
   uint64_t fault_seed = 0xfa17;
   bool check_invariants = false;
+  // Seed replication: --runs=M repeats the scenario with per-run seeds
+  // task_seed(seed, run); --jobs=N runs them on N threads. Reports print in
+  // run order whatever the thread count.
+  size_t runs = 1;
+  size_t jobs = 0;  // 0 = XPASS_JOBS / hardware concurrency
 };
 
 [[noreturn]] void usage(const char* msg) {
@@ -64,7 +72,7 @@ struct Options {
       "  [--workload=websearch|webserver|cachefollower|datamining]\n"
       "  [--pairs=N] [--k=N] [--flows=N] [--incast=N] [--bytes=N|long]\n"
       "  [--load=F] [--rate-gbps=F] [--duration-ms=F] [--seed=N]\n"
-      "  [--spraying]\n"
+      "  [--spraying] [--runs=M] [--jobs=N]\n"
       "  faults (target: first fabric link):\n"
       "  [--flap-ms=DOWN,UP] [--kill-ms=T] [--data-drop=P] [--credit-drop=P]\n"
       "  [--data-corrupt=P] [--credit-corrupt=P] [--fault-seed=N]\n"
@@ -107,6 +115,10 @@ Options parse(int argc, char** argv) {
       o.duration_ms = std::strtod(v, nullptr);
     } else if (const char* v = val("--seed")) {
       o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = val("--runs")) {
+      o.runs = std::max<size_t>(1, std::strtoul(v, nullptr, 10));
+    } else if (const char* v = val("--jobs")) {
+      o.jobs = std::strtoul(v, nullptr, 10);
     } else if (arg == "--spraying") {
       o.spraying = true;
     } else if (const char* v = val("--flap-ms")) {
@@ -146,14 +158,27 @@ std::optional<workload::WorkloadKind> parse_workload(const std::string& w) {
   return std::nullopt;
 }
 
-}  // namespace
+// printf-style append to the report string (reports are built off-thread
+// and printed by main in run order).
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
 
-int main(int argc, char** argv) {
-  const Options o = parse(argc, argv);
+// One full scenario run under `seed`; returns the report text. Pure apart
+// from usage() aborts on option values main() has already validated.
+std::string run_scenario(const Options& o, uint64_t seed) {
+  std::string out;
   auto proto = runner::parse_protocol(o.protocol);
   if (!proto) usage("unknown protocol");
 
-  sim::Simulator sim(o.seed);
+  sim::Simulator sim(seed);
   net::Topology topo(sim);
   const double rate = o.rate_gbps * 1e9;
   const auto link = runner::protocol_link_config(*proto, rate, Time::us(1));
@@ -258,39 +283,39 @@ int main(int argc, char** argv) {
   const bool all_done = driver.run_to_completion(horizon);
   if (o.check_invariants) checker.run_checks();
 
-  std::printf("xpass_sim: %s on %s, %zu flows, %.1f Gbps links, seed %llu\n",
-              std::string(runner::protocol_name(*proto)).c_str(),
-              o.topology.c_str(), driver.scheduled(),
-              o.rate_gbps, static_cast<unsigned long long>(o.seed));
-  std::printf("  sim time        : %s%s\n", sim.now().str().c_str(),
+  appendf(out, "xpass_sim: %s on %s, %zu flows, %.1f Gbps links, seed %llu\n",
+          std::string(runner::protocol_name(*proto)).c_str(),
+          o.topology.c_str(), driver.scheduled(), o.rate_gbps,
+          static_cast<unsigned long long>(seed));
+  appendf(out, "  sim time        : %s%s\n", sim.now().str().c_str(),
               all_done ? " (all flows completed)" : " (horizon reached)");
-  std::printf("  completed       : %zu / %zu\n", driver.completed(),
+  appendf(out, "  completed       : %zu / %zu\n", driver.completed(),
               driver.scheduled());
   auto rates = driver.rates().snapshot_rates(sim.now());
   double sum = 0;
   for (double r : rates) sum += r;
-  std::printf("  aggregate goodput: %.3f Gbps   (Jain fairness %.3f)\n",
+  appendf(out, "  aggregate goodput: %.3f Gbps   (Jain fairness %.3f)\n",
               sum / 1e9, stats::jain_index(rates));
   if (driver.fcts().completed() > 0) {
     const auto& f = driver.fcts().all();
-    std::printf("  FCT avg/p50/p99 : %.3f / %.3f / %.3f ms\n",
+    appendf(out, "  FCT avg/p50/p99 : %.3f / %.3f / %.3f ms\n",
                 f.mean() * 1e3, f.percentile(0.5) * 1e3,
                 f.percentile(0.99) * 1e3);
   }
-  std::printf("  max switch queue: %.1f KB\n",
+  appendf(out, "  max switch queue: %.1f KB\n",
               topo.max_switch_data_queue_bytes() / 1e3);
-  std::printf("  data drops      : %llu   credit drops: %llu\n",
+  appendf(out, "  data drops      : %llu   credit drops: %llu\n",
               static_cast<unsigned long long>(topo.data_drops()),
               static_cast<unsigned long long>(topo.credit_drops()));
   if (scenario.any()) {
     const net::FaultStats t = injector.totals();
-    std::printf("  faults          : %llu events fired, %llu failures, "
+    appendf(out, "  faults          : %llu events fired, %llu failures, "
                 "%llu recoveries, %zu flows aborted\n",
                 static_cast<unsigned long long>(plan.fired()),
                 static_cast<unsigned long long>(t.failures),
                 static_cast<unsigned long long>(t.recoveries),
                 driver.failed());
-    std::printf("  injected loss   : data %llu drop / %llu corrupt / %llu "
+    appendf(out, "  injected loss   : data %llu drop / %llu corrupt / %llu "
                 "cut, credit %llu drop / %llu corrupt / %llu cut\n",
                 static_cast<unsigned long long>(t.injected_data_drops),
                 static_cast<unsigned long long>(t.corrupted_data),
@@ -301,12 +326,46 @@ int main(int argc, char** argv) {
                                                 t.flushed_credits));
   }
   if (o.check_invariants) {
-    std::printf("  invariants      : %llu sweeps, %llu violations\n",
+    appendf(out, "  invariants      : %llu sweeps, %llu violations\n",
                 static_cast<unsigned long long>(checker.sweeps()),
                 static_cast<unsigned long long>(checker.violations()));
     for (const std::string& m : checker.messages()) {
-      std::printf("    violation: %s\n", m.c_str());
+      appendf(out, "    violation: %s\n", m.c_str());
     }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  // Validate name-valued options once, before any worker thread can trip
+  // usage()'s exit() off the main thread.
+  if (!runner::parse_protocol(o.protocol)) usage("unknown protocol");
+  if (o.topology != "dumbbell" && o.topology != "star" &&
+      o.topology != "fattree" && o.topology != "clos") {
+    usage("unknown topology");
+  }
+  if (!o.workload.empty() && !parse_workload(o.workload)) {
+    usage("unknown workload");
+  }
+
+  if (o.runs == 1) {
+    std::fputs(run_scenario(o, o.seed).c_str(), stdout);
+    return 0;
+  }
+  // Seed replication: run i uses task_seed(seed, i), so the set of reports
+  // is a pure function of (options, seed) — identical for any --jobs value.
+  exec::SweepRunner pool(o.jobs);
+  const auto reports = pool.map(o.runs, [&](size_t i) {
+    return run_scenario(o, exec::task_seed(o.seed, i));
+  });
+  for (size_t i = 0; i < reports.size(); ++i) {
+    std::printf("=== run %zu/%zu (seed %llu) ===\n", i + 1, reports.size(),
+                static_cast<unsigned long long>(exec::task_seed(o.seed, i)));
+    std::fputs(reports[i].c_str(), stdout);
+    if (i + 1 < reports.size()) std::printf("\n");
   }
   return 0;
 }
