@@ -4,46 +4,56 @@
 // default to scaled-down runs that finish quickly on one core; pass --full
 // (or set XPASS_FULL=1) for paper-scale parameters. EXPERIMENTS.md records
 // paper-vs-measured values from the default runs.
+//
+// Benches are spec-driven: each builds runner::ScenarioSpec values and runs
+// them through runner::ScenarioEngine (singly or as a run_grid sweep); the
+// bench file itself is only the spec plus the figure's formatter.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
-#include "core/expresspass.hpp"
 #include "exec/sweep_runner.hpp"
 #include "net/topology_builders.hpp"
+#include "runner/args.hpp"
 #include "runner/flow_driver.hpp"
 #include "runner/protocols.hpp"
+#include "runner/scenario.hpp"
 #include "stats/fairness.hpp"
 #include "workload/generators.hpp"
 
 namespace xpass::bench {
 
-inline bool full_mode(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) return true;
+// The flags every bench understands, parsed through runner::Args: malformed
+// values (`--jobs garbage`, `--jobs 0`) and unknown flags abort with usage
+// instead of being silently ignored.
+struct BenchOptions {
+  bool full = false;  // --full or XPASS_FULL=1: paper-scale parameters
+  size_t jobs = 0;    // --jobs N / --jobs=N; 0 = SweepRunner default
+};
+
+inline BenchOptions bench_options(int argc, char** argv) {
+  runner::Args args(argc, argv);
+  BenchOptions o;
+  o.full = args.flag("full");
+  o.jobs = args.jobs();
+  args.die_on_error("usage: bench [--full] [--jobs N]\n");
+  if (!o.full) {
+    const char* env = std::getenv("XPASS_FULL");
+    o.full = env != nullptr && env[0] == '1';
   }
-  const char* env = std::getenv("XPASS_FULL");
-  return env != nullptr && env[0] == '1';
+  return o;
 }
 
-// Worker count for sweep-style benches: `--jobs N` / `--jobs=N`, else the
-// SweepRunner default (XPASS_JOBS env or hardware concurrency). Results are
-// identical for every value — only wall-clock changes.
+inline bool full_mode(int argc, char** argv) {
+  return bench_options(argc, argv).full;
+}
+
+// Worker count for sweep-style benches. Results are identical for every
+// value — only wall-clock changes.
 inline size_t jobs_arg(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      const long v = std::strtol(argv[i + 1], nullptr, 10);
-      if (v >= 1) return static_cast<size_t>(v);
-    }
-    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      const long v = std::strtol(argv[i] + 7, nullptr, 10);
-      if (v >= 1) return static_cast<size_t>(v);
-    }
-  }
-  return exec::default_jobs();
+  return bench_options(argc, argv).jobs;
 }
 
 inline void header(const char* title, const char* paper_ref) {
@@ -68,39 +78,36 @@ struct ScalabilityCell {
   uint64_t drops = 0;
 };
 
+inline runner::ScenarioSpec scalability_spec(runner::Protocol proto,
+                                             size_t n_flows, bool full) {
+  runner::ScenarioSpec s;
+  s.name = "fig15/" + std::string(runner::protocol_name(proto)) + "/" +
+           std::to_string(n_flows);
+  s.seed = 29;
+  s.topology.kind = runner::TopologyKind::kDumbbell;
+  s.topology.scale = n_flows;
+  s.protocol = proto;
+  s.traffic.kind = runner::TrafficKind::kPairwise;
+  s.traffic.flows = n_flows;
+  s.traffic.start_spread_sec = 5e-3;
+  s.stop = runner::StopSpec::measure_window(sim::Time::ms(full ? 50 : 20),
+                                            sim::Time::ms(full ? 100 : 50));
+  return s;
+}
+
+inline ScalabilityCell to_scalability_cell(const runner::ScenarioResult& r) {
+  ScalabilityCell c;
+  c.util_gbps = r.sum_rate_bps / 1e9;
+  c.fairness = r.jain;
+  c.max_q_kb = r.bottleneck_max_queue_bytes / 1e3;
+  c.drops = r.data_drops;
+  return c;
+}
+
 inline ScalabilityCell scalability_cell(runner::Protocol proto, size_t n_flows,
                                         bool full) {
-  sim::Simulator sim(29);
-  net::Topology topo(sim);
-  const auto link = runner::protocol_link_config(proto, 10e9, sim::Time::us(1));
-  auto d = net::build_dumbbell(topo, n_flows, link, link);
-  auto t = runner::make_transport(proto, sim, topo, sim::Time::us(100));
-  runner::FlowDriver driver(sim, *t);
-  uint32_t next_id = 1;
-  for (size_t i = 0; i < n_flows; ++i) {
-    transport::FlowSpec s;
-    s.id = next_id++;
-    s.src = d.senders[i];
-    s.dst = d.receivers[i];
-    s.size_bytes = transport::kLongRunning;
-    s.start_time = sim::Time::seconds(sim.rng().uniform(0.0, 5e-3));
-    driver.add(s);
-  }
-  const sim::Time warmup = sim::Time::ms(full ? 50 : 20);
-  const sim::Time window = sim::Time::ms(full ? 100 : 50);
-  sim.run_until(warmup);
-  driver.rates().snapshot_rates(warmup);
-  sim.run_until(warmup + window);
-  auto rates = driver.rates().snapshot_rates(window);
-  ScalabilityCell r;
-  double sum = 0;
-  for (double x : rates) sum += x;
-  r.util_gbps = sum / 1e9;
-  r.fairness = stats::jain_index(rates);
-  r.max_q_kb = d.bottleneck->data_queue().stats().max_bytes / 1e3;
-  r.drops = topo.data_drops();
-  driver.stop_all();
-  return r;
+  return to_scalability_cell(
+      runner::ScenarioEngine().run(scalability_spec(proto, n_flows, full)));
 }
 
 struct FlowSpecBuilder {

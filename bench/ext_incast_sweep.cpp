@@ -1,0 +1,67 @@
+// Extension: incast fan-in sweep. How does each protocol's tail FCT and
+// receiver-downlink queue scale as the §2 partition/aggregate fan-in grows?
+// Not a paper figure — it fills the gap between Fig 1 (queue growth) and
+// Fig 17 (shuffle tails) with one fan-in axis.
+//
+// This bench is the "adding a scenario costs a spec plus a formatter" demo:
+// the grid is one base spec expanded over two axes (protocol, fan-in) and
+// handed to ScenarioEngine::run_grid. No topology wiring, no stat plumbing.
+#include "bench/common.hpp"
+
+using namespace xpass;
+using sim::Time;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::bench_options(argc, argv);
+  bench::header("Ext: incast fan-in sweep (p99 FCT / maxQ / drops)",
+                "extends Fig 1 + Fig 17, SIGCOMM'17");
+  const std::vector<runner::Protocol> protos = {
+      runner::Protocol::kExpressPass, runner::Protocol::kDctcp,
+      runner::Protocol::kRcp};
+  const std::vector<size_t> fanouts =
+      opt.full ? std::vector<size_t>{8, 16, 32, 64, 128, 256}
+               : std::vector<size_t>{8, 16, 32, 64};
+
+  runner::ScenarioSpec base;
+  base.name = "ext_incast";
+  base.seed = 1;
+  base.topology.kind = runner::TopologyKind::kStar;
+  base.topology.scale = 33;
+  base.topology.host_delay = runner::HostDelay::kTestbed;
+  base.traffic.kind = runner::TrafficKind::kIncast;
+  base.traffic.bytes = 100'000;
+  base.stop = runner::StopSpec::completion(Time::sec(10));
+
+  auto grid = runner::expand_axis(
+      std::vector<runner::ScenarioSpec>{base}, protos,
+      [](runner::ScenarioSpec& s, runner::Protocol p) {
+        s.protocol = p;
+        s.name += "/" + std::string(runner::protocol_name(p));
+      });
+  grid = runner::expand_axis(grid, fanouts,
+                             [](runner::ScenarioSpec& s, size_t n) {
+                               s.traffic.flows = n;
+                               s.name += "/" + std::to_string(n);
+                             });
+  const auto results = runner::ScenarioEngine().run_grid(grid, opt.jobs);
+
+  size_t at = 0;
+  for (auto proto : protos) {
+    std::printf("\n--- %s ---\n",
+                std::string(runner::protocol_name(proto)).c_str());
+    std::printf("%8s %10s %14s %12s %8s\n", "fan-in", "done", "p99 FCT(ms)",
+                "maxQ(KB)", "drops");
+    for (size_t n : fanouts) {
+      const auto& r = results[at++];
+      std::printf("%8zu %6zu/%zu %14.2f %12.1f %8zu\n", n, r.completed,
+                  r.scheduled, r.fcts.all().percentile(0.99) * 1e3,
+                  r.bottleneck_max_queue_bytes / 1e3,
+                  static_cast<size_t>(r.data_drops));
+    }
+  }
+  std::printf(
+      "\nShape check: ExpressPass's p99 grows linearly with fan-in (serial\n"
+      "credit schedule) with a flat, small queue; DCTCP/RCP queues grow\n"
+      "toward capacity and the tail inflates once drops appear.\n");
+  return 0;
+}

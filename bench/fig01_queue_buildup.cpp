@@ -9,50 +9,27 @@
 // bounds the queue regardless of fan-out because the credit arrival order
 // schedules data arrivals.
 #include "bench/common.hpp"
-#include "transport/ideal.hpp"
 
 using namespace xpass;
 using sim::Time;
 
 namespace {
 
-struct Cell {
-  uint64_t max_queue_bytes;
-  uint64_t drops;
-};
-
-Cell run(const char* kind, size_t fanout, bool full) {
-  sim::Simulator sim(77);
-  net::Topology topo(sim);
-  const runner::Protocol proto = std::string_view(kind) == "dctcp"
-                                     ? runner::Protocol::kDctcp
-                                     : runner::Protocol::kExpressPass;
-  const auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
-  auto ft = net::build_fat_tree(topo, full ? 8 : 4, link, link);
-  for (auto* h : ft.hosts) {
-    h->set_delay_model(net::HostDelayModel::hardware());
-  }
-  net::Host* master = ft.hosts[0];
-
-  std::unique_ptr<transport::Transport> t;
-  if (std::string_view(kind) == "ideal") {
-    t = std::make_unique<transport::IdealTransport>(sim, topo, 1.0);
-  } else {
-    t = runner::make_transport(proto, sim, topo, Time::us(100));
-  }
-  runner::FlowDriver driver(sim, *t);
-  std::vector<net::Host*> workers(ft.hosts.begin() + 1, ft.hosts.end());
-  auto specs = workload::incast_flows(workers, master,
-                                      transport::kLongRunning, fanout);
-  driver.add_all(specs);
-  sim.run_until(Time::ms(full ? 20 : 10));
-  // The bottleneck is the master's ToR downlink: the peer port of its NIC.
-  net::Port* down = master->nic().peer();
-  Cell c;
-  c.max_queue_bytes = down->data_queue().stats().max_bytes;
-  c.drops = topo.data_drops();
-  driver.stop_all();
-  return c;
+runner::ScenarioSpec spec(runner::Protocol proto, size_t fanout, bool full) {
+  runner::ScenarioSpec s;
+  s.name = "fig01/" + std::string(runner::protocol_name(proto)) + "/" +
+           std::to_string(fanout);
+  s.seed = 77;
+  s.topology.kind = runner::TopologyKind::kFatTree;
+  s.topology.fat_tree_k = full ? 8 : 4;
+  s.topology.host_delay = runner::HostDelay::kHardware;
+  s.protocol = proto;
+  // All workers (hosts[1..], cycled) send to the master (hosts[0]); the
+  // bottleneck is the master's ToR downlink.
+  s.traffic.kind = runner::TrafficKind::kIncast;
+  s.traffic.flows = fanout;
+  s.stop = runner::StopSpec::run_for(Time::ms(full ? 20 : 10));
+  return s;
 }
 
 }  // namespace
@@ -65,18 +42,20 @@ int main(int argc, char** argv) {
   const std::vector<size_t> fanouts =
       full ? std::vector<size_t>{32, 64, 128, 256, 512, 1024, 2048}
            : std::vector<size_t>{32, 64, 128, 256, 512};
+  runner::ScenarioEngine engine;
   std::printf("%8s %18s %18s %18s %10s\n", "flows", "ideal maxQ(pkts)",
               "dctcp maxQ(pkts)", "credit maxQ(pkts)", "drops(i/d/c)");
   for (size_t f : fanouts) {
-    Cell ideal = run("ideal", f, full);
-    Cell dctcp = run("dctcp", f, full);
-    Cell credit = run("credit", f, full);
+    auto ideal = engine.run(spec(runner::Protocol::kIdeal, f, full));
+    auto dctcp = engine.run(spec(runner::Protocol::kDctcp, f, full));
+    auto credit = engine.run(spec(runner::Protocol::kExpressPass, f, full));
     std::printf("%8zu %18.1f %18.1f %18.1f  %zu/%zu/%zu\n", f,
-                ideal.max_queue_bytes / 1538.0, dctcp.max_queue_bytes / 1538.0,
-                credit.max_queue_bytes / 1538.0,
-                static_cast<size_t>(ideal.drops),
-                static_cast<size_t>(dctcp.drops),
-                static_cast<size_t>(credit.drops));
+                ideal.bottleneck_max_queue_bytes / 1538.0,
+                dctcp.bottleneck_max_queue_bytes / 1538.0,
+                credit.bottleneck_max_queue_bytes / 1538.0,
+                static_cast<size_t>(ideal.data_drops),
+                static_cast<size_t>(dctcp.data_drops),
+                static_cast<size_t>(credit.data_drops));
   }
   std::printf(
       "\nShape check: ideal/DCTCP columns grow with flow count (DCTCP "

@@ -11,31 +11,22 @@ using sim::Time;
 namespace {
 
 double under_utilization(size_t credit_q, size_t n_flows) {
-  sim::Simulator sim(19);
-  net::Topology topo(sim);
-  auto link = runner::protocol_link_config(runner::Protocol::kExpressPass,
-                                           10e9, Time::us(1));
-  link.credit_queue_pkts = credit_q;
   // N senders behind one switch, one receiver: flows enter the switch on
   // different physical ports and their data departs through one port (the
   // credit contention is on that port's reverse direction).
-  auto star = net::build_star(topo, n_flows + 1, link);
-  auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
-                                  Time::us(100));
-  runner::FlowDriver driver(sim, *t);
-  bench::FlowSpecBuilder fb;
-  for (size_t i = 1; i <= n_flows; ++i) {
-    driver.add(
-        fb.make(star.hosts[i], star.hosts[0], transport::kLongRunning));
-  }
-  sim.run_until(Time::ms(10));
-  net::Port* down = star.hosts[0]->nic().peer();
-  const uint64_t before = down->tx_data_bytes();
-  sim.run_until(Time::ms(30));
-  const uint64_t bytes = down->tx_data_bytes() - before;
-  driver.stop_all();
+  runner::ScenarioSpec s;
+  s.name = "fig09/q" + std::to_string(credit_q) + "/" +
+           std::to_string(n_flows);
+  s.seed = 19;
+  s.topology.kind = runner::TopologyKind::kStar;
+  s.topology.scale = n_flows + 1;
+  s.topology.credit_queue_pkts = credit_q;
+  s.traffic.kind = runner::TrafficKind::kIncast;
+  s.traffic.flows = n_flows;
+  s.stop = runner::StopSpec::measure_window(Time::ms(10), Time::ms(20));
+  const auto r = runner::ScenarioEngine().run(s);
   const double max_data = bench::data_ceiling_bps(10e9) / 8.0 * 20e-3;
-  return 1.0 - static_cast<double>(bytes) / max_data;
+  return 1.0 - static_cast<double>(r.bottleneck_tx_data_bytes) / max_data;
 }
 
 }  // namespace

@@ -10,30 +10,21 @@ using sim::Time;
 namespace {
 
 double link1_utilization(size_t n_links, bool naive) {
-  sim::Simulator sim(61);
-  net::Topology topo(sim);
-  const auto link = runner::protocol_link_config(
-      runner::Protocol::kExpressPass, 10e9, Time::us(1));
-  auto p = net::build_parking_lot(topo, n_links, link, link);
-  core::ExpressPassConfig cfg;
-  cfg.naive = naive;
-  auto t = runner::make_transport(naive ? runner::Protocol::kExpressPassNaive
-                                        : runner::Protocol::kExpressPass,
-                                  sim, topo, Time::us(100), &cfg);
-  runner::FlowDriver driver(sim, *t);
-  bench::FlowSpecBuilder fb;
-  driver.add(fb.make(p.long_src, p.long_dst, transport::kLongRunning));
-  for (size_t i = 0; i < n_links; ++i) {
-    driver.add(
-        fb.make(p.cross_srcs[i], p.cross_dsts[i], transport::kLongRunning));
-  }
-  sim.run_until(Time::ms(15));
-  const uint64_t before = p.data_links[0]->tx_data_bytes();
-  sim.run_until(Time::ms(40));
-  const uint64_t bytes = p.data_links[0]->tx_data_bytes() - before;
-  driver.stop_all();
+  runner::ScenarioSpec s;
+  s.name = std::string("fig10/") + (naive ? "naive" : "feedback") + "/" +
+           std::to_string(n_links);
+  s.seed = 61;
+  s.topology.kind = runner::TopologyKind::kParkingLot;
+  s.topology.scale = n_links;
+  s.protocol = naive ? runner::Protocol::kExpressPassNaive
+                     : runner::Protocol::kExpressPass;
+  s.xp.emplace();
+  s.xp->naive = naive;
+  s.traffic.kind = runner::TrafficKind::kChain;
+  s.stop = runner::StopSpec::measure_window(Time::ms(15), Time::ms(25));
+  const auto r = runner::ScenarioEngine().run(s);
   const double max_data = bench::data_ceiling_bps(10e9) / 8.0 * 25e-3;
-  return static_cast<double>(bytes) / max_data;
+  return static_cast<double>(r.bottleneck_tx_data_bytes) / max_data;
 }
 
 }  // namespace

@@ -11,28 +11,20 @@ using sim::Time;
 namespace {
 
 double flow0_gbps(size_t n, bool naive) {
-  sim::Simulator sim(67);
-  net::Topology topo(sim);
-  const auto link = runner::protocol_link_config(
-      runner::Protocol::kExpressPass, 10e9, Time::us(1));
-  auto m = net::build_multi_bottleneck(topo, n, link, link);
-  core::ExpressPassConfig cfg;
-  cfg.naive = naive;
-  auto t = runner::make_transport(naive ? runner::Protocol::kExpressPassNaive
-                                        : runner::Protocol::kExpressPass,
-                                  sim, topo, Time::us(100), &cfg);
-  runner::FlowDriver driver(sim, *t);
-  bench::FlowSpecBuilder fb;
-  driver.add(fb.make(m.flow0_src, m.flow0_dst, transport::kLongRunning));
-  for (size_t i = 0; i < n; ++i) {
-    driver.add(fb.make(m.srcs[i], m.dsts[i], transport::kLongRunning));
-  }
-  sim.run_until(Time::ms(15));
-  driver.rates().snapshot_rates_by_flow(Time::ms(15));
-  sim.run_until(Time::ms(40));
-  auto rates = driver.rates().snapshot_rates_by_flow(Time::ms(25));
-  driver.stop_all();
-  return rates[1] / 1e9;
+  runner::ScenarioSpec s;
+  s.name = std::string("fig11/") + (naive ? "naive" : "feedback") + "/" +
+           std::to_string(n);
+  s.seed = 67;
+  s.topology.kind = runner::TopologyKind::kMultiBottleneck;
+  s.topology.scale = n;
+  s.protocol = naive ? runner::Protocol::kExpressPassNaive
+                     : runner::Protocol::kExpressPass;
+  s.xp.emplace();
+  s.xp->naive = naive;
+  s.traffic.kind = runner::TrafficKind::kChain;
+  s.stop = runner::StopSpec::measure_window(Time::ms(15), Time::ms(25));
+  const auto r = runner::ScenarioEngine().run(s);
+  return r.rate_of(1) / 1e9;  // flow id 1 = the single-bottleneck flow 0
 }
 
 }  // namespace

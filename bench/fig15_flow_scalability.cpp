@@ -27,18 +27,14 @@ int main(int argc, char** argv) {
       runner::Protocol::kRcp};
   // Every (protocol, flow-count) cell is an independent simulation: compute
   // the grid in parallel, print in grid order.
-  struct Cell {
-    runner::Protocol proto;
-    size_t flows;
-  };
-  std::vector<Cell> grid;
+  std::vector<runner::ScenarioSpec> grid;
   for (auto proto : protos) {
-    for (size_t n : counts) grid.push_back({proto, n});
+    for (size_t n : counts) {
+      grid.push_back(bench::scalability_spec(proto, n, full));
+    }
   }
-  exec::SweepRunner pool(bench::jobs_arg(argc, argv));
-  const auto rows = pool.map(grid.size(), [&](size_t i) {
-    return bench::scalability_cell(grid[i].proto, grid[i].flows, full);
-  });
+  const auto results = runner::ScenarioEngine().run_grid(
+      grid, bench::jobs_arg(argc, argv));
   size_t at = 0;
   for (auto proto : protos) {
     std::printf("\n--- %s ---\n",
@@ -46,7 +42,7 @@ int main(int argc, char** argv) {
     std::printf("%8s %12s %10s %12s %8s\n", "flows", "goodput(G)", "Jain",
                 "maxQ(KB)", "drops");
     for (size_t n : counts) {
-      const Row& r = rows[at++];
+      const Row r = bench::to_scalability_cell(results[at++]);
       std::printf("%8zu %12.2f %10.3f %12.1f %8zu\n", n, r.util_gbps,
                   r.fairness, r.max_q_kb, static_cast<size_t>(r.drops));
     }

@@ -12,25 +12,22 @@ namespace {
 
 stats::FctCollector run(runner::Protocol proto, size_t hosts, size_t tasks,
                         uint64_t bytes) {
-  sim::Simulator sim(33);
-  net::Topology topo(sim);
-  const auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
-  auto star = net::build_star(topo, hosts, link);
-  for (auto* h : star.hosts) {
-    h->set_delay_model(net::HostDelayModel::testbed());
-  }
-  auto t = runner::make_transport(proto, sim, topo, Time::us(100));
-  runner::FlowDriver driver(sim, *t);
-  auto specs = workload::shuffle_flows(star.hosts, tasks, bytes);
-  driver.add_all(specs);
-  driver.run_to_completion(Time::sec(60));
-  stats::FctCollector fcts = driver.fcts();
+  runner::ScenarioSpec s;
+  s.name = "fig17/" + std::string(runner::protocol_name(proto));
+  s.seed = 33;
+  s.topology.kind = runner::TopologyKind::kStar;
+  s.topology.scale = hosts;
+  s.topology.host_delay = runner::HostDelay::kTestbed;
+  s.protocol = proto;
+  s.traffic.kind = runner::TrafficKind::kShuffle;
+  s.traffic.tasks_per_host = tasks;
+  s.traffic.bytes = bytes;
+  s.stop = runner::StopSpec::completion(Time::sec(60));
+  const auto r = runner::ScenarioEngine().run(s);
   std::printf("  [%s: %zu/%zu flows completed, %zu data drops]\n",
-              std::string(runner::protocol_name(proto)).c_str(),
-              driver.completed(), driver.scheduled(),
-              static_cast<size_t>(topo.data_drops()));
-  driver.stop_all();
-  return fcts;
+              std::string(runner::protocol_name(proto)).c_str(), r.completed,
+              r.scheduled, static_cast<size_t>(r.data_drops));
+  return r.fcts;
 }
 
 }  // namespace

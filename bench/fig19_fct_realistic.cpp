@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   // The (workload, protocol) grid is embarrassingly parallel: each cell
   // builds its own fabric and flow schedule. Compute all cells up front,
   // then print in grid order.
-  std::vector<bench::WorkloadRunConfig> grid;
+  std::vector<runner::ScenarioSpec> grid;
   for (auto kind : kinds) {
     for (auto proto : protos) {
       bench::WorkloadRunConfig cfg;
@@ -39,12 +39,11 @@ int main(int argc, char** argv) {
       cfg.proto = proto;
       cfg.full_scale = full;
       cfg.n_flows = full ? 20000 : 1200;
-      grid.push_back(cfg);
+      grid.push_back(bench::workload_spec(cfg));
     }
   }
-  exec::SweepRunner pool(bench::jobs_arg(argc, argv));
-  const auto results =
-      pool.map(grid.size(), [&](size_t i) { return bench::run_workload(grid[i]); });
+  const auto results = runner::ScenarioEngine().run_grid(
+      grid, bench::jobs_arg(argc, argv));
 
   size_t at = 0;
   for (auto kind : kinds) {

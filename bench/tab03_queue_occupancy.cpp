@@ -44,8 +44,8 @@ int main(int argc, char** argv) {
         cfg.full_scale = full;
         cfg.n_flows = full ? 10000 : 1000;
         auto r = bench::run_workload(cfg);
-        std::printf(" %8.2f/%8.1f", r.avg_queue_bytes / 1e3,
-                    r.max_queue_bytes / 1e3);
+        std::printf(" %8.2f/%8.1f", r.avg_switch_queue_bytes / 1e3,
+                    static_cast<double>(r.max_switch_queue_bytes) / 1e3);
       }
       std::printf("\n");
     }

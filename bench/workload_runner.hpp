@@ -1,11 +1,10 @@
-// Shared machinery for the realistic-workload benches (Fig 18-21, Table 3):
-// build the §6.3 oversubscribed Clos fabric (scaled by default), generate a
-// Poisson flow arrival process from a Table-2 size distribution targeting a
-// ToR-uplink load, run it under a protocol, and collect FCT/queue/waste
-// statistics.
+// Spec construction for the realistic-workload benches (Fig 18-21, Table 3):
+// the §6.3 oversubscribed Clos fabric (runner::clos_scale — the single
+// source of truth for its dimensions) under a Poisson flow arrival process
+// from a Table-2 size distribution targeting a ToR-uplink load. The benches
+// run the spec through runner::ScenarioEngine and read FCT/queue/waste
+// statistics straight off the ScenarioResult.
 #pragma once
-
-#include <memory>
 
 #include "bench/common.hpp"
 #include "stats/fct.hpp"
@@ -21,100 +20,41 @@ struct WorkloadRunConfig {
   double fabric_rate_bps = 40e9;
   size_t n_flows = 2000;
   bool full_scale = false;      // paper: 192 hosts / 100k flows
-  uint64_t seed = 101;
+  uint64_t seed = runner::kWorkloadSeed;
   double xp_alpha = 1.0 / 16;   // §6.3's chosen setting
   double xp_w_init = 1.0 / 16;
   sim::Time deadline = sim::Time::sec(30);  // sim-time cap
 };
 
-struct WorkloadRunResult {
-  stats::FctCollector fcts;
-  size_t scheduled = 0;
-  size_t completed = 0;
-  uint64_t data_drops = 0;
-  double avg_queue_bytes = 0;   // time-weighted, averaged over fabric ports
-  double max_queue_bytes = 0;
-  double credit_waste_ratio = 0;  // wasted / received at senders (XP only)
-  double elapsed_sim_sec = 0;
-};
-
-inline WorkloadRunResult run_workload(const WorkloadRunConfig& cfg) {
-  sim::Simulator sim(cfg.seed);
-  net::Topology topo(sim);
-  const auto host_link = runner::protocol_link_config(
-      cfg.proto, cfg.host_rate_bps, sim::Time::us(4));
-  const auto fabric_link = runner::protocol_link_config(
-      cfg.proto, cfg.fabric_rate_bps, sim::Time::us(4));
-  // §6.3 fabric: 8 cores / 16 aggrs / 32 ToRs / 192 hosts at full scale
-  // (3:1 oversubscription at the ToR layer); quarter-scale by default.
-  auto cl = cfg.full_scale
-                ? net::build_clos(topo, 8, 8, 2, 4, 6, host_link, fabric_link)
-                : net::build_clos(topo, 4, 4, 2, 2, 6, host_link, fabric_link);
-  for (auto* h : topo.hosts()) {
-    h->set_delay_model(net::HostDelayModel::testbed());
-  }
-  auto transport = runner::make_transport(cfg.proto, sim, topo,
-                                          sim::Time::us(100));
-  // ExpressPass workload parameters per §6.3.
-  std::unique_ptr<transport::Transport> xp_transport;
+inline runner::ScenarioSpec workload_spec(const WorkloadRunConfig& cfg) {
+  runner::ScenarioSpec s;
+  s.name = "workload/" + std::string(workload::workload_name(cfg.kind)) +
+           "/" + std::string(runner::protocol_name(cfg.proto));
+  s.seed = cfg.seed;
+  s.topology.kind = runner::TopologyKind::kClos;
+  s.topology.clos = runner::clos_scale(cfg.full_scale);
+  s.topology.host_rate_bps = cfg.host_rate_bps;
+  s.topology.fabric_rate_bps = cfg.fabric_rate_bps;
+  s.topology.host_prop = sim::Time::us(4);
+  s.topology.fabric_prop = sim::Time::us(4);
+  s.topology.host_delay = runner::HostDelay::kTestbed;
+  s.protocol = cfg.proto;
   if (cfg.proto == runner::Protocol::kExpressPass) {
-    core::ExpressPassConfig xcfg;
-    xcfg.alpha_init = cfg.xp_alpha;
-    xcfg.w_init = cfg.xp_w_init;
-    xcfg.update_period = sim::Time::us(100);
-    xp_transport = std::make_unique<core::ExpressPassTransport>(sim, xcfg);
-    transport = std::move(xp_transport);
+    // ExpressPass workload parameters per §6.3.
+    s.xp.emplace();
+    s.xp->alpha_init = cfg.xp_alpha;
+    s.xp->w_init = cfg.xp_w_init;
   }
+  s.traffic.kind = runner::TrafficKind::kPoisson;
+  s.traffic.workload = cfg.kind;
+  s.traffic.load = cfg.load;
+  s.traffic.flows = cfg.n_flows;
+  s.stop = runner::StopSpec::completion(cfg.deadline);
+  return s;
+}
 
-  runner::FlowDriver driver(sim, *transport);
-  auto dist = workload::FlowSizeDist::make(cfg.kind);
-  // Load is defined on the ToR up-links (most traffic crosses them due to
-  // random peer selection).
-  const double uplink_capacity =
-      static_cast<double>(cl.tor_uplinks.size()) * cfg.fabric_rate_bps;
-  const double lambda =
-      workload::lambda_for_load(cfg.load, uplink_capacity, dist.mean());
-  auto specs = workload::poisson_flows(sim.rng(), cl.hosts, dist, lambda,
-                                       cfg.n_flows);
-  driver.add_all(specs);
-  driver.run_to_completion(cfg.deadline);
-
-  WorkloadRunResult res;
-  res.scheduled = driver.scheduled();
-  res.completed = driver.completed();
-  res.data_drops = topo.data_drops();
-  res.elapsed_sim_sec = sim.now().to_sec();
-  double avg_sum = 0, max_q = 0;
-  auto ports = topo.switch_ports();
-  for (net::Port* p : ports) {
-    avg_sum += p->data_queue().stats().avg_bytes(sim.now());
-    max_q = std::max(max_q,
-                     static_cast<double>(p->data_queue().stats().max_bytes));
-  }
-  res.avg_queue_bytes = ports.empty() ? 0 : avg_sum / ports.size();
-  res.max_queue_bytes = max_q;
-
-  if (cfg.proto == runner::Protocol::kExpressPass) {
-    // Waste ratio = credits that reached a sender with nothing to send,
-    // over all credits that reached senders (strays arrived for finished
-    // flows count in both).
-    uint64_t recv = topo.stray_credits();
-    uint64_t wasted = topo.stray_credits();
-    for (const auto& c : driver.connections()) {
-      auto* x = dynamic_cast<const core::ExpressPassConnection*>(c.get());
-      if (x != nullptr) {
-        recv += x->credits_received();
-        wasted += x->credits_wasted();
-      }
-    }
-    res.credit_waste_ratio =
-        recv > 0 ? static_cast<double>(wasted) / static_cast<double>(recv)
-                 : 0.0;
-  }
-  // Move the collected FCTs out.
-  res.fcts = driver.fcts();
-  driver.stop_all();
-  return res;
+inline runner::ScenarioResult run_workload(const WorkloadRunConfig& cfg) {
+  return runner::ScenarioEngine().run(workload_spec(cfg));
 }
 
 }  // namespace xpass::bench

@@ -3,15 +3,16 @@
 // under DCTCP and under ExpressPass and compare the receiver-downlink queue,
 // drops, and completion times.
 //
+// The whole experiment is one runner::ScenarioSpec per protocol; the engine
+// builds the star, schedules the burst, and hands back the measurements.
+//
 // Build & run:  ./build/examples/incast [fanout] [bytes_per_worker]
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/expresspass.hpp"
-#include "net/topology_builders.hpp"
-#include "runner/flow_driver.hpp"
+#include "runner/args.hpp"
 #include "runner/protocols.hpp"
-#include "workload/generators.hpp"
+#include "runner/scenario.hpp"
 
 using namespace xpass;
 using sim::Time;
@@ -19,36 +20,38 @@ using sim::Time;
 namespace {
 
 void run(runner::Protocol proto, size_t fanout, uint64_t bytes) {
-  sim::Simulator sim(1);
-  net::Topology topo(sim);
-  const auto link = runner::protocol_link_config(proto, 10e9, Time::us(1));
-  auto star = net::build_star(topo, 33, link);
-  for (auto* h : star.hosts) {
-    h->set_delay_model(net::HostDelayModel::testbed());
-  }
-  auto t = runner::make_transport(proto, sim, topo, Time::us(100));
-  runner::FlowDriver driver(sim, *t);
-  std::vector<net::Host*> workers(star.hosts.begin() + 1, star.hosts.end());
-  driver.add_all(
-      workload::incast_flows(workers, star.hosts[0], bytes, fanout));
-  const bool done = driver.run_to_completion(Time::sec(10));
+  runner::ScenarioSpec s;
+  s.name = "incast/" + std::string(runner::protocol_name(proto));
+  s.seed = 1;
+  s.topology.kind = runner::TopologyKind::kStar;
+  s.topology.scale = 33;
+  s.topology.host_delay = runner::HostDelay::kTestbed;
+  s.protocol = proto;
+  s.traffic.kind = runner::TrafficKind::kIncast;
+  s.traffic.flows = fanout;
+  s.traffic.bytes = bytes;
+  s.stop = runner::StopSpec::completion(Time::sec(10));
+  const auto r = runner::ScenarioEngine().run(s);
 
-  net::Port* downlink = star.hosts[0]->nic().peer();
   std::printf("%-14s  completed %3zu/%zu%s  maxQ %7.1f KB  drops %5zu  "
               "p99 FCT %8.2f ms\n",
-              std::string(runner::protocol_name(proto)).c_str(),
-              driver.completed(), driver.scheduled(), done ? "" : " (!)",
-              downlink->data_queue().stats().max_bytes / 1e3,
-              static_cast<size_t>(topo.data_drops()),
-              driver.fcts().all().percentile(0.99) * 1e3);
+              std::string(runner::protocol_name(proto)).c_str(), r.completed,
+              r.scheduled, r.all_completed ? "" : " (!)",
+              r.bottleneck_max_queue_bytes / 1e3,
+              static_cast<size_t>(r.data_drops),
+              r.fcts.all().percentile(0.99) * 1e3);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const size_t fanout = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
-  const uint64_t bytes = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                  : 100'000;
+  runner::Args args(argc, argv);
+  args.die_on_error("usage: incast [fanout] [bytes_per_worker]\n");
+  const auto& pos = args.positional();
+  const size_t fanout =
+      pos.size() > 0 ? std::strtoul(pos[0].c_str(), nullptr, 10) : 64;
+  const uint64_t bytes =
+      pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 100'000;
   std::printf("incast: %zu workers -> 1 master, %llu bytes each, one 10G "
               "ToR\n\n",
               fanout, static_cast<unsigned long long>(bytes));

@@ -1,31 +1,40 @@
 // Realistic-workload FCT comparison on an oversubscribed Clos fabric —
 // a miniature of the paper's §6.3 evaluation, runnable in seconds.
 //
+// One runner::ScenarioSpec per protocol: the quarter-scale Clos, a poisson
+// flow schedule from the chosen Table-2 size distribution at load 0.6 (load
+// defined on the ToR up-links), run to completion.
+//
 // Build & run:  ./build/examples/workload_fct [webserver|websearch|
 //               cachefollower|datamining] [n_flows]
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
+#include <string>
 
-#include "core/expresspass.hpp"
-#include "net/topology_builders.hpp"
-#include "runner/flow_driver.hpp"
+#include "runner/args.hpp"
 #include "runner/protocols.hpp"
-#include "stats/fct.hpp"
+#include "runner/scenario.hpp"
 #include "workload/flow_size_dist.hpp"
-#include "workload/generators.hpp"
 
 using namespace xpass;
 using sim::Time;
 
 int main(int argc, char** argv) {
+  runner::Args args(argc, argv);
+  args.die_on_error(
+      "usage: workload_fct [webserver|websearch|cachefollower|datamining] "
+      "[n_flows]\n");
+  const auto& pos = args.positional();
   workload::WorkloadKind kind = workload::WorkloadKind::kWebServer;
-  if (argc > 1) {
-    const std::string_view arg = argv[1];
-    if (arg == "websearch") kind = workload::WorkloadKind::kWebSearch;
-    if (arg == "cachefollower") kind = workload::WorkloadKind::kCacheFollower;
-    if (arg == "datamining") kind = workload::WorkloadKind::kDataMining;
+  if (!pos.empty()) {
+    if (pos[0] == "websearch") kind = workload::WorkloadKind::kWebSearch;
+    if (pos[0] == "cachefollower") {
+      kind = workload::WorkloadKind::kCacheFollower;
+    }
+    if (pos[0] == "datamining") kind = workload::WorkloadKind::kDataMining;
   }
-  const size_t n_flows = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 800;
+  const size_t n_flows =
+      pos.size() > 1 ? std::strtoul(pos[1].c_str(), nullptr, 10) : 800;
 
   std::printf("workload %s, %zu flows, load 0.6, quarter-scale Clos "
               "(48 hosts, 3:1 oversubscribed)\n\n",
@@ -35,30 +44,26 @@ int main(int argc, char** argv) {
 
   for (auto proto : {runner::Protocol::kExpressPass, runner::Protocol::kDctcp,
                      runner::Protocol::kRcp}) {
-    sim::Simulator sim(11);
-    net::Topology topo(sim);
-    const auto host_link =
-        runner::protocol_link_config(proto, 10e9, Time::us(4));
-    const auto fabric_link =
-        runner::protocol_link_config(proto, 40e9, Time::us(4));
-    auto cl = net::build_clos(topo, 4, 4, 2, 2, 6, host_link, fabric_link);
-    auto t = runner::make_transport(proto, sim, topo, Time::us(100));
-    runner::FlowDriver driver(sim, *t);
-
-    auto dist = workload::FlowSizeDist::make(kind);
-    const double uplink_bps = cl.tor_uplinks.size() * 40e9;
-    const double lambda =
-        workload::lambda_for_load(0.6, uplink_bps, dist.mean());
-    driver.add_all(workload::poisson_flows(sim.rng(), cl.hosts, dist, lambda,
-                                           n_flows));
-    driver.run_to_completion(Time::sec(30));
+    runner::ScenarioSpec s;
+    s.name = "workload_fct/" + std::string(runner::protocol_name(proto));
+    s.seed = 11;
+    s.topology.kind = runner::TopologyKind::kClos;
+    s.topology.clos = runner::clos_scale(false);
+    s.topology.host_prop = Time::us(4);
+    s.topology.fabric_rate_bps = 40e9;
+    s.topology.fabric_prop = Time::us(4);
+    s.protocol = proto;
+    s.traffic.kind = runner::TrafficKind::kPoisson;
+    s.traffic.workload = kind;
+    s.traffic.load = 0.6;
+    s.traffic.flows = n_flows;
+    s.stop = runner::StopSpec::completion(Time::sec(30));
+    const auto r = runner::ScenarioEngine().run(s);
     std::printf("%-14s %6zu/%zu %14.3f %14.3f %12zu\n",
-                std::string(runner::protocol_name(proto)).c_str(),
-                driver.completed(), driver.scheduled(),
-                driver.fcts().all().mean() * 1e3,
-                driver.fcts().all().percentile(0.99) * 1e3,
-                static_cast<size_t>(topo.data_drops()));
-    driver.stop_all();
+                std::string(runner::protocol_name(proto)).c_str(), r.completed,
+                r.scheduled, r.fcts.all().mean() * 1e3,
+                r.fcts.all().percentile(0.99) * 1e3,
+                static_cast<size_t>(r.data_drops));
   }
   return 0;
 }

@@ -1,0 +1,62 @@
+// Credit-ledger telemetry hook: registers the §6.3 credit-efficiency
+// counters as pull probes on a stats::Recorder ("xp.credits_received",
+// "xp.credits_wasted", "xp.credit_waste_ratio").
+//
+// The waste ratio follows the Fig 20 accounting exactly: credits that
+// reached a sender with nothing to send, over all credits that reached
+// senders, with strays (credits that arrived for already-finished flows)
+// counted in both numerator and denominator. Walks the connection list in
+// creation order; non-ExpressPass connections contribute nothing.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/expresspass.hpp"
+#include "net/topology.hpp"
+#include "stats/recorder.hpp"
+
+namespace xpass::core {
+
+struct CreditLedger {
+  uint64_t received = 0;  // credits delivered to senders, incl. strays
+  uint64_t wasted = 0;    // credits answered with no data, incl. strays
+  double waste_ratio() const {
+    return received > 0
+               ? static_cast<double>(wasted) / static_cast<double>(received)
+               : 0.0;
+  }
+};
+
+inline CreditLedger credit_ledger(
+    const net::Topology& topo,
+    const std::vector<std::unique_ptr<transport::Connection>>& conns) {
+  CreditLedger l;
+  const uint64_t strays = topo.stray_credits();
+  l.received = strays;
+  l.wasted = strays;
+  for (const auto& c : conns) {
+    auto* x = dynamic_cast<const ExpressPassConnection*>(c.get());
+    if (x != nullptr) {
+      l.received += x->credits_received();
+      l.wasted += x->credits_wasted();
+    }
+  }
+  return l;
+}
+
+inline void register_credit_telemetry(
+    stats::Recorder& r, const net::Topology& topo,
+    const std::vector<std::unique_ptr<transport::Connection>>& conns) {
+  r.gauge("xp.credits_received", [&topo, &conns] {
+    return static_cast<double>(credit_ledger(topo, conns).received);
+  });
+  r.gauge("xp.credits_wasted", [&topo, &conns] {
+    return static_cast<double>(credit_ledger(topo, conns).wasted);
+  });
+  r.gauge("xp.credit_waste_ratio", [&topo, &conns] {
+    return credit_ledger(topo, conns).waste_ratio();
+  });
+}
+
+}  // namespace xpass::core

@@ -10,6 +10,7 @@
 #include "net/host.hpp"
 #include "net/switch.hpp"
 #include "sim/simulator.hpp"
+#include "stats/recorder.hpp"
 
 namespace xpass::net {
 
@@ -78,6 +79,41 @@ class Topology {
   uint64_t credit_drops() const;
   uint64_t max_switch_data_queue_bytes() const;
   uint64_t stray_credits() const;
+
+  // Telemetry hook: registers the network-wide counters as pull probes
+  // ("net.data_drops", "net.credit_drops", "net.stray_credits",
+  // "net.max_switch_queue_bytes", "net.avg_switch_queue_bytes") and, when
+  // `per_port_series` is set, one "queue.<switch>-><peer>.bytes" series
+  // gauge per switch egress port (instantaneous data-queue depth). Inline
+  // so xpass_net carries no link-time dependency on xpass_stats.
+  void register_telemetry(stats::Recorder& r, bool per_port_series = false) {
+    r.gauge("net.data_drops",
+            [this] { return static_cast<double>(data_drops()); });
+    r.gauge("net.credit_drops",
+            [this] { return static_cast<double>(credit_drops()); });
+    r.gauge("net.stray_credits",
+            [this] { return static_cast<double>(stray_credits()); });
+    r.gauge("net.max_switch_queue_bytes", [this] {
+      return static_cast<double>(max_switch_data_queue_bytes());
+    });
+    r.gauge("net.avg_switch_queue_bytes", [this] {
+      double sum = 0;
+      auto ports = switch_ports();
+      for (Port* p : ports) {
+        sum += p->data_queue().stats().avg_bytes(sim_.now());
+      }
+      return ports.empty() ? 0.0 : sum / static_cast<double>(ports.size());
+    });
+    if (per_port_series) {
+      for (Port* p : switch_ports()) {
+        const std::string peer =
+            p->peer() != nullptr ? p->peer()->owner().name() : "?";
+        r.series_gauge(
+            "queue." + p->owner().name() + "->" + peer + ".bytes",
+            [p] { return static_cast<double>(p->data_queue().bytes()); });
+      }
+    }
+  }
 
  private:
   sim::Simulator& sim_;

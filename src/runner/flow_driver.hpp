@@ -10,6 +10,7 @@
 
 #include "stats/fct.hpp"
 #include "stats/rate_tracker.hpp"
+#include "stats/recorder.hpp"
 #include "transport/connection.hpp"
 
 namespace xpass::runner {
@@ -46,6 +47,27 @@ class FlowDriver {
   }
   // Stops every connection (cancels timers, unregisters handlers).
   void stop_all();
+
+  // Telemetry hook: registers the scheduling counters as pull probes
+  // ("flows.scheduled", "flows.completed", "flows.failed") and, when
+  // `per_flow_series` is set, one "flow.<id>.bytes" series gauge per
+  // already-added flow (cumulative delivered bytes — sampling never resets
+  // the goodput windows).
+  void register_telemetry(stats::Recorder& r, bool per_flow_series = false) {
+    r.gauge("flows.scheduled",
+            [this] { return static_cast<double>(scheduled()); });
+    r.gauge("flows.completed",
+            [this] { return static_cast<double>(completed()); });
+    r.gauge("flows.failed", [this] { return static_cast<double>(failed()); });
+    if (per_flow_series) {
+      for (const auto& c : conns_) {
+        const uint32_t id = c->spec().id;
+        r.series_gauge("flow." + std::to_string(id) + ".bytes", [this, id] {
+          return static_cast<double>(rates_.cumulative_bytes(id));
+        });
+      }
+    }
+  }
 
  private:
   sim::Simulator& sim_;

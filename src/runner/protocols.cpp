@@ -5,6 +5,7 @@
 #include "transport/dctcp.hpp"
 #include "transport/dx.hpp"
 #include "transport/hull.hpp"
+#include "transport/ideal.hpp"
 #include "transport/rcp.hpp"
 #include "transport/timely.hpp"
 
@@ -21,6 +22,7 @@ std::string_view protocol_name(Protocol p) {
     case Protocol::kCubic: return "Cubic";
     case Protocol::kDcqcn: return "DCQCN";
     case Protocol::kTimely: return "TIMELY";
+    case Protocol::kIdeal: return "Ideal";
   }
   return "?";
 }
@@ -29,7 +31,9 @@ std::optional<Protocol> parse_protocol(std::string_view name) {
   if (name == "expresspass" || name == "ExpressPass") {
     return Protocol::kExpressPass;
   }
-  if (name == "naive") return Protocol::kExpressPassNaive;
+  if (name == "naive" || name == "ExpressPass-naive") {
+    return Protocol::kExpressPassNaive;
+  }
   if (name == "dctcp" || name == "DCTCP") return Protocol::kDctcp;
   if (name == "rcp" || name == "RCP") return Protocol::kRcp;
   if (name == "hull" || name == "HULL") return Protocol::kHull;
@@ -37,6 +41,7 @@ std::optional<Protocol> parse_protocol(std::string_view name) {
   if (name == "cubic" || name == "Cubic") return Protocol::kCubic;
   if (name == "dcqcn" || name == "DCQCN") return Protocol::kDcqcn;
   if (name == "timely" || name == "TIMELY") return Protocol::kTimely;
+  if (name == "ideal" || name == "Ideal") return Protocol::kIdeal;
   return std::nullopt;
 }
 
@@ -132,6 +137,8 @@ std::unique_ptr<transport::Transport> make_transport(
       cfg.t_high = base_rtt * 3.0;
       return std::make_unique<transport::TimelyTransport>(sim, cfg);
     }
+    case Protocol::kIdeal:
+      return std::make_unique<transport::IdealTransport>(sim, topo, 1.0);
   }
   return nullptr;
 }

@@ -24,6 +24,8 @@ enum class Protocol {
   // Extension comparators: the PFC-based RDMA status quo (§1's motivation).
   kDcqcn,   // ECN + CNP rate control over PFC-protected links
   kTimely,  // RTT-gradient rate control over PFC-protected links
+  // Fig 1's oracle: exact max-min fair shares with perfect pacing.
+  kIdeal,
 };
 
 std::string_view protocol_name(Protocol p);

@@ -1,0 +1,408 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/credit_telemetry.hpp"
+#include "exec/sweep_runner.hpp"
+#include "net/fault_injector.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/invariants.hpp"
+#include "stats/fairness.hpp"
+#include "workload/generators.hpp"
+
+namespace xpass::runner {
+
+namespace {
+
+// The concrete network a TopologySpec resolved to: the host pools the
+// traffic generators draw from, the canonical observation port, and the
+// topology-defined flow list for kChain traffic.
+struct Built {
+  std::vector<net::Host*> hosts;  // senders / the poisson + shuffle pool
+  std::vector<net::Host*> peers;  // pairwise receivers (dumbbell only)
+  std::vector<net::Port*> tor_uplinks;  // Clos only: the load-defining links
+  net::Port* bottleneck = nullptr;
+  std::vector<std::pair<net::Host*, net::Host*>> chain;
+};
+
+Built build_network(const TopologySpec& ts, Protocol proto,
+                    net::Topology& topo, double fabric_rate_bps,
+                    sim::Time fabric_prop) {
+  net::LinkConfig host_cfg =
+      protocol_link_config(proto, ts.host_rate_bps, ts.host_prop);
+  net::LinkConfig fabric_cfg =
+      protocol_link_config(proto, fabric_rate_bps, fabric_prop);
+  for (net::LinkConfig* cfg : {&host_cfg, &fabric_cfg}) {
+    if (ts.credit_queue_pkts) cfg->credit_queue_pkts = *ts.credit_queue_pkts;
+    if (ts.host_credit_shaper_noise) {
+      cfg->host_credit_shaper_noise = *ts.host_credit_shaper_noise;
+    }
+  }
+
+  Built b;
+  switch (ts.kind) {
+    case TopologyKind::kDumbbell: {
+      auto d = net::build_dumbbell(topo, ts.scale, host_cfg, fabric_cfg);
+      b.hosts = d.senders;
+      b.peers = d.receivers;
+      b.bottleneck = d.bottleneck;
+      break;
+    }
+    case TopologyKind::kStar: {
+      auto s = net::build_star(topo, ts.scale, host_cfg);
+      b.hosts = s.hosts;
+      b.bottleneck = b.hosts[0]->nic().peer();
+      break;
+    }
+    case TopologyKind::kFatTree: {
+      auto ft = net::build_fat_tree(topo, ts.fat_tree_k, host_cfg, fabric_cfg);
+      b.hosts = ft.hosts;
+      b.bottleneck = b.hosts[0]->nic().peer();
+      break;
+    }
+    case TopologyKind::kClos: {
+      auto cl = net::build_clos(topo, ts.clos.n_core, ts.clos.pods,
+                                ts.clos.aggr_per_pod, ts.clos.tor_per_pod,
+                                ts.clos.hosts_per_tor, host_cfg, fabric_cfg);
+      b.hosts = cl.hosts;
+      b.tor_uplinks = cl.tor_uplinks;
+      break;
+    }
+    case TopologyKind::kParkingLot: {
+      auto p = net::build_parking_lot(topo, ts.scale, host_cfg, fabric_cfg);
+      b.hosts = {p.long_src};
+      b.bottleneck = p.data_links[0];
+      b.chain.emplace_back(p.long_src, p.long_dst);
+      for (size_t i = 0; i < p.cross_srcs.size(); ++i) {
+        b.chain.emplace_back(p.cross_srcs[i], p.cross_dsts[i]);
+      }
+      break;
+    }
+    case TopologyKind::kMultiBottleneck: {
+      auto m = net::build_multi_bottleneck(topo, ts.scale, host_cfg,
+                                           fabric_cfg);
+      b.hosts = {m.flow0_src};
+      b.bottleneck = m.link1_data;
+      b.chain.emplace_back(m.flow0_src, m.flow0_dst);
+      for (size_t i = 0; i < m.srcs.size(); ++i) {
+        b.chain.emplace_back(m.srcs[i], m.dsts[i]);
+      }
+      break;
+    }
+  }
+
+  if (ts.host_delay != HostDelay::kNone) {
+    const net::HostDelayModel model = ts.host_delay == HostDelay::kTestbed
+                                          ? net::HostDelayModel::testbed()
+                                          : net::HostDelayModel::hardware();
+    for (net::Host* h : topo.hosts()) h->set_delay_model(model);
+  }
+  if (ts.packet_spraying) {
+    for (net::Switch* sw : topo.switches()) sw->set_packet_spraying(true);
+  }
+  return b;
+}
+
+void add_traffic(const ScenarioSpec& spec, const Built& b,
+                 sim::Simulator& sim, FlowDriver& driver,
+                 double fabric_rate_bps) {
+  const TrafficSpec& tr = spec.traffic;
+  switch (tr.kind) {
+    case TrafficKind::kPairwise: {
+      for (size_t i = 0; i < tr.flows; ++i) {
+        transport::FlowSpec s;
+        s.id = static_cast<uint32_t>(i + 1);
+        s.src = b.hosts[i % b.hosts.size()];
+        s.dst = b.peers.empty()
+                    ? b.hosts[(i + 1 + b.hosts.size() / 2) % b.hosts.size()]
+                    : b.peers[i % b.peers.size()];
+        if (s.dst == s.src) s.dst = b.hosts[(i + 1) % b.hosts.size()];
+        s.size_bytes = tr.bytes;
+        // One RNG draw per flow, in flow order, only when spreading — the
+        // stream position must match the hand-wired benches exactly.
+        if (tr.start_spread_sec > 0) {
+          s.start_time =
+              sim::Time::seconds(sim.rng().uniform(0.0, tr.start_spread_sec));
+        }
+        driver.add(s);
+      }
+      break;
+    }
+    case TrafficKind::kIncast: {
+      std::vector<net::Host*> workers(b.hosts.begin() + 1, b.hosts.end());
+      driver.add_all(
+          workload::incast_flows(workers, b.hosts[0], tr.bytes, tr.flows));
+      break;
+    }
+    case TrafficKind::kShuffle: {
+      driver.add_all(
+          workload::shuffle_flows(b.hosts, tr.tasks_per_host, tr.bytes));
+      break;
+    }
+    case TrafficKind::kPoisson: {
+      auto dist = workload::FlowSizeDist::make(tr.workload);
+      std::vector<net::Host*> pool = b.hosts;
+      pool.insert(pool.end(), b.peers.begin(), b.peers.end());
+      // Load is defined on the ToR up-links for the Clos fabric (§6.3);
+      // generic topologies fall back to the CLI's aggregate-host-rate/3
+      // heuristic.
+      const double capacity =
+          tr.capacity_bps
+              ? *tr.capacity_bps
+              : !b.tor_uplinks.empty()
+                    ? static_cast<double>(b.tor_uplinks.size()) *
+                          fabric_rate_bps
+                    : static_cast<double>(pool.size()) *
+                          spec.topology.host_rate_bps / 3.0;
+      const double lambda =
+          workload::lambda_for_load(tr.load, capacity, dist.mean());
+      driver.add_all(
+          workload::poisson_flows(sim.rng(), pool, dist, lambda, tr.flows));
+      break;
+    }
+    case TrafficKind::kChain: {
+      uint32_t id = 1;
+      for (const auto& [src, dst] : b.chain) {
+        transport::FlowSpec s;
+        s.id = id++;
+        s.src = src;
+        s.dst = dst;
+        s.size_bytes = tr.bytes;
+        driver.add(s);
+      }
+      break;
+    }
+  }
+}
+
+bool is_expresspass(Protocol p) {
+  return p == Protocol::kExpressPass || p == Protocol::kExpressPassNaive;
+}
+
+}  // namespace
+
+ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec) const {
+  sim::Simulator sim(spec.seed);
+  net::Topology topo(sim);
+
+  const TopologySpec& ts = spec.topology;
+  const double fabric_rate =
+      ts.fabric_rate_bps > 0 ? ts.fabric_rate_bps : ts.host_rate_bps;
+  const sim::Time fabric_prop =
+      ts.fabric_prop > sim::Time::zero() ? ts.fabric_prop : ts.host_prop;
+  Built b = build_network(ts, spec.protocol, topo, fabric_rate, fabric_prop);
+
+  auto transport = make_transport(spec.protocol, sim, topo, spec.base_rtt,
+                                  spec.xp ? &*spec.xp : nullptr);
+  FlowDriver driver(sim, *transport);
+  add_traffic(spec, b, sim, driver, fabric_rate);
+
+  // Faults target the first switch--switch link, falling back to the first
+  // link for single-switch topologies.
+  sim::FaultPlan plan(spec.fault_seed);
+  net::FaultInjector injector(topo, plan);
+  const bool has_faults = spec.faults.any();
+  if (has_faults) {
+    const net::Topology::LinkRec* target = nullptr;
+    for (const auto& l : topo.links()) {
+      if (topo.node(l.a).kind() == net::Node::Kind::kSwitch &&
+          topo.node(l.b).kind() == net::Node::Kind::kSwitch) {
+        target = &l;
+        break;
+      }
+    }
+    if (target == nullptr && !topo.links().empty()) {
+      target = &topo.links().front();
+    }
+    if (target != nullptr) {
+      apply_fault_scenario(spec.faults, injector, topo.node(target->a),
+                           topo.node(target->b));
+      plan.arm(sim);
+    }
+  }
+
+  sim::InvariantChecker checker(sim);
+  if (spec.check_invariants) {
+    NetInvariantOptions iopts;
+    iopts.expect_zero_data_loss = is_expresspass(spec.protocol);
+    register_network_invariants(checker, topo, driver,
+                                has_faults ? &plan : nullptr, iopts);
+    checker.start(sim::Time::us(100));
+  }
+
+  stats::Recorder rec;
+  topo.register_telemetry(rec, spec.telemetry.per_port_queue_series);
+  driver.register_telemetry(rec, spec.telemetry.flow_rate_series);
+  if (is_expresspass(spec.protocol)) {
+    core::register_credit_telemetry(rec, topo, driver.connections());
+  }
+  if (spec.telemetry.bottleneck_queue_series && b.bottleneck != nullptr) {
+    net::Port* p = b.bottleneck;
+    rec.series_gauge("queue.bottleneck.bytes", [p] {
+      return static_cast<double>(p->data_queue().bytes());
+    });
+  }
+
+  // Sampling steps run_until; the event stream a stepped run processes is
+  // identical to one uninterrupted run, so sampling can never perturb a
+  // golden output.
+  const sim::Time interval = spec.telemetry.sample_interval;
+  auto run_until = [&](sim::Time until) {
+    if (interval > sim::Time::zero()) {
+      sim::Time t = sim.now();
+      while (t < until) {
+        t = std::min(t + interval, until);
+        sim.run_until(t);
+        rec.sample_all(t.to_sec());
+      }
+    } else {
+      sim.run_until(until);
+    }
+  };
+
+  ScenarioResult res;
+  res.name = spec.name;
+  res.seed = spec.seed;
+
+  std::vector<std::pair<uint32_t, double>> rate_pairs;
+  uint64_t tx_before = 0;
+  bool completion_result = false;
+  switch (spec.stop.kind) {
+    case StopKind::kRunFor:
+      run_until(spec.stop.horizon);
+      break;
+    case StopKind::kWindow:
+      run_until(spec.stop.warmup);
+      if (b.bottleneck != nullptr) tx_before = b.bottleneck->tx_data_bytes();
+      driver.rates().snapshot_rates_ordered(spec.stop.warmup);  // reset
+      run_until(spec.stop.warmup + spec.stop.window);
+      rate_pairs = driver.rates().snapshot_rates_ordered(spec.stop.window);
+      break;
+    case StopKind::kCompletion:
+      if (interval > sim::Time::zero()) {
+        // run_to_completion's 1ms settle checks, at sample granularity.
+        sim::Time t = sim.now();
+        while (t < spec.stop.horizon &&
+               driver.completed() + driver.failed() < driver.scheduled()) {
+          t = std::min(t + interval, spec.stop.horizon);
+          sim.run_until(t);
+          rec.sample_all(t.to_sec());
+        }
+        completion_result = driver.completed() == driver.scheduled();
+      } else {
+        completion_result = driver.run_to_completion(spec.stop.horizon);
+      }
+      break;
+  }
+  if (spec.stop.kind != StopKind::kWindow) {
+    rate_pairs = driver.rates().snapshot_rates_ordered(sim.now());
+  }
+  if (spec.check_invariants) checker.run_checks();
+
+  res.scheduled = driver.scheduled();
+  res.completed = driver.completed();
+  res.failed = driver.failed();
+  res.all_completed = spec.stop.kind == StopKind::kCompletion
+                          ? completion_result
+                          : res.scheduled > 0 && res.completed == res.scheduled;
+  res.end_time = sim.now();
+  res.data_drops = topo.data_drops();
+  res.credit_drops = topo.credit_drops();
+  res.stray_credits = topo.stray_credits();
+  res.max_switch_queue_bytes = topo.max_switch_data_queue_bytes();
+  {
+    double sum = 0;
+    auto ports = topo.switch_ports();
+    for (net::Port* p : ports) {
+      sum += p->data_queue().stats().avg_bytes(sim.now());
+    }
+    res.avg_switch_queue_bytes =
+        ports.empty() ? 0 : sum / static_cast<double>(ports.size());
+  }
+  if (b.bottleneck != nullptr) {
+    const auto& qs = b.bottleneck->data_queue().stats();
+    res.bottleneck_max_queue_bytes = qs.max_bytes;
+    res.bottleneck_queue_drops = qs.dropped;
+    res.bottleneck_tx_data_bytes = b.bottleneck->tx_data_bytes() - tx_before;
+  }
+
+  // Sum and Jain fold over the tracker's traversal order — bit-identical to
+  // the snapshot_rates() path the hand-wired benches used — then sort by
+  // flow id for stable per-flow access.
+  {
+    std::vector<double> vals;
+    vals.reserve(rate_pairs.size());
+    for (const auto& [id, r] : rate_pairs) {
+      (void)id;
+      vals.push_back(r);
+    }
+    double sum = 0;
+    for (double v : vals) sum += v;
+    res.sum_rate_bps = sum;
+    res.jain = stats::jain_index(vals);
+    std::sort(rate_pairs.begin(), rate_pairs.end());
+    res.flow_rates = std::move(rate_pairs);
+  }
+
+  res.fcts = driver.fcts();
+  if (is_expresspass(spec.protocol)) {
+    const core::CreditLedger ledger =
+        core::credit_ledger(topo, driver.connections());
+    res.credits_received = ledger.received;
+    res.credits_wasted = ledger.wasted;
+    res.credit_waste_ratio = ledger.waste_ratio();
+  }
+  if (has_faults) {
+    res.fault_totals = injector.totals();
+    res.faults_fired = plan.fired();
+  }
+  if (spec.check_invariants) {
+    res.invariant_sweeps = checker.sweeps();
+    res.invariant_violations = checker.violations();
+    res.invariant_messages = checker.messages();
+  }
+
+  // Mirror every standard scalar into the recorder so JSON/CSV emission is
+  // uniform across scenarios, then freeze it for return.
+  rec.set("time.end_sec", res.end_time.to_sec());
+  rec.set("goodput.sum_bps", res.sum_rate_bps);
+  rec.set("fairness.jain", res.jain);
+  rec.set("queue.bottleneck.max_bytes",
+          static_cast<double>(res.bottleneck_max_queue_bytes));
+  rec.set("queue.bottleneck.tx_bytes",
+          static_cast<double>(res.bottleneck_tx_data_bytes));
+  if (res.fcts.completed() > 0) {
+    const auto& f = res.fcts.all();
+    rec.set("fct.count", static_cast<double>(res.fcts.completed()));
+    rec.set("fct.avg_sec", f.mean());
+    rec.set("fct.p50_sec", f.percentile(0.5));
+    rec.set("fct.p99_sec", f.percentile(0.99));
+  }
+  if (has_faults) {
+    rec.set("faults.fired", static_cast<double>(res.faults_fired));
+    rec.set("faults.failures", static_cast<double>(res.fault_totals.failures));
+    rec.set("faults.recoveries",
+            static_cast<double>(res.fault_totals.recoveries));
+  }
+  if (spec.check_invariants) {
+    rec.set("invariants.sweeps", static_cast<double>(res.invariant_sweeps));
+    rec.set("invariants.violations",
+            static_cast<double>(res.invariant_violations));
+  }
+  rec.detach();  // evaluate gauges, drop callbacks into the dying network
+  res.recorder = std::move(rec);
+
+  driver.stop_all();
+  return res;
+}
+
+std::vector<ScenarioResult> ScenarioEngine::run_grid(
+    const std::vector<ScenarioSpec>& grid, size_t jobs) const {
+  exec::SweepRunner pool(jobs);
+  return pool.map(grid.size(), [&](size_t i) { return run(grid[i]); });
+}
+
+}  // namespace xpass::runner

@@ -15,6 +15,7 @@ class RateTracker {
   // Records `bytes` delivered for `flow` (call from receivers).
   void add(uint32_t flow, uint64_t bytes) {
     bytes_[flow] += bytes;
+    cumulative_[flow] += bytes;
     total_ += bytes;
   }
 
@@ -24,11 +25,23 @@ class RateTracker {
   // Same but keyed by flow id.
   std::unordered_map<uint32_t, double> snapshot_rates_by_flow(
       sim::Time window);
+  // Same values as snapshot_rates(), tagged with their flow ids and in the
+  // identical traversal order — so a sum/fairness fold over the .second
+  // fields reproduces snapshot_rates()-based results bit-for-bit.
+  std::vector<std::pair<uint32_t, double>> snapshot_rates_ordered(
+      sim::Time window);
 
   uint64_t total_bytes() const { return total_; }
+  // All-time delivered bytes for one flow (never reset by snapshots) — the
+  // telemetry series probes sample this.
+  uint64_t cumulative_bytes(uint32_t flow) const {
+    auto it = cumulative_.find(flow);
+    return it == cumulative_.end() ? 0 : it->second;
+  }
 
  private:
   std::unordered_map<uint32_t, uint64_t> bytes_;
+  std::unordered_map<uint32_t, uint64_t> cumulative_;
   uint64_t total_ = 0;
 };
 

@@ -1,0 +1,106 @@
+// Recorder: the scenario-wide telemetry sink.
+//
+// A Recorder holds named *scalar* probes and named *time series*. Layers
+// (net::Topology, runner::FlowDriver, core::ExpressPass) register probes via
+// their register_telemetry() hooks instead of every bench polling counters
+// by hand; the ScenarioEngine drives sampling and finally emits everything
+// as schema-tagged JSON (the same flow the BENCH_*.json artifacts use) or
+// per-series CSV.
+//
+// Two probe styles:
+//   * push — set(name, v) / sample(name, t, v) record a value immediately;
+//   * pull — gauge(name, fn) / series_gauge(name, fn) register a callback
+//     that collect() (scalars) or sample_all(t) (series) evaluates.
+//
+// Probe names are dotted paths ("net.data_drops", "flow.3.goodput_bps").
+// Emission order is the lexicographic name order, so JSON output is stable
+// across runs and across registration order.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xpass::stats {
+
+class Recorder {
+ public:
+  static constexpr std::string_view kSchema = "xpass.recorder.v1";
+
+  struct Series {
+    std::vector<double> t_sec;
+    std::vector<double> v;
+  };
+
+  Recorder() = default;
+  Recorder(Recorder&&) = default;
+  Recorder& operator=(Recorder&&) = default;
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  // --- scalars -----------------------------------------------------------
+  void set(const std::string& name, double v) { scalars_[name] = v; }
+  // Registers a pull probe; evaluated (and re-evaluated) by collect().
+  void gauge(const std::string& name, std::function<double()> fn) {
+    gauges_[name] = std::move(fn);
+  }
+  bool has(const std::string& name) const {
+    return scalars_.count(name) != 0;
+  }
+  // Value of a collected scalar; 0.0 when the probe does not exist.
+  double scalar(const std::string& name) const {
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second;
+  }
+  const std::map<std::string, double>& scalars() const { return scalars_; }
+
+  // --- time series -------------------------------------------------------
+  void sample(const std::string& name, double t_sec, double v) {
+    Series& s = series_[name];
+    s.t_sec.push_back(t_sec);
+    s.v.push_back(v);
+  }
+  // Registers a pull series probe; sample_all(t) appends one point each.
+  void series_gauge(const std::string& name, std::function<double()> fn) {
+    series_gauges_.emplace_back(name, std::move(fn));
+  }
+  void sample_all(double t_sec) {
+    for (const auto& [name, fn] : series_gauges_) {
+      sample(name, t_sec, fn());
+    }
+  }
+  const std::map<std::string, Series>& series() const { return series_; }
+
+  // Evaluates every gauge into its scalar slot. Call after the run (and as
+  // often as you like — gauges are re-evaluated in place).
+  void collect() {
+    for (const auto& [name, fn] : gauges_) scalars_[name] = fn();
+  }
+
+  // Drops the registered callbacks (which capture raw pointers into the
+  // scenario's network) but keeps every collected value, so a Recorder can
+  // safely outlive the Simulator/Topology it observed.
+  void detach() {
+    collect();
+    gauges_.clear();
+    series_gauges_.clear();
+  }
+
+  // --- emission ----------------------------------------------------------
+  // Schema-tagged JSON document (see tools/check_recorder_json.py):
+  //   {"schema": "xpass.recorder.v1", "scenario": <name>,
+  //    "scalars": {...}, "series": {<name>: {"t_sec": [...], "v": [...]}}}
+  std::string to_json(const std::string& scenario_name) const;
+  // "t_sec,value\n" rows for one series; empty string if unknown.
+  std::string series_csv(const std::string& name) const;
+
+ private:
+  std::map<std::string, double> scalars_;
+  std::map<std::string, std::function<double()>> gauges_;
+  std::map<std::string, Series> series_;
+  std::vector<std::pair<std::string, std::function<double()>>> series_gauges_;
+};
+
+}  // namespace xpass::stats

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runner/args.hpp"
+
+namespace {
+
+using xpass::runner::Args;
+
+// Builds argv from a token list (argv[0] is the program name).
+struct Argv {
+  explicit Argv(std::vector<std::string> tokens) : store(std::move(tokens)) {
+    store.insert(store.begin(), "prog");
+    for (std::string& s : store) ptrs.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> store;
+  std::vector<char*> ptrs;
+};
+
+TEST(Args, EqualsAndSpaceFormsAreEquivalent) {
+  for (auto tokens : {std::vector<std::string>{"--jobs=7"},
+                      std::vector<std::string>{"--jobs", "7"}}) {
+    Argv a(tokens);
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.jobs(), 7u);
+    EXPECT_TRUE(args.ok()) << args.error();
+    EXPECT_TRUE(args.positional().empty());
+  }
+}
+
+TEST(Args, MalformedJobsIsAnError) {
+  for (auto tokens : {std::vector<std::string>{"--jobs", "garbage"},
+                      std::vector<std::string>{"--jobs=garbage"},
+                      std::vector<std::string>{"--jobs=-3"},
+                      std::vector<std::string>{"--jobs"},
+                      std::vector<std::string>{"--jobs="}}) {
+    Argv a(tokens);
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.jobs(), 0u);
+    EXPECT_FALSE(args.ok()) << "accepted: " << tokens[0];
+    EXPECT_NE(args.error().find("--jobs"), std::string::npos);
+  }
+}
+
+TEST(Args, ExplicitJobsZeroIsAnError) {
+  Argv a({"--jobs", "0"});
+  Args args(a.argc(), a.argv());
+  args.jobs();
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(Args, AbsentJobsMeansDefault) {
+  Argv a({});
+  Args args(a.argc(), a.argv());
+  EXPECT_EQ(args.jobs(), 0u);
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(Args, RunsRequiresAtLeastOne) {
+  {
+    Argv a({"--runs=3"});
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.runs(), 3u);
+    EXPECT_TRUE(args.ok());
+  }
+  {
+    Argv a({"--runs=0"});
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.runs(), 1u);
+    EXPECT_FALSE(args.ok());
+  }
+}
+
+TEST(Args, NumericValidation) {
+  Argv a({"--seed=12", "--load", "0.6", "--rate", "nope"});
+  Args args(a.argc(), a.argv());
+  EXPECT_EQ(args.u64("seed", 1), 12u);
+  EXPECT_DOUBLE_EQ(args.f64("load", 0.0), 0.6);
+  EXPECT_DOUBLE_EQ(args.f64("rate", 10.0), 10.0);  // fallback on malformed
+  EXPECT_FALSE(args.ok());
+  EXPECT_NE(args.error().find("--rate"), std::string::npos);
+}
+
+TEST(Args, UnqueriedFlagReportsUnknown) {
+  Argv a({"--fulll"});  // typo of --full
+  Args args(a.argc(), a.argv());
+  EXPECT_FALSE(args.flag("full"));
+  EXPECT_NE(args.error().find("unknown flag: --fulll"), std::string::npos);
+}
+
+TEST(Args, BooleanFlagWithEqualsValueIsAnError) {
+  Argv a({"--full=yes"});
+  Args args(a.argc(), a.argv());
+  EXPECT_TRUE(args.flag("full"));
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(Args, BooleanFlagReleasesTrailingTokenToPositionals) {
+  // `bench --full 64`: 64 is a positional, not --full's value.
+  Argv a({"--full", "64"});
+  Args args(a.argc(), a.argv());
+  EXPECT_TRUE(args.flag("full"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "64");
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(Args, StrAndPositionals) {
+  Argv a({"fanout", "--topology", "clos", "1000"});
+  Args args(a.argc(), a.argv());
+  auto topo = args.str("topology");
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(*topo, "clos");
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "fanout");
+  EXPECT_EQ(args.positional()[1], "1000");
+  EXPECT_TRUE(args.ok());
+}
+
+}  // namespace

@@ -10,15 +10,45 @@ using namespace xpass;
 using runner::Protocol;
 using sim::Time;
 
+// Every enum value: the display name must parse back to the same value.
+constexpr Protocol kAllProtocols[] = {
+    Protocol::kExpressPass, Protocol::kExpressPassNaive, Protocol::kDctcp,
+    Protocol::kRcp,         Protocol::kHull,             Protocol::kDx,
+    Protocol::kCubic,       Protocol::kDcqcn,            Protocol::kTimely,
+    Protocol::kIdeal,
+};
+
 TEST(Protocols, NamesRoundTrip) {
-  for (Protocol p : {Protocol::kExpressPass, Protocol::kDctcp, Protocol::kRcp,
-                     Protocol::kHull, Protocol::kDx, Protocol::kCubic}) {
-    auto parsed = runner::parse_protocol(runner::protocol_name(p));
-    ASSERT_TRUE(parsed.has_value());
-    EXPECT_EQ(*parsed, p);
+  for (Protocol p : kAllProtocols) {
+    const auto name = runner::protocol_name(p);
+    EXPECT_NE(name, "?");
+    auto parsed = runner::parse_protocol(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, p) << name;
   }
   EXPECT_FALSE(runner::parse_protocol("no-such-protocol").has_value());
+  EXPECT_FALSE(runner::parse_protocol("").has_value());
   EXPECT_EQ(*runner::parse_protocol("naive"), Protocol::kExpressPassNaive);
+}
+
+TEST(Protocols, LowercaseCliNamesParse) {
+  const std::pair<const char*, Protocol> cli[] = {
+      {"expresspass", Protocol::kExpressPass},
+      {"naive", Protocol::kExpressPassNaive},
+      {"dctcp", Protocol::kDctcp},
+      {"rcp", Protocol::kRcp},
+      {"hull", Protocol::kHull},
+      {"dx", Protocol::kDx},
+      {"cubic", Protocol::kCubic},
+      {"dcqcn", Protocol::kDcqcn},
+      {"timely", Protocol::kTimely},
+      {"ideal", Protocol::kIdeal},
+  };
+  for (const auto& [name, want] : cli) {
+    auto parsed = runner::parse_protocol(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, want) << name;
+  }
 }
 
 TEST(Protocols, QueueCapacityScalesWithRate) {
@@ -48,6 +78,28 @@ TEST(Protocols, LinkConfigSelectsMechanism) {
   EXPECT_EQ(xp.data_queue.ecn_threshold_bytes, 0u);
   EXPECT_EQ(xp.data_queue.phantom_drain_bps, 0.0);
   EXPECT_EQ(xp.credit_queue_pkts, 8u);
+}
+
+// The full per-protocol mechanism matrix: who gets ECN marking, who gets a
+// HULL phantom queue, who gets PFC, and who runs plain drop-tail.
+TEST(Protocols, LinkConfigMechanismMatrix) {
+  for (Protocol p : kAllProtocols) {
+    const auto cfg = runner::protocol_link_config(p, 10e9, Time::us(1));
+    const bool wants_ecn = p == Protocol::kDctcp || p == Protocol::kDcqcn;
+    const bool wants_phantom = p == Protocol::kHull;
+    const bool wants_pfc = p == Protocol::kDcqcn || p == Protocol::kTimely;
+    EXPECT_EQ(cfg.data_queue.ecn_threshold_bytes > 0, wants_ecn)
+        << runner::protocol_name(p);
+    EXPECT_EQ(cfg.data_queue.phantom_drain_bps > 0, wants_phantom)
+        << runner::protocol_name(p);
+    EXPECT_EQ(cfg.pfc, wants_pfc) << runner::protocol_name(p);
+    // Invariants every protocol shares: the link rate, the propagation
+    // delay, and a drop-tail capacity scaled from the paper's 384.5KB.
+    EXPECT_EQ(cfg.rate_bps, 10e9) << runner::protocol_name(p);
+    EXPECT_EQ(cfg.prop_delay, Time::us(1)) << runner::protocol_name(p);
+    EXPECT_EQ(cfg.data_queue.capacity_bytes, 384'500u)
+        << runner::protocol_name(p);
+  }
 }
 
 TEST(Protocols, MakeTransportEnablesRcpOnPorts) {

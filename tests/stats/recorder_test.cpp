@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "stats/recorder.hpp"
+
+namespace {
+
+using xpass::stats::Recorder;
+
+TEST(Recorder, ScalarsPushAndPull) {
+  Recorder r;
+  r.set("a.pushed", 1.5);
+  int calls = 0;
+  r.gauge("b.gauge", [&] {
+    ++calls;
+    return 2.0 * calls;
+  });
+  EXPECT_FALSE(r.has("b.gauge"));  // not evaluated yet
+  r.collect();
+  EXPECT_DOUBLE_EQ(r.scalar("b.gauge"), 2.0);
+  r.collect();  // gauges re-evaluate in place
+  EXPECT_DOUBLE_EQ(r.scalar("b.gauge"), 4.0);
+  EXPECT_DOUBLE_EQ(r.scalar("a.pushed"), 1.5);
+  EXPECT_DOUBLE_EQ(r.scalar("missing"), 0.0);
+}
+
+TEST(Recorder, SeriesSampling) {
+  Recorder r;
+  double v = 10.0;
+  r.series_gauge("q.bytes", [&] { return v; });
+  r.sample_all(0.001);
+  v = 20.0;
+  r.sample_all(0.002);
+  r.sample("manual", 0.5, 7.0);
+  const auto& s = r.series().at("q.bytes");
+  ASSERT_EQ(s.t_sec.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.t_sec[1], 0.002);
+  EXPECT_DOUBLE_EQ(s.v[1], 20.0);
+  EXPECT_EQ(r.series().at("manual").v.size(), 1u);
+}
+
+TEST(Recorder, DetachKeepsValuesDropsCallbacks) {
+  Recorder r;
+  int live = 0;
+  r.gauge("g", [&] {
+    ++live;
+    return 42.0;
+  });
+  r.series_gauge("s", [&] { return 1.0; });
+  r.sample_all(0.0);
+  r.detach();  // evaluates gauges one last time, then forgets the callbacks
+  EXPECT_EQ(live, 1);
+  EXPECT_DOUBLE_EQ(r.scalar("g"), 42.0);
+  r.collect();
+  r.sample_all(1.0);  // no callbacks left: no new points
+  EXPECT_EQ(live, 1);
+  EXPECT_EQ(r.series().at("s").v.size(), 1u);
+
+  // Movable after detach (the engine returns it inside ScenarioResult).
+  Recorder moved = std::move(r);
+  EXPECT_DOUBLE_EQ(moved.scalar("g"), 42.0);
+}
+
+TEST(Recorder, JsonShape) {
+  Recorder r;
+  r.set("b", 2.0);
+  r.set("a", 1.0);
+  r.sample("ts", 0.25, 3.0);
+  const std::string json = r.to_json("unit \"test\"");
+  EXPECT_NE(json.find("\"schema\": \"xpass.recorder.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"unit \\\"test\\\"\""),
+            std::string::npos);
+  // Lexicographic scalar order: "a" before "b".
+  EXPECT_LT(json.find("\"a\":"), json.find("\"b\":"));
+  EXPECT_NE(json.find("\"t_sec\": [0.25]"), std::string::npos);
+  EXPECT_NE(json.find("\"v\": [3]"), std::string::npos);
+}
+
+TEST(Recorder, SeriesCsv) {
+  Recorder r;
+  r.sample("q", 0.5, 12.0);
+  r.sample("q", 1.0, 13.0);
+  EXPECT_EQ(r.series_csv("q"), "t_sec,value\n0.500000000,12\n1.000000000,13\n");
+  EXPECT_EQ(r.series_csv("missing"), "");
+}
+
+}  // namespace

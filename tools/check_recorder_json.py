@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate a recorder JSON document against the xpass.recorder.v1 schema.
+
+The schema is what stats::Recorder::to_json emits and what every
+ScenarioEngine run can write (e.g. `xpass_cli --json=out.json`):
+
+    {
+      "schema": "xpass.recorder.v1",
+      "scenario": "<name>",
+      "scalars": {"<dotted.name>": <number>, ...},
+      "series": {"<dotted.name>": {"t_sec": [..], "v": [..]}, ...}
+    }
+
+Checks: the schema tag, the four required keys (and no others), scalar
+values are finite numbers, every series has equal-length t_sec/v arrays of
+finite numbers with non-decreasing t_sec. With --require-scalar NAME
+(repeatable), the named scalar(s) must be present — CI uses this to assert
+the engine recorded the standard probes.
+
+Usage: check_recorder_json.py FILE... [--require-scalar NAME]...
+Exits non-zero with a message per problem.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "xpass.recorder.v1"
+REQUIRED_KEYS = {"schema", "scenario", "scalars", "series"}
+
+
+def is_finite_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool) \
+        and math.isfinite(v)
+
+
+def check_doc(doc, path, require_scalars):
+    problems = []
+
+    def bad(msg):
+        problems.append(f"{path}: {msg}")
+
+    if not isinstance(doc, dict):
+        bad("top-level JSON value is not an object")
+        return problems
+    keys = set(doc.keys())
+    for k in sorted(REQUIRED_KEYS - keys):
+        bad(f"missing key '{k}'")
+    for k in sorted(keys - REQUIRED_KEYS):
+        bad(f"unexpected key '{k}'")
+    if doc.get("schema") != SCHEMA:
+        bad(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("scenario"), str) or not doc.get("scenario"):
+        bad("scenario must be a non-empty string")
+
+    scalars = doc.get("scalars", {})
+    if not isinstance(scalars, dict):
+        bad("scalars must be an object")
+        scalars = {}
+    for name, v in scalars.items():
+        if not is_finite_number(v):
+            bad(f"scalar {name!r} is not a finite number: {v!r}")
+    for name in require_scalars:
+        if name not in scalars:
+            bad(f"required scalar {name!r} missing")
+
+    series = doc.get("series", {})
+    if not isinstance(series, dict):
+        bad("series must be an object")
+        series = {}
+    for name, s in series.items():
+        if not isinstance(s, dict) or set(s.keys()) != {"t_sec", "v"}:
+            bad(f"series {name!r} must be an object with keys t_sec, v")
+            continue
+        t, v = s["t_sec"], s["v"]
+        if not isinstance(t, list) or not isinstance(v, list):
+            bad(f"series {name!r}: t_sec and v must be arrays")
+            continue
+        if len(t) != len(v):
+            bad(f"series {name!r}: len(t_sec)={len(t)} != len(v)={len(v)}")
+        for arr, label in ((t, "t_sec"), (v, "v")):
+            for x in arr:
+                if not is_finite_number(x):
+                    bad(f"series {name!r}: non-finite {label} value {x!r}")
+                    break
+        if any(b < a for a, b in zip(t, t[1:])):
+            bad(f"series {name!r}: t_sec is not non-decreasing")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+")
+    ap.add_argument("--require-scalar", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless this scalar is present (repeatable)")
+    args = ap.parse_args()
+
+    problems = []
+    for path in args.files:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            problems.append(f"{path}: {e}")
+            continue
+        problems += check_doc(doc, path, args.require_scalar)
+
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    if problems:
+        sys.exit(1)
+    print(f"ok: {len(args.files)} recorder document(s) valid")
+
+
+if __name__ == "__main__":
+    main()

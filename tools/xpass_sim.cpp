@@ -6,29 +6,26 @@
 //   xpass_sim --topology=clos --protocol=dctcp --workload=websearch \
 //             --load=0.6 --flows=2000
 //   xpass_sim --topology=fattree --k=8 --protocol=expresspass \
-//             --incast=128 --bytes=100000
+//             --incast=128 --bytes=100000 --json=out.json
 //
 // Prints goodput, fairness, FCT percentiles, queue statistics, and drop
-// counters. All flags have defaults; unknown flags abort with usage.
+// counters. All flags have defaults; both `--flag=value` and `--flag value`
+// are accepted; unknown or malformed flags abort with usage. The whole CLI
+// is a thin shell over runner::ScenarioEngine: flags map onto one
+// runner::ScenarioSpec, and the report is formatted from the
+// runner::ScenarioResult it returns.
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
 
 #include "exec/sweep_runner.hpp"
-
-#include "core/expresspass.hpp"
-#include "net/fault_injector.hpp"
-#include "net/topology_builders.hpp"
-#include "runner/faults.hpp"
-#include "runner/flow_driver.hpp"
+#include "runner/args.hpp"
 #include "runner/protocols.hpp"
-#include "sim/fault_plan.hpp"
-#include "sim/invariants.hpp"
-#include "stats/fairness.hpp"
-#include "workload/generators.hpp"
+#include "runner/scenario.hpp"
+#include "workload/flow_size_dist.hpp"
 
 using namespace xpass;
 using sim::Time;
@@ -47,106 +44,95 @@ struct Options {
   double load = 0.6;
   double rate_gbps = 10.0;
   double duration_ms = 100.0;
-  uint64_t seed = 1;
+  uint64_t seed = runner::kDefaultSeed;
   bool spraying = false;
   // Fault injection (all target the first switch--switch link, or the
   // first link if the topology has no fabric link).
   double flap_down_ms = 0.0, flap_up_ms = 0.0;  // --flap-ms=D,U
   double kill_ms = 0.0;                         // --kill-ms=T
   net::LinkErrorConfig errors;
-  uint64_t fault_seed = 0xfa17;
+  uint64_t fault_seed = runner::kDefaultFaultSeed;
   bool check_invariants = false;
   // Seed replication: --runs=M repeats the scenario with per-run seeds
   // task_seed(seed, run); --jobs=N runs them on N threads. Reports print in
   // run order whatever the thread count.
   size_t runs = 1;
   size_t jobs = 0;  // 0 = XPASS_JOBS / hardware concurrency
+  // --json=PATH: also emit the run's recorder (every scalar plus any series
+  // probes) as JSON. With --runs=M, run i writes PATH.i.
+  std::string json_path;
 };
+
+constexpr const char* kUsage =
+    "usage: xpass_sim [--topology=dumbbell|star|fattree|clos]\n"
+    "  [--protocol=expresspass|naive|dctcp|rcp|hull|dx|cubic|dcqcn|timely]\n"
+    "  [--workload=websearch|webserver|cachefollower|datamining]\n"
+    "  [--pairs=N] [--k=N] [--flows=N] [--incast=N] [--bytes=N|long]\n"
+    "  [--load=F] [--rate-gbps=F] [--duration-ms=F] [--seed=N]\n"
+    "  [--spraying] [--runs=M] [--jobs=N] [--json=PATH]\n"
+    "  faults (target: first fabric link):\n"
+    "  [--flap-ms=DOWN,UP] [--kill-ms=T] [--data-drop=P] [--credit-drop=P]\n"
+    "  [--data-corrupt=P] [--credit-corrupt=P] [--fault-seed=N]\n"
+    "  [--check-invariants]\n";
 
 [[noreturn]] void usage(const char* msg) {
   std::fprintf(stderr, "error: %s\n", msg);
-  std::fprintf(
-      stderr,
-      "usage: xpass_sim [--topology=dumbbell|star|fattree|clos]\n"
-      "  [--protocol=expresspass|naive|dctcp|rcp|hull|dx|cubic|dcqcn|timely]\n"
-      "  [--workload=websearch|webserver|cachefollower|datamining]\n"
-      "  [--pairs=N] [--k=N] [--flows=N] [--incast=N] [--bytes=N|long]\n"
-      "  [--load=F] [--rate-gbps=F] [--duration-ms=F] [--seed=N]\n"
-      "  [--spraying] [--runs=M] [--jobs=N]\n"
-      "  faults (target: first fabric link):\n"
-      "  [--flap-ms=DOWN,UP] [--kill-ms=T] [--data-drop=P] [--credit-drop=P]\n"
-      "  [--data-corrupt=P] [--credit-corrupt=P] [--fault-seed=N]\n"
-      "  [--check-invariants]\n");
+  std::fputs(kUsage, stderr);
   std::exit(2);
 }
 
 Options parse(int argc, char** argv) {
+  runner::Args args(argc, argv);
   Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto val = [&](const char* key) -> const char* {
-      const size_t n = std::strlen(key);
-      if (arg.compare(0, n, key) == 0 && arg[n] == '=') {
-        return arg.c_str() + n + 1;
-      }
-      return nullptr;
-    };
-    if (const char* v = val("--topology")) {
-      o.topology = v;
-    } else if (const char* v = val("--protocol")) {
-      o.protocol = v;
-    } else if (const char* v = val("--workload")) {
-      o.workload = v;
-    } else if (const char* v = val("--pairs")) {
-      o.pairs = std::strtoul(v, nullptr, 10);
-    } else if (const char* v = val("--k")) {
-      o.k = std::strtoul(v, nullptr, 10);
-    } else if (const char* v = val("--flows")) {
-      o.flows = std::strtoul(v, nullptr, 10);
-    } else if (const char* v = val("--incast")) {
-      o.incast = std::strtoul(v, nullptr, 10);
-    } else if (const char* v = val("--bytes")) {
-      o.bytes = std::strcmp(v, "long") == 0 ? 0 : std::strtoull(v, nullptr, 10);
-    } else if (const char* v = val("--load")) {
-      o.load = std::strtod(v, nullptr);
-    } else if (const char* v = val("--rate-gbps")) {
-      o.rate_gbps = std::strtod(v, nullptr);
-    } else if (const char* v = val("--duration-ms")) {
-      o.duration_ms = std::strtod(v, nullptr);
-    } else if (const char* v = val("--seed")) {
-      o.seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = val("--runs")) {
-      o.runs = std::max<size_t>(1, std::strtoul(v, nullptr, 10));
-    } else if (const char* v = val("--jobs")) {
-      o.jobs = std::strtoul(v, nullptr, 10);
-    } else if (arg == "--spraying") {
-      o.spraying = true;
-    } else if (const char* v = val("--flap-ms")) {
-      char* rest = nullptr;
-      o.flap_down_ms = std::strtod(v, &rest);
-      if (rest == nullptr || *rest != ',') usage("--flap-ms wants DOWN,UP");
-      o.flap_up_ms = std::strtod(rest + 1, nullptr);
-      if (o.flap_up_ms <= o.flap_down_ms) usage("--flap-ms: UP must be > DOWN");
-    } else if (const char* v = val("--kill-ms")) {
-      o.kill_ms = std::strtod(v, nullptr);
-    } else if (const char* v = val("--data-drop")) {
-      o.errors.data_drop = std::strtod(v, nullptr);
-    } else if (const char* v = val("--credit-drop")) {
-      o.errors.credit_drop = std::strtod(v, nullptr);
-    } else if (const char* v = val("--data-corrupt")) {
-      o.errors.data_corrupt = std::strtod(v, nullptr);
-    } else if (const char* v = val("--credit-corrupt")) {
-      o.errors.credit_corrupt = std::strtod(v, nullptr);
-    } else if (const char* v = val("--fault-seed")) {
-      o.fault_seed = std::strtoull(v, nullptr, 10);
-    } else if (arg == "--check-invariants") {
-      o.check_invariants = true;
-    } else if (arg == "--help" || arg == "-h") {
-      usage("help requested");
+  if (auto v = args.str("topology")) o.topology = *v;
+  if (auto v = args.str("protocol")) o.protocol = *v;
+  if (auto v = args.str("workload")) o.workload = *v;
+  o.pairs = args.u64("pairs", o.pairs);
+  o.k = args.u64("k", o.k);
+  o.flows = args.u64("flows", o.flows);
+  o.incast = args.u64("incast", o.incast);
+  if (auto v = args.str("bytes")) {
+    if (*v == "long") {
+      o.bytes = 0;
     } else {
-      usage(("unknown flag: " + arg).c_str());
+      char* end = nullptr;
+      o.bytes = std::strtoull(v->c_str(), &end, 10);
+      if (end == v->c_str() || *end != '\0') {
+        usage("--bytes wants a number or 'long'");
+      }
     }
   }
+  o.load = args.f64("load", o.load);
+  o.rate_gbps = args.f64("rate-gbps", o.rate_gbps);
+  o.duration_ms = args.f64("duration-ms", o.duration_ms);
+  o.seed = args.u64("seed", o.seed);
+  o.runs = args.runs();
+  o.jobs = args.jobs();
+  o.spraying = args.flag("spraying");
+  if (auto v = args.str("flap-ms")) {
+    char* rest = nullptr;
+    o.flap_down_ms = std::strtod(v->c_str(), &rest);
+    if (rest == nullptr || *rest != ',') usage("--flap-ms wants DOWN,UP");
+    o.flap_up_ms = std::strtod(rest + 1, nullptr);
+    if (o.flap_up_ms <= o.flap_down_ms) usage("--flap-ms: UP must be > DOWN");
+  }
+  o.kill_ms = args.f64("kill-ms", 0.0);
+  o.errors.data_drop = args.f64("data-drop", 0.0);
+  o.errors.credit_drop = args.f64("credit-drop", 0.0);
+  o.errors.data_corrupt = args.f64("data-corrupt", 0.0);
+  o.errors.credit_corrupt = args.f64("credit-corrupt", 0.0);
+  o.fault_seed = args.u64("fault-seed", o.fault_seed);
+  o.check_invariants = args.flag("check-invariants");
+  if (auto v = args.str("json")) o.json_path = *v;
+  const bool help = args.flag("help");
+  args.die_on_error(kUsage);
+  for (const std::string& p : args.positional()) {
+    if (p == "-h") {
+      usage("help requested");
+    }
+    usage(("unexpected argument: " + p).c_str());
+  }
+  if (help) usage("help requested");
   return o;
 }
 
@@ -156,6 +142,70 @@ std::optional<workload::WorkloadKind> parse_workload(const std::string& w) {
   if (w == "cachefollower") return workload::WorkloadKind::kCacheFollower;
   if (w == "datamining") return workload::WorkloadKind::kDataMining;
   return std::nullopt;
+}
+
+// The flag set resolves to one declarative spec; only `seed` varies between
+// the --runs replications.
+runner::ScenarioSpec make_spec(const Options& o, uint64_t seed) {
+  runner::ScenarioSpec s;
+  s.name = "xpass_sim/" + o.topology + "/" + o.protocol;
+  s.seed = seed;
+  s.protocol = *runner::parse_protocol(o.protocol);
+
+  const double rate = o.rate_gbps * 1e9;
+  s.topology.host_rate_bps = rate;
+  size_t n_hosts = 0;  // the poisson pool size (hosts + pairwise receivers)
+  if (o.topology == "dumbbell") {
+    s.topology.kind = runner::TopologyKind::kDumbbell;
+    s.topology.scale = std::max(o.pairs, o.flows);
+    n_hosts = 2 * s.topology.scale;
+  } else if (o.topology == "star") {
+    s.topology.kind = runner::TopologyKind::kStar;
+    s.topology.scale = std::max<size_t>(o.pairs, 2);
+    n_hosts = s.topology.scale;
+  } else if (o.topology == "fattree") {
+    s.topology.kind = runner::TopologyKind::kFatTree;
+    s.topology.fat_tree_k = o.k;
+    n_hosts = o.k * o.k * o.k / 4;
+  } else {  // clos (validated in main)
+    s.topology.kind = runner::TopologyKind::kClos;
+    s.topology.clos = runner::clos_scale(false);
+    s.topology.fabric_rate_bps = rate * 4;
+    s.topology.fabric_prop = Time::us(4);
+    n_hosts = s.topology.clos.pods * s.topology.clos.tor_per_pod *
+              s.topology.clos.hosts_per_tor;
+  }
+  s.topology.packet_spraying = o.spraying;
+
+  const uint64_t flow_bytes = o.bytes == 0 ? transport::kLongRunning : o.bytes;
+  if (!o.workload.empty()) {
+    s.traffic.kind = runner::TrafficKind::kPoisson;
+    s.traffic.workload = *parse_workload(o.workload);
+    s.traffic.load = o.load;
+    s.traffic.flows = o.flows;
+    // The CLI has always defined load on aggregate-host-rate / 3, clos
+    // included (the engine's clos default is the §6.3 ToR-uplink base).
+    s.traffic.capacity_bps = static_cast<double>(n_hosts) * rate / 3.0;
+  } else if (o.incast > 0) {
+    s.traffic.kind = runner::TrafficKind::kIncast;
+    s.traffic.flows = o.incast;
+    s.traffic.bytes = flow_bytes;
+  } else {
+    s.traffic.kind = runner::TrafficKind::kPairwise;
+    s.traffic.flows = o.flows;
+    s.traffic.bytes = flow_bytes;
+    s.traffic.start_spread_sec = 1e-3;
+  }
+
+  s.stop = runner::StopSpec::completion(Time::seconds(o.duration_ms * 1e-3));
+
+  s.faults.flap_down = Time::seconds(o.flap_down_ms * 1e-3);
+  s.faults.flap_up = Time::seconds(o.flap_up_ms * 1e-3);
+  s.faults.kill_at = Time::seconds(o.kill_ms * 1e-3);
+  s.faults.errors = o.errors;
+  s.fault_seed = o.fault_seed;
+  s.check_invariants = o.check_invariants;
+  return s;
 }
 
 // printf-style append to the report string (reports are built off-thread
@@ -171,177 +221,76 @@ void appendf(std::string& out, const char* fmt, ...) {
   out += buf;
 }
 
-// One full scenario run under `seed`; returns the report text. Pure apart
-// from usage() aborts on option values main() has already validated.
-std::string run_scenario(const Options& o, uint64_t seed) {
+std::string format_report(const Options& o, bool has_faults,
+                          const runner::ScenarioResult& r) {
   std::string out;
-  auto proto = runner::parse_protocol(o.protocol);
-  if (!proto) usage("unknown protocol");
-
-  sim::Simulator sim(seed);
-  net::Topology topo(sim);
-  const double rate = o.rate_gbps * 1e9;
-  const auto link = runner::protocol_link_config(*proto, rate, Time::us(1));
-  const auto fabric =
-      runner::protocol_link_config(*proto, rate * 4, Time::us(4));
-
-  std::vector<net::Host*> hosts;
-  std::vector<net::Host*> peers;  // receivers for pairwise traffic
-  if (o.topology == "dumbbell") {
-    auto d = net::build_dumbbell(topo, std::max(o.pairs, o.flows), link, link);
-    hosts = d.senders;
-    peers = d.receivers;
-  } else if (o.topology == "star") {
-    auto s = net::build_star(topo, std::max<size_t>(o.pairs, 2), link);
-    hosts = s.hosts;
-  } else if (o.topology == "fattree") {
-    auto ft = net::build_fat_tree(topo, o.k, link, link);
-    hosts = ft.hosts;
-  } else if (o.topology == "clos") {
-    auto cl = net::build_clos(topo, 4, 4, 2, 2, 6, link, fabric);
-    hosts = cl.hosts;
-  } else {
-    usage("unknown topology");
-  }
-  if (o.spraying) {
-    for (auto* sw : topo.switches()) sw->set_packet_spraying(true);
-  }
-
-  auto transport = runner::make_transport(*proto, sim, topo, Time::us(100));
-  runner::FlowDriver driver(sim, *transport);
-
-  const uint64_t flow_bytes =
-      o.bytes == 0 ? transport::kLongRunning : o.bytes;
-  if (!o.workload.empty()) {
-    auto kind = parse_workload(o.workload);
-    if (!kind) usage("unknown workload");
-    auto dist = workload::FlowSizeDist::make(*kind);
-    std::vector<net::Host*> all = hosts;
-    all.insert(all.end(), peers.begin(), peers.end());
-    const double lambda = workload::lambda_for_load(
-        o.load, static_cast<double>(all.size()) * rate / 3.0, dist.mean());
-    driver.add_all(
-        workload::poisson_flows(sim.rng(), all, dist, lambda, o.flows));
-  } else if (o.incast > 0) {
-    std::vector<net::Host*> workers(hosts.begin() + 1, hosts.end());
-    driver.add_all(workload::incast_flows(workers, hosts[0], flow_bytes,
-                                          o.incast));
-  } else {
-    for (size_t i = 0; i < o.flows; ++i) {
-      transport::FlowSpec s;
-      s.id = static_cast<uint32_t>(i + 1);
-      s.src = hosts[i % hosts.size()];
-      s.dst = peers.empty() ? hosts[(i + 1 + hosts.size() / 2) % hosts.size()]
-                            : peers[i % peers.size()];
-      if (s.dst == s.src) s.dst = hosts[(i + 1) % hosts.size()];
-      s.size_bytes = flow_bytes;
-      s.start_time = sim::Time::seconds(sim.rng().uniform(0.0, 1e-3));
-      driver.add(s);
-    }
-  }
-
-  // Fault plan: every fault targets the first fabric (switch--switch) link
-  // — the bottleneck in all built-in topologies — falling back to the first
-  // link for single-switch stars.
-  runner::FaultScenario scenario;
-  scenario.flap_down = Time::seconds(o.flap_down_ms * 1e-3);
-  scenario.flap_up = Time::seconds(o.flap_up_ms * 1e-3);
-  scenario.kill_at = Time::seconds(o.kill_ms * 1e-3);
-  scenario.errors = o.errors;
-  sim::FaultPlan plan(o.fault_seed);
-  net::FaultInjector injector(topo, plan);
-  if (scenario.any()) {
-    const net::Topology::LinkRec* target = nullptr;
-    for (const auto& l : topo.links()) {
-      if (topo.node(l.a).kind() == net::Node::Kind::kSwitch &&
-          topo.node(l.b).kind() == net::Node::Kind::kSwitch) {
-        target = &l;
-        break;
-      }
-    }
-    if (target == nullptr && !topo.links().empty()) {
-      target = &topo.links().front();
-    }
-    if (target == nullptr) usage("no link to inject faults on");
-    runner::apply_fault_scenario(scenario, injector, topo.node(target->a),
-                                 topo.node(target->b));
-    plan.arm(sim);
-  }
-
-  sim::InvariantChecker checker(sim);
-  if (o.check_invariants) {
-    runner::NetInvariantOptions iopts;
-    iopts.expect_zero_data_loss = *proto == runner::Protocol::kExpressPass ||
-                                  *proto == runner::Protocol::kExpressPassNaive;
-    runner::register_network_invariants(checker, topo, driver,
-                                        scenario.any() ? &plan : nullptr,
-                                        iopts);
-    checker.start(Time::us(100));
-  }
-
-  const Time horizon = Time::seconds(o.duration_ms * 1e-3);
-  const bool all_done = driver.run_to_completion(horizon);
-  if (o.check_invariants) checker.run_checks();
-
   appendf(out, "xpass_sim: %s on %s, %zu flows, %.1f Gbps links, seed %llu\n",
-          std::string(runner::protocol_name(*proto)).c_str(),
-          o.topology.c_str(), driver.scheduled(), o.rate_gbps,
-          static_cast<unsigned long long>(seed));
-  appendf(out, "  sim time        : %s%s\n", sim.now().str().c_str(),
-              all_done ? " (all flows completed)" : " (horizon reached)");
-  appendf(out, "  completed       : %zu / %zu\n", driver.completed(),
-              driver.scheduled());
-  auto rates = driver.rates().snapshot_rates(sim.now());
-  double sum = 0;
-  for (double r : rates) sum += r;
+          std::string(runner::protocol_name(
+                          *runner::parse_protocol(o.protocol)))
+              .c_str(),
+          o.topology.c_str(), r.scheduled, o.rate_gbps,
+          static_cast<unsigned long long>(r.seed));
+  appendf(out, "  sim time        : %s%s\n", r.end_time.str().c_str(),
+          r.all_completed ? " (all flows completed)" : " (horizon reached)");
+  appendf(out, "  completed       : %zu / %zu\n", r.completed, r.scheduled);
   appendf(out, "  aggregate goodput: %.3f Gbps   (Jain fairness %.3f)\n",
-              sum / 1e9, stats::jain_index(rates));
-  if (driver.fcts().completed() > 0) {
-    const auto& f = driver.fcts().all();
+          r.sum_rate_bps / 1e9, r.jain);
+  if (r.fcts.completed() > 0) {
+    const auto& f = r.fcts.all();
     appendf(out, "  FCT avg/p50/p99 : %.3f / %.3f / %.3f ms\n",
-                f.mean() * 1e3, f.percentile(0.5) * 1e3,
-                f.percentile(0.99) * 1e3);
+            f.mean() * 1e3, f.percentile(0.5) * 1e3,
+            f.percentile(0.99) * 1e3);
   }
   appendf(out, "  max switch queue: %.1f KB\n",
-              topo.max_switch_data_queue_bytes() / 1e3);
+          r.max_switch_queue_bytes / 1e3);
   appendf(out, "  data drops      : %llu   credit drops: %llu\n",
-              static_cast<unsigned long long>(topo.data_drops()),
-              static_cast<unsigned long long>(topo.credit_drops()));
-  if (scenario.any()) {
-    const net::FaultStats t = injector.totals();
+          static_cast<unsigned long long>(r.data_drops),
+          static_cast<unsigned long long>(r.credit_drops));
+  if (has_faults) {
+    const net::FaultStats& t = r.fault_totals;
     appendf(out, "  faults          : %llu events fired, %llu failures, "
-                "%llu recoveries, %zu flows aborted\n",
-                static_cast<unsigned long long>(plan.fired()),
-                static_cast<unsigned long long>(t.failures),
-                static_cast<unsigned long long>(t.recoveries),
-                driver.failed());
+            "%llu recoveries, %zu flows aborted\n",
+            static_cast<unsigned long long>(r.faults_fired),
+            static_cast<unsigned long long>(t.failures),
+            static_cast<unsigned long long>(t.recoveries), r.failed);
     appendf(out, "  injected loss   : data %llu drop / %llu corrupt / %llu "
-                "cut, credit %llu drop / %llu corrupt / %llu cut\n",
-                static_cast<unsigned long long>(t.injected_data_drops),
-                static_cast<unsigned long long>(t.corrupted_data),
-                static_cast<unsigned long long>(t.cut_data + t.flushed_data),
-                static_cast<unsigned long long>(t.injected_credit_drops),
-                static_cast<unsigned long long>(t.corrupted_credits),
-                static_cast<unsigned long long>(t.cut_credits +
-                                                t.flushed_credits));
+            "cut, credit %llu drop / %llu corrupt / %llu cut\n",
+            static_cast<unsigned long long>(t.injected_data_drops),
+            static_cast<unsigned long long>(t.corrupted_data),
+            static_cast<unsigned long long>(t.cut_data + t.flushed_data),
+            static_cast<unsigned long long>(t.injected_credit_drops),
+            static_cast<unsigned long long>(t.corrupted_credits),
+            static_cast<unsigned long long>(t.cut_credits +
+                                            t.flushed_credits));
   }
   if (o.check_invariants) {
     appendf(out, "  invariants      : %llu sweeps, %llu violations\n",
-                static_cast<unsigned long long>(checker.sweeps()),
-                static_cast<unsigned long long>(checker.violations()));
-    for (const std::string& m : checker.messages()) {
+            static_cast<unsigned long long>(r.invariant_sweeps),
+            static_cast<unsigned long long>(r.invariant_violations));
+    for (const std::string& m : r.invariant_messages) {
       appendf(out, "    violation: %s\n", m.c_str());
     }
   }
   return out;
 }
 
+void write_json(const std::string& path, const runner::ScenarioResult& r) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  const std::string json = r.recorder.to_json(r.name);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  // Validate name-valued options once, before any worker thread can trip
-  // usage()'s exit() off the main thread.
+  // Validate name-valued options once, up front.
   if (!runner::parse_protocol(o.protocol)) usage("unknown protocol");
   if (o.topology != "dumbbell" && o.topology != "star" &&
       o.topology != "fattree" && o.topology != "clos") {
@@ -351,21 +300,30 @@ int main(int argc, char** argv) {
     usage("unknown workload");
   }
 
+  runner::ScenarioEngine engine;
   if (o.runs == 1) {
-    std::fputs(run_scenario(o, o.seed).c_str(), stdout);
+    const auto spec = make_spec(o, o.seed);
+    const auto r = engine.run(spec);
+    std::fputs(format_report(o, spec.faults.any(), r).c_str(), stdout);
+    if (!o.json_path.empty()) write_json(o.json_path, r);
     return 0;
   }
   // Seed replication: run i uses task_seed(seed, i), so the set of reports
   // is a pure function of (options, seed) — identical for any --jobs value.
-  exec::SweepRunner pool(o.jobs);
-  const auto reports = pool.map(o.runs, [&](size_t i) {
-    return run_scenario(o, exec::task_seed(o.seed, i));
-  });
-  for (size_t i = 0; i < reports.size(); ++i) {
-    std::printf("=== run %zu/%zu (seed %llu) ===\n", i + 1, reports.size(),
-                static_cast<unsigned long long>(exec::task_seed(o.seed, i)));
-    std::fputs(reports[i].c_str(), stdout);
-    if (i + 1 < reports.size()) std::printf("\n");
+  std::vector<runner::ScenarioSpec> grid;
+  for (size_t i = 0; i < o.runs; ++i) {
+    grid.push_back(make_spec(o, exec::task_seed(o.seed, i)));
+  }
+  const auto results = engine.run_grid(grid, o.jobs);
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("=== run %zu/%zu (seed %llu) ===\n", i + 1, results.size(),
+                static_cast<unsigned long long>(results[i].seed));
+    std::fputs(format_report(o, grid[i].faults.any(), results[i]).c_str(),
+               stdout);
+    if (i + 1 < results.size()) std::printf("\n");
+    if (!o.json_path.empty()) {
+      write_json(o.json_path + "." + std::to_string(i + 1), results[i]);
+    }
   }
   return 0;
 }
