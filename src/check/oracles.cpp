@@ -1,0 +1,495 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "calculus/buffer_bounds.hpp"
+#include "net/packet.hpp"
+#include "transport/maxmin.hpp"
+
+namespace xpass::check {
+
+namespace {
+
+using runner::Protocol;
+using runner::ScenarioResult;
+using runner::ScenarioSpec;
+using runner::StopKind;
+using runner::TopologyKind;
+using runner::TrafficKind;
+using sim::Time;
+
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string strf(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+bool is_xp(Protocol p) {
+  return p == Protocol::kExpressPass || p == Protocol::kExpressPassNaive;
+}
+
+bool long_running(const ScenarioSpec& s) {
+  return s.traffic.bytes == transport::kLongRunning;
+}
+
+// Steady-state measurement: long-running flows, a real measurement window
+// behind a converged warmup, and nothing killing links mid-run. The 10ms
+// warmup floor matters: at 10G with multi-us propagation delays the credit
+// feedback loop still carries visible start-up skew at 5ms (empirically
+// flow shares sit ~30% apart), which washes out by ~10ms.
+bool steady_state(const ScenarioSpec& s) {
+  return long_running(s) && s.stop.kind == StopKind::kWindow &&
+         s.stop.window >= Time::ms(10) && s.stop.warmup >= Time::ms(10) &&
+         !s.faults.any();
+}
+
+double fabric_rate(const ScenarioSpec& s);
+
+// The implementation's validated convergence envelope. base_rtt is the
+// credit feedback update period; when rate x base_rtt grows past the
+// paper's 10 Gbps x 100 us operating point (~1 Mbit), per-flow shares
+// converge too slowly/coarsely to judge against equal-share references
+// (empirically: 40 Gbps @ 100 us sits at Jain ~0.8 for tens of ms, while
+// 40 Gbps @ 25 us and 10 Gbps @ 100 us both converge cleanly).
+bool within_bdp_envelope(const ScenarioSpec& s) {
+  return fabric_rate(s) * s.base_rtt.to_sec() <= 1.25e6;
+}
+
+// The fair-share scenario: identical pairwise flows over one bottleneck,
+// one flow per host pair. More flows than host pairs stacks flows on a
+// shared edge NIC, which is outside the paper's per-flow fairness claims
+// (and the repo's validated envelope — every Fig 6/15d experiment gives
+// each flow its own hosts).
+bool fair_share_scenario(const ScenarioSpec& s) {
+  return s.protocol == Protocol::kExpressPass &&
+         s.topology.kind == TopologyKind::kDumbbell &&
+         s.traffic.kind == TrafficKind::kPairwise && s.traffic.flows >= 2 &&
+         s.traffic.flows <= s.topology.scale && steady_state(s) &&
+         within_bdp_envelope(s);
+}
+
+double fabric_rate(const ScenarioSpec& s) {
+  return s.topology.fabric_rate_bps > 0 ? s.topology.fabric_rate_bps
+                                        : s.topology.host_rate_bps;
+}
+
+Time fabric_prop(const ScenarioSpec& s) {
+  return s.topology.fabric_prop > Time::zero() ? s.topology.fabric_prop
+                                               : s.topology.host_prop;
+}
+
+// §3.1 bound for the spec's link parameters. The dominant ToR-down-port
+// class bounds any single data queue in a credit-scheduled fabric.
+double calculus_queue_bound(const ScenarioSpec& s) {
+  calculus::CalculusParams cp;
+  cp.edge_rate_bps = s.topology.host_rate_bps;
+  cp.fabric_rate_bps = fabric_rate(s);
+  cp.edge_prop = s.topology.host_prop;
+  cp.core_prop = fabric_prop(s);
+  cp.credit_queue_pkts = s.topology.credit_queue_pkts.value_or(8);
+  // delta_host: keep the testbed default (5.1us) even for HostDelay::kNone
+  // — an over-estimate only loosens the bound, and the slack factor covers
+  // the hardware model's tail.
+  const auto b = calculus::compute_buffer_bounds(cp);
+  return std::max(b.tor_down.buffer_bytes, b.tor_up.buffer_bytes);
+}
+
+// --- max-min reference problems ------------------------------------------
+
+// Credit-scheduled goodput ceiling: each 1538B data frame is bought by an
+// 84B credit on the reverse path, so data occupies 1538/1622 of the wire.
+constexpr double kGoodputFraction =
+    static_cast<double>(net::kMaxWireBytes) / net::kCreditCycleBytes;
+
+// Returns one goodput entry per flow in ascending flow-id order, or empty
+// when the topology/traffic pair has no modeled reference. Parking lot is
+// deliberately absent: this implementation (like the paper's Fig 10) only
+// validates *link utilization* there — the long flow's share is beaten well
+// below max-min by multi-hop credit feedback, which is not a bug signal.
+std::vector<double> maxmin_reference(const ScenarioSpec& s) {
+  transport::MaxMinProblem p;
+  const double edge = s.topology.host_rate_bps;
+  const double core = fabric_rate(s);
+  auto add_link = [&p](double cap) {
+    p.link_capacity.push_back(cap);
+    return static_cast<uint32_t>(p.link_capacity.size() - 1);
+  };
+
+  if (s.topology.kind == TopologyKind::kDumbbell &&
+      s.traffic.kind == TrafficKind::kPairwise &&
+      s.traffic.flows <= s.topology.scale) {
+    // One flow per host pair only: stacking flows on a shared edge NIC is
+    // outside the per-flow max-min envelope this simulator validates (see
+    // fair_share_scenario).
+    const uint32_t bottleneck = add_link(core);
+    for (size_t i = 0; i < s.traffic.flows; ++i) {
+      p.flow_links.push_back({add_link(edge), bottleneck, add_link(edge)});
+    }
+  } else if (s.topology.kind == TopologyKind::kMultiBottleneck &&
+             s.traffic.kind == TrafficKind::kChain &&
+             s.topology.scale <= 4) {
+    // Scale cap mirrors Fig 11b's validated range: beyond N=4 cross flows
+    // the feedback loop legitimately parks flow 0 ~2x above max-min.
+    // Flow 0 crosses only L1; flows 1..N cross L1, L2, L3.
+    const uint32_t l1 = add_link(core);
+    const uint32_t l2 = add_link(core);
+    const uint32_t l3 = add_link(core);
+    p.flow_links.push_back({l1, add_link(edge), add_link(edge)});
+    for (size_t i = 0; i < s.topology.scale; ++i) {
+      p.flow_links.push_back({l1, l2, l3, add_link(edge), add_link(edge)});
+    }
+  } else {
+    return {};
+  }
+  std::vector<double> rates = transport::maxmin_rates(p);
+  for (double& r : rates) r *= kGoodputFraction;
+  return rates;
+}
+
+// --- rescale transform ----------------------------------------------------
+
+ScenarioSpec rescale_spec(const ScenarioSpec& s, double f) {
+  ScenarioSpec r = s;
+  r.name = s.name + "/rescaled";
+  r.topology.host_rate_bps *= f;
+  if (r.topology.fabric_rate_bps > 0) r.topology.fabric_rate_bps *= f;
+  const double inv = 1.0 / f;
+  r.topology.host_prop = s.topology.host_prop * inv;
+  r.topology.fabric_prop = s.topology.fabric_prop * inv;
+  r.base_rtt = s.base_rtt * inv;
+  r.stop.horizon = s.stop.horizon * inv;
+  r.stop.warmup = s.stop.warmup * inv;
+  r.stop.window = s.stop.window * inv;
+  r.traffic.start_spread_sec = s.traffic.start_spread_sec * inv;
+  r.telemetry.sample_interval = s.telemetry.sample_interval * inv;
+  return r;
+}
+
+// --- the oracle table -----------------------------------------------------
+
+struct Oracle {
+  const char* name;
+  bool (*applicable)(const ScenarioSpec&, const OracleOptions&);
+  OracleFinding (*eval)(const ScenarioSpec&, const ScenarioResult&,
+                        const RunFn&, const OracleOptions&);
+};
+
+OracleFinding pass(const char* name) {
+  return {name, true, {}};
+}
+OracleFinding fail(const char* name, std::string details) {
+  return {name, false, std::move(details)};
+}
+
+const Oracle kOracles[] = {
+    {"invariants",
+     [](const ScenarioSpec& s, const OracleOptions&) {
+       return s.check_invariants;
+     },
+     [](const ScenarioSpec&, const ScenarioResult& r, const RunFn&,
+        const OracleOptions&) {
+       if (r.invariant_violations == 0) return pass("invariants");
+       std::string details = strf("%llu violation(s) in %llu sweeps",
+                                  (unsigned long long)r.invariant_violations,
+                                  (unsigned long long)r.invariant_sweeps);
+       // A broken run trips the same sweep hundreds of times; the first few
+       // messages carry all the diagnostic signal a repro needs.
+       constexpr size_t kMaxMessages = 3;
+       const size_t n = std::min(r.invariant_messages.size(), kMaxMessages);
+       for (size_t i = 0; i < n; ++i) {
+         details += "; " + r.invariant_messages[i];
+       }
+       if (r.invariant_messages.size() > n) {
+         details += strf("; (+%zu more)", r.invariant_messages.size() - n);
+       }
+       return fail("invariants", std::move(details));
+     }},
+
+    {"zero-data-loss",
+     [](const ScenarioSpec& s, const OracleOptions&) {
+       return is_xp(s.protocol) && !s.faults.any();
+     },
+     [](const ScenarioSpec&, const ScenarioResult& r, const RunFn&,
+        const OracleOptions&) {
+       // Queue overflow is the usual loss channel, but the property is
+       // end-to-end: error-model drops, frames cut mid-flight, and frames
+       // delivered corrupted (discarded at the host) all count. On a
+       // declared-healthy run any of them means the execution broke the
+       // declared model. (flushed_data is excluded: those frames re-count
+       // in the queues' own drop stats.)
+       const uint64_t lost = r.data_drops +
+                             r.fault_totals.injected_data_drops +
+                             r.fault_totals.cut_data +
+                             r.fault_totals.corrupted_data;
+       if (lost == 0) return pass("zero-data-loss");
+       return fail("zero-data-loss",
+                   strf("%llu data frame(s) lost on a fault-free "
+                        "credit-scheduled run (%llu queue drops, %llu "
+                        "injected, %llu cut, %llu corrupted)",
+                        (unsigned long long)lost,
+                        (unsigned long long)r.data_drops,
+                        (unsigned long long)r.fault_totals.injected_data_drops,
+                        (unsigned long long)r.fault_totals.cut_data,
+                        (unsigned long long)r.fault_totals.corrupted_data));
+     }},
+
+    {"queue-bound",
+     [](const ScenarioSpec& s, const OracleOptions&) {
+       return is_xp(s.protocol) && !s.faults.any();
+     },
+     [](const ScenarioSpec& s, const ScenarioResult& r, const RunFn&,
+        const OracleOptions& o) {
+       const double bound = o.queue_bound_slack * calculus_queue_bound(s) +
+                            8.0 * net::kMaxWireBytes;
+       if (static_cast<double>(r.max_switch_queue_bytes) <= bound) {
+         return pass("queue-bound");
+       }
+       return fail(
+           "queue-bound",
+           strf("max switch data queue %llu B exceeds calculus bound %.0f B "
+                "(slack %.1fx)",
+                (unsigned long long)r.max_switch_queue_bytes, bound,
+                o.queue_bound_slack));
+     }},
+
+    {"fairness",
+     [](const ScenarioSpec& s, const OracleOptions&) {
+       return fair_share_scenario(s);
+     },
+     [](const ScenarioSpec&, const ScenarioResult& r, const RunFn&,
+        const OracleOptions& o) {
+       if (r.jain >= o.jain_floor) return pass("fairness");
+       return fail("fairness", strf("Jain index %.4f below floor %.2f over "
+                                    "%zu equal flows",
+                                    r.jain, o.jain_floor,
+                                    r.flow_rates.size()));
+     }},
+
+    {"utilization",
+     [](const ScenarioSpec& s, const OracleOptions&) {
+       return fair_share_scenario(s);
+     },
+     [](const ScenarioSpec& s, const ScenarioResult& r, const RunFn&,
+        const OracleOptions& o) {
+       const double cap =
+           std::min(static_cast<double>(s.traffic.flows) *
+                        s.topology.host_rate_bps,
+                    fabric_rate(s));
+       if (r.sum_rate_bps >= o.utilization_floor * cap) {
+         return pass("utilization");
+       }
+       return fail("utilization",
+                   strf("aggregate goodput %.3f Gbps below %.0f%% of the "
+                        "%.1f Gbps bottleneck",
+                        r.sum_rate_bps / 1e9, o.utilization_floor * 100,
+                        cap / 1e9));
+     }},
+
+    {"maxmin-diff",
+     [](const ScenarioSpec& s, const OracleOptions& o) {
+       if (!o.differential) return false;
+       // On top of steady state, per-flow shares need a long averaging
+       // window: the healthy feedback loop can hold a skewed split for
+       // tens of ms (start-up synchronization), and 40ms of averaging is
+       // what reliably lands converged runs inside the tolerance band.
+       if (s.protocol != Protocol::kExpressPass || !steady_state(s) ||
+           s.stop.window < Time::ms(40) || !within_bdp_envelope(s)) {
+         return false;
+       }
+       // Lower rate bound: at 1 Gbps a 100us feedback period holds ~8 data
+       // packets, so per-flow rate tracking is quantized too coarsely to
+       // judge against a 30% band (Jain stays fine; exact shares wander).
+       if (fabric_rate(s) * s.base_rtt.to_sec() < 4e5) return false;
+       return !maxmin_reference(s).empty();
+     },
+     [](const ScenarioSpec& s, const ScenarioResult& r, const RunFn&,
+        const OracleOptions& o) {
+       const std::vector<double> ref = maxmin_reference(s);
+       if (r.flow_rates.size() != ref.size()) {
+         return fail("maxmin-diff",
+                     strf("%zu measured flows vs %zu reference flows",
+                          r.flow_rates.size(), ref.size()));
+       }
+       if (s.topology.kind == TopologyKind::kMultiBottleneck) {
+         // Fig 11 envelope: judge flow 0 (the single-bottleneck flow) with
+         // an asymmetric band. Healthy feedback tracks ~0.55-1.0x of its
+         // max-min share here; the naive scheme's signature failure is
+         // over-allocation to ~2.5x (it grabs the whole first link).
+         const double got = r.flow_rates[0].second;
+         const double want = ref[0];
+         if (got > 1.8 * want || got < 0.4 * want) {
+           return fail(
+               "maxmin-diff",
+               strf("multi-bottleneck flow %u rate %.3f Gbps outside "
+                    "[0.4, 1.8]x of max-min share %.3f Gbps",
+                    r.flow_rates[0].first, got / 1e9, want / 1e9));
+         }
+         return pass("maxmin-diff");
+       }
+       // Dumbbell: every flow sits on its own host pair; each one must
+       // land within tolerance of its max-min share.
+       // flow_rates is ascending-id; reference is built in the same order.
+       for (size_t i = 0; i < ref.size(); ++i) {
+         const double got = r.flow_rates[i].second;
+         const double want = ref[i];
+         if (std::abs(got - want) > o.maxmin_rel_tol * want) {
+           return fail(
+               "maxmin-diff",
+               strf("flow %u rate %.3f Gbps vs max-min reference %.3f Gbps "
+                    "(tolerance %.0f%%)",
+                    r.flow_rates[i].first, got / 1e9, want / 1e9,
+                    o.maxmin_rel_tol * 100));
+         }
+       }
+       return pass("maxmin-diff");
+     }},
+
+    {"determinism",
+     [](const ScenarioSpec&, const OracleOptions& o) {
+       return o.metamorphic;
+     },
+     [](const ScenarioSpec& s, const ScenarioResult& r, const RunFn& run,
+        const OracleOptions&) {
+       const ScenarioResult again = run(s);
+       const std::string a = r.recorder.to_json(s.name);
+       const std::string b = again.recorder.to_json(s.name);
+       if (a == b && r.end_time == again.end_time &&
+           r.sum_rate_bps == again.sum_rate_bps) {
+         return pass("determinism");
+       }
+       return fail("determinism",
+                   "same spec, same seed: recorder output differs between "
+                   "two runs (hidden nondeterminism)");
+     }},
+
+    {"flow-relabel",
+     [](const ScenarioSpec& s, const OracleOptions& o) {
+       // Single-path topologies only: on ECMP fabrics a flow's id may
+       // legitimately steer its path hash.
+       return o.metamorphic && !s.topology.packet_spraying &&
+              (s.topology.kind == TopologyKind::kDumbbell ||
+               s.topology.kind == TopologyKind::kStar);
+     },
+     [](const ScenarioSpec& s, const ScenarioResult&, const RunFn& run,
+        const OracleOptions&) {
+       // The host credit shaper draws deterministic per-credit noise from a
+       // hash of (flow id, seq) — an intentional id dependence. Pin the
+       // noise to zero on BOTH sides of the metamorphic pair so the ids'
+       // only remaining legitimate role is identity; this costs a second
+       // base run instead of reusing the shared primary result.
+       ScenarioSpec base = s;
+       base.topology.host_credit_shaper_noise = 0.0;
+       ScenarioSpec relabeled = base;
+       relabeled.traffic.flow_id_salt += 1000;
+       const ScenarioResult r = run(base);
+       const ScenarioResult r2 = run(relabeled);
+       auto mismatch = [](const char* what) {
+         return fail("flow-relabel",
+                     strf("flow-id relabeling changed %s — something "
+                          "depends on flow ids beyond identity",
+                          what));
+       };
+       if (r2.scheduled != r.scheduled || r2.completed != r.completed ||
+           r2.failed != r.failed) {
+         return mismatch("flow accounting");
+       }
+       if (r2.data_drops != r.data_drops ||
+           r2.credit_drops != r.credit_drops) {
+         return mismatch("drop counters");
+       }
+       if (r2.sum_rate_bps != r.sum_rate_bps || r2.jain != r.jain) {
+         return mismatch("aggregate goodput/fairness");
+       }
+       if (r2.max_switch_queue_bytes != r.max_switch_queue_bytes) {
+         return mismatch("queue occupancy");
+       }
+       if (r2.flow_rates.size() != r.flow_rates.size()) {
+         return mismatch("per-flow rate count");
+       }
+       for (size_t i = 0; i < r.flow_rates.size(); ++i) {
+         if (r2.flow_rates[i].second != r.flow_rates[i].second) {
+           return mismatch("per-flow rates");
+         }
+       }
+       return pass("flow-relabel");
+     }},
+
+    {"rescale",
+     [](const ScenarioSpec& s, const OracleOptions& o) {
+       // Needs every time constant in the run to scale with the transform:
+       // default ExpressPass config (update period pinned to base_rtt) and
+       // no host delay model (those carry absolute latencies).
+       return o.metamorphic && fair_share_scenario(s) && !s.xp &&
+              s.topology.host_delay == runner::HostDelay::kNone;
+     },
+     [](const ScenarioSpec& s, const ScenarioResult& r, const RunFn& run,
+        const OracleOptions& o) {
+       constexpr double f = 2.0;
+       const ScenarioResult r2 = run(rescale_spec(s, f));
+       if (r.sum_rate_bps <= 0) return pass("rescale");  // nothing to scale
+       const double ratio = r2.sum_rate_bps / r.sum_rate_bps;
+       if (std::abs(ratio - f) > f * o.rescale_goodput_tol) {
+         return fail("rescale",
+                     strf("2x link speed + 1/2 time constants scaled goodput "
+                          "by %.3f (expected ~%.1f +/- %.0f%%)",
+                          ratio, f, o.rescale_goodput_tol * 100));
+       }
+       // Byte-denominated queue occupancy is rate-invariant under the §3.1
+       // calculus (spread shrinks as times do, charge rate doubles).
+       const double q1 = static_cast<double>(r.max_switch_queue_bytes);
+       const double q2 = static_cast<double>(r2.max_switch_queue_bytes);
+       const double floor_b = 4.0 * net::kMaxWireBytes;
+       if (q1 > floor_b && q2 > floor_b &&
+           (q2 > q1 * o.rescale_queue_factor ||
+            q1 > q2 * o.rescale_queue_factor)) {
+         return fail("rescale",
+                     strf("max queue went %.0f B -> %.0f B under rescale "
+                          "(allowed factor %.1f)",
+                          q1, q2, o.rescale_queue_factor));
+       }
+       return pass("rescale");
+     }},
+};
+
+}  // namespace
+
+std::vector<OracleFinding> OracleSuite::evaluate(const ScenarioSpec& spec,
+                                                 const RunFn& run) const {
+  const ScenarioResult primary = run(spec);
+  std::vector<OracleFinding> out;
+  for (const Oracle& o : kOracles) {
+    if (!o.applicable(spec, opts_)) continue;
+    out.push_back(o.eval(spec, primary, run, opts_));
+  }
+  return out;
+}
+
+std::optional<OracleFinding> OracleSuite::evaluate_one(
+    const std::string& oracle, const ScenarioSpec& spec,
+    const RunFn& run) const {
+  for (const Oracle& o : kOracles) {
+    if (oracle != o.name) continue;
+    if (!o.applicable(spec, opts_)) return std::nullopt;
+    const ScenarioResult primary = run(spec);
+    return o.eval(spec, primary, run, opts_);
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& OracleSuite::oracle_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n;
+    for (const Oracle& o : kOracles) n.emplace_back(o.name);
+    return n;
+  }();
+  return names;
+}
+
+}  // namespace xpass::check

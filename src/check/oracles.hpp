@@ -1,0 +1,93 @@
+// Oracle suite: executable statements of the paper's properties.
+//
+// An oracle looks at a declared ScenarioSpec and decides (a) whether it
+// applies to that point of the scenario space and (b) whether the observed
+// ScenarioResult honors the property. Three families:
+//
+//  * paper-property — direct claims from the paper on a single run:
+//      invariants        runtime InvariantChecker sweeps came back clean
+//                        (credit conservation, healthy-window zero loss,
+//                        §3.1 queue bound, bounded delivery)
+//      zero-data-loss    no data drop anywhere on a fault-free ExpressPass
+//                        run (§3.1 headline claim)
+//      queue-bound       max switch data queue <= calculus::buffer_bounds
+//                        prediction, with slack (Table 1 / Fig 5)
+//      fairness          Jain index at steady state >= floor (§6.1)
+//      utilization       aggregate goodput >= floor x bottleneck capacity
+//  * metamorphic — relations between transformed runs (no ground truth
+//    needed, so they apply to every protocol):
+//      determinism       same spec twice => byte-identical recorder JSON
+//      flow-relabel      flow-id salt shift => identical aggregate stats
+//      rescale           link rates x2, every time constant / 2 =>
+//                        goodput x2, byte-denominated queues ~invariant
+//  * differential — reference implementation comparison:
+//      maxmin-diff       ExpressPass steady-state per-flow rates match the
+//                        transport::maxmin_rates water-filling solver
+//                        within tolerance (Fig 1a / Fig 10 / Fig 11)
+//
+// The suite drives runs through a caller-supplied RunFn so a harness can
+// interpose (the fuzzer's bug injection sabotages the *executed* spec while
+// oracles judge against the declared one — a model of "implementation
+// diverges from its spec" bugs). Metamorphic oracles cost one extra run
+// each; evaluate() runs the primary spec exactly once and shares the result.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+
+namespace xpass::check {
+
+using RunFn =
+    std::function<runner::ScenarioResult(const runner::ScenarioSpec&)>;
+
+// Tolerances. The rationale for each default is documented in
+// EXPERIMENTS.md ("Property testing"); they are deliberately loose enough
+// that a healthy simulator passes every generated spec, and tight enough
+// that a broken mechanism (no credit jitter, hidden queue growth, naive
+// feedback on a multi-hop chain) lands well outside them.
+struct OracleOptions {
+  double jain_floor = 0.85;
+  double utilization_floor = 0.60;
+  double queue_bound_slack = 2.0;  // x the calculus bound, + 8 MTUs
+  double maxmin_rel_tol = 0.30;    // per-flow |rate - ref| / fair-share
+  double rescale_goodput_tol = 0.25;
+  double rescale_queue_factor = 4.0;
+  bool metamorphic = true;   // determinism / flow-relabel / rescale
+  bool differential = true;  // maxmin-diff
+};
+
+struct OracleFinding {
+  std::string oracle;
+  bool pass = true;
+  std::string details;  // violation description; empty when passing
+};
+
+class OracleSuite {
+ public:
+  explicit OracleSuite(const OracleOptions& opts = {}) : opts_(opts) {}
+
+  // Runs `spec` through `run` (once, plus one run per applicable
+  // metamorphic oracle) and returns one finding per applicable oracle.
+  std::vector<OracleFinding> evaluate(const runner::ScenarioSpec& spec,
+                                      const RunFn& run) const;
+
+  // Re-evaluates a single oracle by name — the shrinker's re-check path.
+  // nullopt when the oracle does not apply to `spec` (a shrink step that
+  // leaves the property's domain is rejected by the caller).
+  std::optional<OracleFinding> evaluate_one(const std::string& oracle,
+                                            const runner::ScenarioSpec& spec,
+                                            const RunFn& run) const;
+
+  static const std::vector<std::string>& oracle_names();
+
+  const OracleOptions& options() const { return opts_; }
+
+ private:
+  OracleOptions opts_;
+};
+
+}  // namespace xpass::check

@@ -1,0 +1,181 @@
+#include "check/shrinker.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace xpass::check {
+
+namespace {
+
+using runner::ScenarioSpec;
+using runner::StopKind;
+using runner::TopologyKind;
+using runner::TrafficKind;
+using sim::Time;
+
+// A transformation returns true when it changed the spec (the caller then
+// re-checks the oracle on the copy). Each one strictly shrinks something.
+using Transform = std::function<bool(ScenarioSpec&)>;
+
+bool halve_flows(ScenarioSpec& s) {
+  if (s.traffic.kind == TrafficKind::kChain) {
+    // Chain flow count is topology-defined (scale).
+    return false;
+  }
+  const size_t target = std::max<size_t>(2, s.traffic.flows / 2);
+  if (target >= s.traffic.flows) return false;
+  s.traffic.flows = target;
+  return true;
+}
+
+bool drop_one_flow(ScenarioSpec& s) {
+  if (s.traffic.kind == TrafficKind::kChain || s.traffic.flows <= 2) {
+    return false;
+  }
+  --s.traffic.flows;
+  return true;
+}
+
+bool halve_scale(ScenarioSpec& s) {
+  size_t floor = 2;
+  if (s.topology.kind == TopologyKind::kParkingLot ||
+      s.topology.kind == TopologyKind::kMultiBottleneck) {
+    floor = 1;
+  }
+  const size_t target = std::max(floor, s.topology.scale / 2);
+  if (target >= s.topology.scale) return false;
+  s.topology.scale = target;
+  return true;
+}
+
+bool shrink_scale_by_one(ScenarioSpec& s) {
+  size_t floor = 2;
+  if (s.topology.kind == TopologyKind::kParkingLot ||
+      s.topology.kind == TopologyKind::kMultiBottleneck) {
+    floor = 1;
+  }
+  if (s.topology.scale <= floor) return false;
+  --s.topology.scale;
+  return true;
+}
+
+bool drop_faults(ScenarioSpec& s) {
+  if (!s.faults.any()) return false;
+  s.faults = runner::FaultScenario{};
+  return true;
+}
+
+bool drop_link_errors(ScenarioSpec& s) {
+  if (!s.faults.errors.enabled()) return false;
+  s.faults.errors = net::LinkErrorConfig{};
+  return true;
+}
+
+bool drop_flap(ScenarioSpec& s) {
+  if (!s.faults.has_flap() && !s.faults.has_kill()) return false;
+  s.faults.flap_down = s.faults.flap_up = s.faults.kill_at = Time::zero();
+  return true;
+}
+
+bool halve_durations(ScenarioSpec& s) {
+  bool changed = false;
+  if (s.stop.kind == StopKind::kWindow) {
+    // Keep the window above the steady-state oracles' 10ms applicability
+    // floor so shrinking cannot silently step out of the property's domain.
+    const Time min_window = Time::ms(10);
+    if (s.stop.window / 2 >= min_window) {
+      s.stop.window = s.stop.window / 2;
+      changed = true;
+    }
+    // Warmup floor matches the steady-state oracles' convergence gate, so
+    // shrinking cannot manufacture a start-up-skew "failure".
+    if (s.stop.warmup / 2 >= Time::ms(10)) {
+      s.stop.warmup = s.stop.warmup / 2;
+      changed = true;
+    }
+  } else if (s.stop.horizon / 2 >= Time::ms(10)) {
+    s.stop.horizon = s.stop.horizon / 2;
+    changed = true;
+  }
+  return changed;
+}
+
+bool halve_bytes(ScenarioSpec& s) {
+  if (s.traffic.bytes == transport::kLongRunning) return false;
+  const uint64_t target = std::max<uint64_t>(20'000, s.traffic.bytes / 2);
+  if (target >= s.traffic.bytes) return false;
+  s.traffic.bytes = target;
+  return true;
+}
+
+bool strip_telemetry(ScenarioSpec& s) {
+  if (s.telemetry.sample_interval == Time::zero() &&
+      !s.telemetry.bottleneck_queue_series &&
+      !s.telemetry.per_port_queue_series && !s.telemetry.flow_rate_series) {
+    return false;
+  }
+  s.telemetry = runner::TelemetrySpec{};
+  return true;
+}
+
+bool zero_start_spread(ScenarioSpec& s) {
+  if (s.traffic.start_spread_sec == 0.0) return false;
+  s.traffic.start_spread_sec = 0.0;
+  return true;
+}
+
+bool drop_explicit_credit_queue(ScenarioSpec& s) {
+  if (!s.topology.credit_queue_pkts && !s.topology.host_credit_shaper_noise) {
+    return false;
+  }
+  s.topology.credit_queue_pkts.reset();
+  s.topology.host_credit_shaper_noise.reset();
+  return true;
+}
+
+}  // namespace
+
+ShrinkOutcome shrink_spec(const ScenarioSpec& spec, const std::string& oracle,
+                          const OracleSuite& suite, const RunFn& run,
+                          const ShrinkOptions& opts) {
+  // Order matters for greed: the big structural cuts (flows, faults, scale)
+  // come before the cosmetic ones, so the expensive early checks buy the
+  // largest reductions.
+  const std::vector<Transform> transforms = {
+      halve_flows,       drop_faults,           halve_scale,
+      drop_link_errors,  drop_flap,             halve_durations,
+      halve_bytes,       strip_telemetry,       zero_start_spread,
+      drop_explicit_credit_queue,               drop_one_flow,
+      shrink_scale_by_one,
+  };
+
+  ShrinkOutcome out;
+  out.spec = spec;
+  bool progress = true;
+  while (progress && out.checks < opts.max_checks) {
+    progress = false;
+    for (const Transform& t : transforms) {
+      if (out.checks >= opts.max_checks) break;
+      ScenarioSpec candidate = out.spec;
+      if (!t(candidate)) continue;
+      ++out.checks;
+      const auto finding = suite.evaluate_one(oracle, candidate, run);
+      if (finding && !finding->pass) {
+        out.spec = std::move(candidate);
+        out.details = finding->details;
+        ++out.accepted;
+        progress = true;
+      }
+    }
+  }
+  if (out.details.empty()) {
+    // Nothing shrank (or max_checks hit before any acceptance): report the
+    // original failure message.
+    const auto finding = suite.evaluate_one(oracle, out.spec, run);
+    if (finding) out.details = finding->details;
+  }
+  return out;
+}
+
+}  // namespace xpass::check

@@ -1,0 +1,42 @@
+// Greedy ScenarioSpec shrinker: turn a failing fuzz scenario into the
+// smallest spec that still violates the same oracle.
+//
+// Classic property-testing shrinking, specialized to scenario structure:
+// candidate transformations (halve the flow count, shrink the topology,
+// drop the fault plan, halve the measurement horizon, strip telemetry, cut
+// flow sizes) are tried in a fixed order; a candidate is accepted only when
+// the transformed spec still *applies to* and still *fails* the original
+// oracle, and the greedy loop restarts until a full pass accepts nothing.
+// Every accepted step strictly reduces a size measure (flows, hosts, fault
+// events, simulated picoseconds), so termination is structural; max_checks
+// bounds the worst case anyway since every candidate costs a simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/oracles.hpp"
+#include "runner/scenario.hpp"
+
+namespace xpass::check {
+
+struct ShrinkOptions {
+  // Upper bound on oracle re-checks (each one simulates). The greedy loop
+  // almost always fixpoints in well under 40.
+  size_t max_checks = 120;
+};
+
+struct ShrinkOutcome {
+  runner::ScenarioSpec spec;  // the minimal still-failing spec
+  std::string details;        // the oracle's message on the minimal spec
+  size_t checks = 0;          // oracle evaluations spent
+  size_t accepted = 0;        // transformations that stuck
+};
+
+// Shrinks `spec`, which must currently fail `oracle` under `suite`/`run`.
+// Returns the smallest still-failing spec found (at worst, `spec` itself).
+ShrinkOutcome shrink_spec(const runner::ScenarioSpec& spec,
+                          const std::string& oracle, const OracleSuite& suite,
+                          const RunFn& run, const ShrinkOptions& opts = {});
+
+}  // namespace xpass::check

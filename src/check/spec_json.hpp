@@ -1,0 +1,35 @@
+// ScenarioSpec <-> JSON: the serialization layer behind fuzzer repros.
+//
+// spec_to_json emits every field of a runner::ScenarioSpec (times as exact
+// integer picoseconds, rates as shortest-round-trip doubles, optionals
+// omitted when unset) in a fixed member order; spec_from_json parses it
+// back, defaulting absent members to the ScenarioSpec defaults. The pair is
+// exact: spec -> JSON -> spec reproduces every field, and JSON -> spec ->
+// JSON reproduces the document byte for byte — which is what lets a shrunken
+// fuzzer repro reload as precisely the scenario that failed, years of PRs
+// later. The round-trip property test fuzzes this over generated specs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "check/json.hpp"
+#include "runner/scenario.hpp"
+
+namespace xpass::check {
+
+inline constexpr std::string_view kSpecSchema = "xpass.scenario.v1";
+
+// The JSON document (schema-tagged object) for a spec, and its text form.
+Json spec_to_json_doc(const runner::ScenarioSpec& spec);
+std::string spec_to_json(const runner::ScenarioSpec& spec);
+
+// Parses a spec document (or the object spec_to_json_doc produced). Returns
+// nullopt and fills `err` on malformed JSON, a wrong schema tag, or an
+// unknown enum spelling. Absent members keep their ScenarioSpec defaults.
+std::optional<runner::ScenarioSpec> spec_from_json_doc(const Json& doc,
+                                                       std::string* err);
+std::optional<runner::ScenarioSpec> spec_from_json(const std::string& text,
+                                                   std::string* err);
+
+}  // namespace xpass::check

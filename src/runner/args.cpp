@@ -1,6 +1,7 @@
 #include "runner/args.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +26,9 @@ std::optional<double> parse_f64(const std::string& s) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (errno != 0 || end == s.c_str() || *end != '\0') return std::nullopt;
+  // strtod accepts "nan"/"inf" spellings; no knob means those, so treat
+  // them as malformed rather than letting them poison downstream math.
+  if (!std::isfinite(v)) return std::nullopt;
   return v;
 }
 

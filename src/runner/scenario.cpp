@@ -114,7 +114,7 @@ void add_traffic(const ScenarioSpec& spec, const Built& b,
     case TrafficKind::kPairwise: {
       for (size_t i = 0; i < tr.flows; ++i) {
         transport::FlowSpec s;
-        s.id = static_cast<uint32_t>(i + 1);
+        s.id = tr.flow_id_salt + static_cast<uint32_t>(i + 1);
         s.src = b.hosts[i % b.hosts.size()];
         s.dst = b.peers.empty()
                     ? b.hosts[(i + 1 + b.hosts.size() / 2) % b.hosts.size()]
@@ -133,13 +133,15 @@ void add_traffic(const ScenarioSpec& spec, const Built& b,
     }
     case TrafficKind::kIncast: {
       std::vector<net::Host*> workers(b.hosts.begin() + 1, b.hosts.end());
-      driver.add_all(
-          workload::incast_flows(workers, b.hosts[0], tr.bytes, tr.flows));
+      driver.add_all(workload::incast_flows(workers, b.hosts[0], tr.bytes,
+                                            tr.flows, sim::Time::zero(),
+                                            tr.flow_id_salt + 1));
       break;
     }
     case TrafficKind::kShuffle: {
-      driver.add_all(
-          workload::shuffle_flows(b.hosts, tr.tasks_per_host, tr.bytes));
+      driver.add_all(workload::shuffle_flows(b.hosts, tr.tasks_per_host,
+                                             tr.bytes, sim::Time::zero(),
+                                             tr.flow_id_salt + 1));
       break;
     }
     case TrafficKind::kPoisson: {
@@ -159,12 +161,13 @@ void add_traffic(const ScenarioSpec& spec, const Built& b,
                           spec.topology.host_rate_bps / 3.0;
       const double lambda =
           workload::lambda_for_load(tr.load, capacity, dist.mean());
-      driver.add_all(
-          workload::poisson_flows(sim.rng(), pool, dist, lambda, tr.flows));
+      driver.add_all(workload::poisson_flows(sim.rng(), pool, dist, lambda,
+                                             tr.flows, sim::Time::zero(),
+                                             tr.flow_id_salt + 1));
       break;
     }
     case TrafficKind::kChain: {
-      uint32_t id = 1;
+      uint32_t id = tr.flow_id_salt + 1;
       for (const auto& [src, dst] : b.chain) {
         transport::FlowSpec s;
         s.id = id++;

@@ -101,6 +101,10 @@ struct TrafficSpec {
   // Poisson load base override (bps). Unset: Clos uses the aggregate ToR
   // up-link capacity (§6.3), other topologies aggregate-host-rate / 3.
   std::optional<double> capacity_bps;
+  // Added to every flow id (flow i gets id salt + i + 1). Pure relabeling:
+  // nothing else in the run may depend on it — the check::flow-relabel
+  // metamorphic oracle pins that aggregate results are salt-invariant.
+  uint32_t flow_id_salt = 0;
 };
 
 // --- Stop condition -------------------------------------------------------

@@ -17,6 +17,8 @@
 // across runs and across registration order.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -41,7 +43,16 @@ class Recorder {
   Recorder& operator=(const Recorder&) = delete;
 
   // --- scalars -----------------------------------------------------------
-  void set(const std::string& name, double v) { scalars_[name] = v; }
+  // NaN/inf are not measurements (and not JSON numbers): a non-finite push
+  // is rejected — the probe keeps its previous value (or stays absent) and
+  // rejected() counts the refusal so harnesses can flag the buggy probe.
+  void set(const std::string& name, double v) {
+    if (!std::isfinite(v)) {
+      ++rejected_;
+      return;
+    }
+    scalars_[name] = v;
+  }
   // Registers a pull probe; evaluated (and re-evaluated) by collect().
   void gauge(const std::string& name, std::function<double()> fn) {
     gauges_[name] = std::move(fn);
@@ -57,7 +68,13 @@ class Recorder {
   const std::map<std::string, double>& scalars() const { return scalars_; }
 
   // --- time series -------------------------------------------------------
+  // Rejects non-finite values/timestamps like set(); the series keeps its
+  // t/v vectors aligned by dropping the whole point.
   void sample(const std::string& name, double t_sec, double v) {
+    if (!std::isfinite(v) || !std::isfinite(t_sec)) {
+      ++rejected_;
+      return;
+    }
     Series& s = series_[name];
     s.t_sec.push_back(t_sec);
     s.v.push_back(v);
@@ -74,10 +91,14 @@ class Recorder {
   const std::map<std::string, Series>& series() const { return series_; }
 
   // Evaluates every gauge into its scalar slot. Call after the run (and as
-  // often as you like — gauges are re-evaluated in place).
+  // often as you like — gauges are re-evaluated in place). Non-finite gauge
+  // reads are rejected like any other push.
   void collect() {
-    for (const auto& [name, fn] : gauges_) scalars_[name] = fn();
+    for (const auto& [name, fn] : gauges_) set(name, fn());
   }
+
+  // Count of non-finite pushes refused (scalars, samples, gauge reads).
+  uint64_t rejected() const { return rejected_; }
 
   // Drops the registered callbacks (which capture raw pointers into the
   // scenario's network) but keeps every collected value, so a Recorder can
@@ -97,6 +118,7 @@ class Recorder {
   std::string series_csv(const std::string& name) const;
 
  private:
+  uint64_t rejected_ = 0;
   std::map<std::string, double> scalars_;
   std::map<std::string, std::function<double()>> gauges_;
   std::map<std::string, Series> series_;

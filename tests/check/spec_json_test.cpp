@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/generator.hpp"
+#include "check/json.hpp"
+#include "check/spec_json.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using xpass::check::GenOptions;
+using xpass::check::generate_spec;
+using xpass::check::Json;
+using xpass::check::spec_from_json;
+using xpass::check::spec_to_json;
+using xpass::runner::ScenarioSpec;
+using xpass::sim::Time;
+
+// --- Json document model --------------------------------------------------
+
+TEST(Json, U64KeepsFullPrecision) {
+  // Seeds are full-width uint64; a double would corrupt anything past 2^53.
+  const uint64_t v = 18446744073709551615ull;  // 2^64 - 1
+  Json doc = Json::object();
+  doc.set("seed", Json::u64(v));
+  std::string err;
+  auto parsed = Json::parse(doc.dump(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->get_u64("seed", 0), v);
+}
+
+TEST(Json, DumpParseDumpIsByteStable) {
+  Json doc = Json::object();
+  doc.set("name", Json::str("fuzz/3/multibottleneck"));
+  doc.set("rate", Json::number(0.1));
+  doc.set("big", Json::u64(4363679437952121440ull));
+  Json arr = Json::array();
+  arr.push(Json::boolean(true));
+  arr.push(Json());
+  arr.push(Json::number(-2.5e-4));
+  doc.set("list", std::move(arr));
+  for (int indent : {-1, 0, 2}) {
+    const std::string a = doc.dump(indent);
+    std::string err;
+    auto parsed = Json::parse(a, &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    EXPECT_EQ(parsed->dump(indent), a) << "indent " << indent;
+  }
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("zulu", Json::u64(1));
+  doc.set("alpha", Json::u64(2));
+  doc.set("mike", Json::u64(3));
+  EXPECT_EQ(doc.dump(), R"({"zulu": 1, "alpha": 2, "mike": 3})");
+}
+
+TEST(Json, StringEscapes) {
+  Json doc = Json::object();
+  doc.set("s", Json::str("a\"b\\c\nd\te"));
+  const std::string text = doc.dump();
+  std::string err;
+  auto parsed = Json::parse(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->get_string("s", ""), "a\"b\\c\nd\te");
+}
+
+TEST(Json, ParseErrorsCarryOffset) {
+  for (const char* bad : {"{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+                          "{\"a\":1} trailing", "- 1"}) {
+    std::string err;
+    auto parsed = Json::parse(bad, &err);
+    EXPECT_FALSE(parsed.has_value()) << "accepted: " << bad;
+    EXPECT_NE(err.find("offset"), std::string::npos) << bad << ": " << err;
+  }
+}
+
+TEST(Json, WrongTypeAccessIsNeutral) {
+  Json doc = Json::object();
+  doc.set("s", Json::str("text"));
+  EXPECT_EQ(doc.get_u64("s", 7), 7u);
+  EXPECT_EQ(doc.get_double("s", 1.5), 1.5);
+  EXPECT_FALSE(doc.get_bool("s", false));
+  EXPECT_EQ(doc.get_string("absent", "fb"), "fb");
+}
+
+// --- ScenarioSpec round trip ----------------------------------------------
+
+// Field-level equality through the JSON representation: two specs are equal
+// iff their canonical documents match (spec_to_json emits every field).
+void expect_same_spec(const ScenarioSpec& a, const ScenarioSpec& b) {
+  EXPECT_EQ(spec_to_json(a), spec_to_json(b));
+}
+
+TEST(SpecJson, RoundTripsGeneratedSpecs) {
+  // The property the repro files live on: spec -> JSON -> spec is exact,
+  // and JSON -> spec -> JSON is byte-identical — over the whole generator
+  // range (every topology, traffic kind, fault plan, optional field).
+  xpass::sim::Rng rng(20260807);
+  for (int i = 0; i < 200; ++i) {
+    const ScenarioSpec spec = generate_spec(rng, static_cast<uint64_t>(i));
+    const std::string text = spec_to_json(spec);
+    std::string err;
+    auto back = spec_from_json(text, &err);
+    ASSERT_TRUE(back.has_value()) << err << "\n" << text;
+    expect_same_spec(spec, *back);
+    EXPECT_EQ(spec_to_json(*back), text);
+    // Spot-check a few load-bearing fields outside the JSON equivalence.
+    EXPECT_EQ(back->seed, spec.seed);
+    EXPECT_EQ(back->protocol, spec.protocol);
+    EXPECT_EQ(back->traffic.flows, spec.traffic.flows);
+    EXPECT_EQ(back->base_rtt, spec.base_rtt);
+    EXPECT_EQ(back->topology.credit_queue_pkts, spec.topology.credit_queue_pkts);
+  }
+}
+
+TEST(SpecJson, RoundTripsExpressPassOverrides) {
+  ScenarioSpec spec;
+  xpass::core::ExpressPassConfig xp;
+  xp.jitter = 0.0;
+  xp.naive = true;
+  xp.w_init = 0.25;
+  xp.randomize_credit_size = false;
+  spec.xp = xp;
+  spec.topology.host_credit_shaper_noise = 0.0;
+  spec.topology.credit_queue_pkts = 13;
+  std::string err;
+  auto back = spec_from_json(spec_to_json(spec), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  ASSERT_TRUE(back->xp.has_value());
+  EXPECT_EQ(back->xp->jitter, 0.0);
+  EXPECT_TRUE(back->xp->naive);
+  EXPECT_EQ(back->xp->w_init, 0.25);
+  EXPECT_FALSE(back->xp->randomize_credit_size);
+  ASSERT_TRUE(back->topology.host_credit_shaper_noise.has_value());
+  EXPECT_EQ(*back->topology.host_credit_shaper_noise, 0.0);
+  EXPECT_EQ(back->topology.credit_queue_pkts, std::optional<size_t>(13));
+}
+
+TEST(SpecJson, AbsentMembersKeepDefaults) {
+  std::string err;
+  auto spec = spec_from_json(R"({"schema":"xpass.scenario.v1"})", &err);
+  ASSERT_TRUE(spec.has_value()) << err;
+  const ScenarioSpec defaults;
+  expect_same_spec(*spec, defaults);
+}
+
+TEST(SpecJson, RejectsWrongSchemaAndBadEnums) {
+  std::string err;
+  EXPECT_FALSE(spec_from_json(R"({"schema":"xpass.scenario.v2"})", &err)
+                   .has_value());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_FALSE(
+      spec_from_json(
+          R"({"schema":"xpass.scenario.v1","protocol":"warpdrive"})", &err)
+          .has_value());
+  EXPECT_NE(err.find("warpdrive"), std::string::npos);
+  err.clear();
+  EXPECT_FALSE(
+      spec_from_json(
+          R"({"schema":"xpass.scenario.v1","topology":{"kind":"moebius"}})",
+          &err)
+          .has_value());
+  EXPECT_NE(err.find("moebius"), std::string::npos);
+  err.clear();
+  EXPECT_FALSE(spec_from_json("not json at all", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(SpecJson, TimesSurviveAsExactPicoseconds) {
+  ScenarioSpec spec;
+  spec.base_rtt = Time::ps(123456789);
+  spec.stop = xpass::runner::StopSpec::measure_window(Time::ps(999999999999),
+                                                      Time::ps(1));
+  std::string err;
+  auto back = spec_from_json(spec_to_json(spec), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->base_rtt, spec.base_rtt);
+  EXPECT_EQ(back->stop.warmup, spec.stop.warmup);
+  EXPECT_EQ(back->stop.window, spec.stop.window);
+}
+
+}  // namespace

@@ -1,0 +1,35 @@
+# Replays a fuzzer repro JSON through fuzz_scenarios and asserts the
+# expected verdict. A repro embeds the exact shrunken ScenarioSpec, the
+# injection it failed under, and the oracle that caught it, so the replay is
+# generator-independent: these tests keep passing (i.e. the bug keeps being
+# caught) no matter how the random scenario generator evolves.
+#
+#   cmake -DBIN=<fuzz_scenarios> -DREPRO=<file.json> -DEXPECT_FAIL=<ON|OFF>
+#         -P run_repro.cmake
+#
+# EXPECT_FAIL=ON passes --expect-fail: the replay exits 0 iff the pinned
+# oracle still rejects the injected run (a regression test for a caught
+# bug). OFF asserts a clean replay (a healthy-spec regression test).
+
+foreach(var BIN REPRO)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_repro.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(args --repro ${REPRO})
+if(EXPECT_FAIL)
+  list(APPEND args --expect-fail)
+endif()
+
+execute_process(
+  COMMAND ${BIN} ${args}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "repro replay ${REPRO} exited ${rc} (expect-fail=${EXPECT_FAIL})\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()

@@ -85,6 +85,63 @@ TEST(Args, NumericValidation) {
   EXPECT_NE(args.error().find("--rate"), std::string::npos);
 }
 
+TEST(Args, NegativeU64IsAnErrorNotAWraparound) {
+  // strtoull would happily parse "-1" as 2^64-1; the parser must refuse it
+  // instead of handing a bench 18 quintillion flows.
+  for (auto tokens : {std::vector<std::string>{"--seed=-1"},
+                      std::vector<std::string>{"--seed", "-12"},
+                      std::vector<std::string>{"--seed=+-0"}}) {
+    Argv a(tokens);
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.u64("seed", 7), 7u) << tokens[0];
+    EXPECT_FALSE(args.ok()) << "accepted: " << tokens[0];
+    EXPECT_NE(args.error().find("--seed"), std::string::npos);
+  }
+}
+
+TEST(Args, U64OverflowIsAnError) {
+  // 2^64 and far beyond: out-of-range must fall back + error, not saturate.
+  for (auto tokens :
+       {std::vector<std::string>{"--seed=18446744073709551616"},
+        std::vector<std::string>{"--seed=99999999999999999999999999"}}) {
+    Argv a(tokens);
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.u64("seed", 3), 3u) << tokens[0];
+    EXPECT_FALSE(args.ok()) << "accepted: " << tokens[0];
+  }
+  // The exact maximum is still fine.
+  Argv a({"--seed=18446744073709551615"});
+  Args args(a.argc(), a.argv());
+  EXPECT_EQ(args.u64("seed", 3), 18446744073709551615ull);
+  EXPECT_TRUE(args.ok()) << args.error();
+}
+
+TEST(Args, U64TrailingGarbageAndEmptyAreErrors) {
+  for (auto tokens : {std::vector<std::string>{"--count=12x"},
+                      std::vector<std::string>{"--count=0x10"},
+                      std::vector<std::string>{"--count="},
+                      std::vector<std::string>{"--count", "1 2"}}) {
+    Argv a(tokens);
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.u64("count", 5), 5u) << tokens[0];
+    EXPECT_FALSE(args.ok()) << "accepted: " << tokens[0];
+  }
+}
+
+TEST(Args, F64RejectsNonFinite) {
+  // NaN/inf parse as doubles but are not usable knob values; they must be
+  // refused like malformed text (the Recorder downstream would reject them
+  // anyway — fail at the flag, where the user can see it).
+  for (auto tokens : {std::vector<std::string>{"--load=nan"},
+                      std::vector<std::string>{"--load=inf"},
+                      std::vector<std::string>{"--load=-inf"}}) {
+    Argv a(tokens);
+    Args args(a.argc(), a.argv());
+    EXPECT_DOUBLE_EQ(args.f64("load", 0.25), 0.25) << tokens[0];
+    EXPECT_FALSE(args.ok()) << "accepted: " << tokens[0];
+  }
+}
+
 TEST(Args, UnqueriedFlagReportsUnknown) {
   Argv a({"--fulll"});  // typo of --full
   Args args(a.argc(), a.argv());

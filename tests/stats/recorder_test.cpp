@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "stats/recorder.hpp"
 
 namespace {
@@ -73,6 +76,92 @@ TEST(Recorder, JsonShape) {
   EXPECT_LT(json.find("\"a\":"), json.find("\"b\":"));
   EXPECT_NE(json.find("\"t_sec\": [0.25]"), std::string::npos);
   EXPECT_NE(json.find("\"v\": [3]"), std::string::npos);
+}
+
+TEST(Recorder, RejectsNonFiniteScalars) {
+  Recorder r;
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  r.set("p", 1.0);
+  r.set("p", kNan);  // refused: probe keeps its last good value
+  r.set("p", kInf);
+  r.set("p", -kInf);
+  EXPECT_DOUBLE_EQ(r.scalar("p"), 1.0);
+  r.set("fresh", kNan);  // refused before the probe ever existed
+  EXPECT_FALSE(r.has("fresh"));
+  EXPECT_EQ(r.rejected(), 4u);
+}
+
+TEST(Recorder, RejectsNonFiniteSamplesWholePoint) {
+  Recorder r;
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  r.sample("s", 0.0, 1.0);
+  r.sample("s", 0.1, kNan);          // bad value
+  r.sample("s", kNan, 2.0);          // bad timestamp
+  r.sample("never", kNan, kNan);     // refusal must not create the series
+  const auto& s = r.series().at("s");
+  ASSERT_EQ(s.t_sec.size(), 1u);  // t/v stay aligned: whole point dropped
+  ASSERT_EQ(s.v.size(), 1u);
+  EXPECT_EQ(r.series().count("never"), 0u);
+  EXPECT_EQ(r.rejected(), 3u);
+}
+
+TEST(Recorder, RejectsNonFiniteGaugeReads) {
+  Recorder r;
+  double v = 3.0;
+  r.gauge("g", [&] { return v; });
+  r.series_gauge("sg", [&] { return v; });
+  r.collect();
+  r.sample_all(0.0);
+  v = std::numeric_limits<double>::infinity();
+  r.collect();        // refused: scalar keeps 3.0
+  r.sample_all(1.0);  // refused: no second point
+  EXPECT_DOUBLE_EQ(r.scalar("g"), 3.0);
+  EXPECT_EQ(r.series().at("sg").v.size(), 1u);
+  EXPECT_EQ(r.rejected(), 2u);
+  // The JSON stays parseable — no bare nan/inf tokens ever reach it.
+  const std::string json = r.to_json("nonfinite");
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(Recorder, DuplicateProbeNames) {
+  Recorder r;
+  // Scalars: last push wins.
+  r.set("dup", 1.0);
+  r.set("dup", 2.0);
+  EXPECT_DOUBLE_EQ(r.scalar("dup"), 2.0);
+  // Gauges: re-registration replaces the callback.
+  r.gauge("gdup", [] { return 10.0; });
+  r.gauge("gdup", [] { return 20.0; });
+  r.collect();
+  EXPECT_DOUBLE_EQ(r.scalar("gdup"), 20.0);
+  // A gauge sharing a scalar's name overwrites it at collect() time.
+  r.set("gdup", 5.0);
+  r.collect();
+  EXPECT_DOUBLE_EQ(r.scalar("gdup"), 20.0);
+  // Series gauges under one name both feed the same series, in
+  // registration order: two points per sweep.
+  r.series_gauge("sdup", [] { return 1.0; });
+  r.series_gauge("sdup", [] { return 2.0; });
+  r.sample_all(0.5);
+  const auto& s = r.series().at("sdup");
+  ASSERT_EQ(s.v.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.v[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.v[1], 2.0);
+}
+
+TEST(Recorder, EmptySeriesAndEmptyRecorderJson) {
+  Recorder r;
+  // A registered series gauge that never sampled produces no series entry.
+  r.series_gauge("quiet", [] { return 0.0; });
+  EXPECT_EQ(r.series().count("quiet"), 0u);
+  const std::string empty = r.to_json("empty");
+  EXPECT_NE(empty.find("\"schema\": \"xpass.recorder.v1\""),
+            std::string::npos);
+  EXPECT_NE(empty.find("\"scalars\""), std::string::npos);
+  // CSV of a never-sampled series behaves like a missing one.
+  EXPECT_EQ(r.series_csv("quiet"), "");
 }
 
 TEST(Recorder, SeriesCsv) {
