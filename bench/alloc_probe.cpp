@@ -1,0 +1,82 @@
+#include "bench/alloc_probe.hpp"
+
+#if defined(XPASS_SANITIZE) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__)
+#define XPASS_ALLOC_PROBE_STUB 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define XPASS_ALLOC_PROBE_STUB 1
+#endif
+#endif
+
+#ifndef XPASS_ALLOC_PROBE_STUB
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+// Relaxed atomics: the probe is read single-threaded between runs; the
+// counters only need to not tear when the sweep executor's worker threads
+// allocate concurrently.
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void* counted_alloc(size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void counted_free(void* p) {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+void* operator new(size_t n) { return counted_alloc(n); }
+void* operator new[](size_t n) { return counted_alloc(n); }
+void* operator new(size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](size_t n, const std::nothrow_t&) noexcept {
+  return operator new(n, std::nothrow);
+}
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+namespace xpass::bench {
+
+bool AllocProbe::enabled() { return true; }
+
+AllocProbe::Counts AllocProbe::total() {
+  return Counts{g_allocs.load(std::memory_order_relaxed),
+                g_frees.load(std::memory_order_relaxed),
+                g_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace xpass::bench
+
+#else  // XPASS_ALLOC_PROBE_STUB
+
+namespace xpass::bench {
+
+bool AllocProbe::enabled() { return false; }
+AllocProbe::Counts AllocProbe::total() { return Counts{}; }
+
+}  // namespace xpass::bench
+
+#endif

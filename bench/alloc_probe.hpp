@@ -1,0 +1,43 @@
+// Counting allocator probe: proves the hot path allocation-free.
+//
+// Links a replacement global operator new/delete pair that counts every
+// allocation and free. A scope of interest is bracketed with
+// AllocProbe::mark() / AllocProbe::since(), and a steady-state test asserts
+// the delta is zero — the pooled packets, inline callbacks, ring buffers
+// and recycled event slots together mean a warmed-up simulation should
+// never touch the allocator again, and this probe is the regression gate
+// that keeps it that way.
+//
+// Only translation units linked into a binary that also links
+// alloc_probe.cpp get the counting operators; the library itself is
+// unaffected. Under sanitizers the replacement operators would fight the
+// interceptors, so the probe compiles to inert stubs there (XPASS_SANITIZE
+// or address-sanitizer feature detection) and enabled() reports false.
+#pragma once
+
+#include <cstdint>
+
+namespace xpass::bench {
+
+struct AllocProbe {
+  struct Counts {
+    uint64_t allocs = 0;
+    uint64_t frees = 0;
+    uint64_t bytes = 0;
+  };
+
+  // Whether the counting operators are live in this binary (false under
+  // sanitizers, where the probe is stubbed out).
+  static bool enabled();
+  // Cumulative counters since process start.
+  static Counts total();
+  // Snapshot for delta measurement.
+  static Counts mark() { return total(); }
+  // Counts accrued since `m`.
+  static Counts since(const Counts& m) {
+    const Counts t = total();
+    return Counts{t.allocs - m.allocs, t.frees - m.frees, t.bytes - m.bytes};
+  }
+};
+
+}  // namespace xpass::bench

@@ -28,6 +28,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench/alloc_probe.hpp"
 #include "bench/common.hpp"
 #include "sim/event_queue.hpp"
 
@@ -114,6 +115,7 @@ double now_sec() {
 }
 
 size_t g_ops = 1 << 21;            // primitive cycles per microbench (--ops)
+size_t g_scenario_repeats = 3;     // best-of-N scenario timing (--repeats)
 constexpr size_t kBatch = 4096;    // pending events per drain batch
 
 uint64_t lcg_next(uint64_t& s) {
@@ -193,6 +195,11 @@ struct ScenarioResult {
   size_t flows;
   uint64_t events_fired;
   uint64_t packet_hops;  // sum of tx_packets over every port in the network
+  uint64_t kick_events;   // serializer-free service wakeups (all ports)
+  uint64_t retry_events;  // shaper token-wait retries (all ports)
+  uint64_t wheel_events;  // events routed through the timing wheel
+  uint64_t heap_events;   // events that overflowed to the far-future heap
+  uint64_t hot_path_allocs;  // allocator calls inside the steady window
   double wall_sec;
   double events_per_sec;
   double events_per_hop;
@@ -202,10 +209,14 @@ struct ScenarioResult {
 // `legacy` selects the pre-coalescing port event pattern (a serializer-done
 // event per transmission) so the event diet is measurable in-binary on the
 // identical trajectory; the two modes deliver the same packets at the same
-// times.
-ScenarioResult bench_fig15(size_t n_flows, bool legacy) {
+// times. `backend` selects the event-queue backend (hybrid timing wheel vs
+// heap-only) for the in-binary wheel comparison — the two must fire the
+// identical event sequence.
+ScenarioResult bench_fig15(size_t n_flows, bool legacy,
+                           sim::EventQueue::Backend backend =
+                               sim::EventQueue::Backend::kHybrid) {
   const double t0 = now_sec();
-  sim::Simulator sim(29);
+  sim::Simulator sim(29, backend);
   net::Topology topo(sim);
   auto link = runner::protocol_link_config(
       runner::Protocol::kExpressPass, 10e9, Time::us(1));
@@ -223,25 +234,108 @@ ScenarioResult bench_fig15(size_t n_flows, bool legacy) {
   const Time window = Time::ms(50);
   sim.run_until(warmup);
   driver.rates().snapshot_rates(warmup);
+  const auto alloc_mark = bench::AllocProbe::mark();
   sim.run_until(warmup + window);
+  const uint64_t allocs = bench::AllocProbe::since(alloc_mark).allocs;
   auto rates = driver.rates().snapshot_rates(window);
   double sum = 0;
   for (double x : rates) sum += x;
   ScenarioResult r;
   r.flows = n_flows;
   r.events_fired = sim.events().fired();
+  r.kick_events = 0;
+  r.retry_events = 0;
   r.packet_hops = 0;
   for (size_t n = 0; n < topo.num_nodes(); ++n) {
     net::Node& node = topo.node(static_cast<net::NodeId>(n));
     for (size_t i = 0; i < node.num_ports(); ++i) {
       r.packet_hops += node.port(i).tx_packets();
+      r.kick_events += node.port(i).kick_events();
+      r.retry_events += node.port(i).retry_events();
     }
   }
+  r.wheel_events = sim.events().wheel_scheduled();
+  r.heap_events = sim.events().heap_scheduled();
+  r.hot_path_allocs = allocs;
   driver.stop_all();
   r.wall_sec = now_sec() - t0;
   r.events_per_sec = static_cast<double>(r.events_fired) / r.wall_sec;
   r.events_per_hop = static_cast<double>(r.events_fired) /
                      static_cast<double>(r.packet_hops);
+  r.goodput_gbps = sum / 1e9;
+  return r;
+}
+
+// ---- Multi-hop chain with train delivery: the sub-event-per-hop row ------
+//
+// fig15's dumbbell can never honestly go below one event per packet-hop:
+// every packet crosses only two links, so per-packet transport work (credit
+// handling, pacing timers) amortizes over almost nothing. A parking-lot
+// chain pushes one long flow across n_links+2 store-and-forward hops with
+// train delivery on every link: deliveries coalesce into one drain per
+// window and backlogged data transmits in serializer bursts, so the
+// events/packet-hop ratio drops below 1 — the metric BENCH_hotpath gates.
+
+struct ChainResult {
+  size_t links;
+  uint64_t events_fired;
+  uint64_t packet_hops;
+  uint64_t train_events;
+  uint64_t train_frames;
+  uint64_t hot_path_allocs;
+  double wall_sec;
+  double events_per_hop;
+  double coalesce_factor;  // frames delivered per drain event
+  double goodput_gbps;
+};
+
+ChainResult bench_chain(size_t n_links) {
+  const double t0 = now_sec();
+  sim::Simulator sim(29);
+  net::Topology topo(sim);
+  auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  link.train_window = Time::us(10);  // ~8 full-MTU serializations at 10G
+  auto pl = net::build_parking_lot(topo, n_links, link, link);
+  auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  bench::FlowSpecBuilder fb;
+  driver.add(fb.make(pl.long_src, pl.long_dst, transport::kLongRunning,
+                     Time::zero()));
+  const Time warmup = Time::ms(20);
+  const Time window = Time::ms(50);
+  sim.run_until(warmup);
+  driver.rates().snapshot_rates(warmup);
+  const auto alloc_mark = bench::AllocProbe::mark();
+  sim.run_until(warmup + window);
+  const uint64_t allocs = bench::AllocProbe::since(alloc_mark).allocs;
+  auto rates = driver.rates().snapshot_rates(window);
+  double sum = 0;
+  for (double x : rates) sum += x;
+  ChainResult r;
+  r.links = n_links;
+  r.events_fired = sim.events().fired();
+  r.packet_hops = 0;
+  r.train_events = 0;
+  r.train_frames = 0;
+  for (size_t n = 0; n < topo.num_nodes(); ++n) {
+    net::Node& node = topo.node(static_cast<net::NodeId>(n));
+    for (size_t i = 0; i < node.num_ports(); ++i) {
+      r.packet_hops += node.port(i).tx_packets();
+      r.train_events += node.port(i).train_events();
+      r.train_frames += node.port(i).train_frames();
+    }
+  }
+  r.hot_path_allocs = allocs;
+  driver.stop_all();
+  r.wall_sec = now_sec() - t0;
+  r.events_per_hop = static_cast<double>(r.events_fired) /
+                     static_cast<double>(r.packet_hops);
+  r.coalesce_factor = r.train_events == 0
+                          ? 0.0
+                          : static_cast<double>(r.train_frames) /
+                                static_cast<double>(r.train_events);
   r.goodput_gbps = sum / 1e9;
   return r;
 }
@@ -334,6 +428,12 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--ops=", 6) == 0) {
       const long v = std::strtol(argv[i] + 6, nullptr, 10);
       if (v >= 1) g_ops = static_cast<size_t>(v);
+    } else if (std::strncmp(argv[i], "--repeats=", 10) == 0) {
+      // Scenario timings take the min over N runs; the trajectory is
+      // deterministic, so more repeats only sharpen the wall-clock estimate
+      // on a noisy (shared-core) host. Counts are identical either way.
+      const long v = std::strtol(argv[i] + 10, nullptr, 10);
+      if (v >= 1) g_scenario_repeats = static_cast<size_t>(v);
     } else if (std::strncmp(argv[i], "--sweep-jobs=", 13) == 0) {
       const long v = std::strtol(argv[i] + 13, nullptr, 10);
       if (v >= 1) sweep_jobs = static_cast<size_t>(v);
@@ -370,14 +470,23 @@ int main(int argc, char** argv) {
               sf / seed_sf, sc / seed_sc, ch / seed_ch);
 
   std::printf("fig15 flow-scalability scenario (ExpressPass, dumbbell, "
-              "best of 3)...\n");
+              "best of %zu)...\n", g_scenario_repeats);
   // The scenario is deterministic — every repeat fires the identical event
-  // sequence — so best-of-3 only filters scheduler noise out of wall_sec,
+  // sequence — so best-of-N only filters scheduler noise out of wall_sec,
   // exactly as for the microbenches above.
   const auto best_fig15 = [](size_t flows, bool legacy_mode) {
     ScenarioResult best = bench_fig15(flows, legacy_mode);
-    for (int i = 0; i < 2; ++i) {
+    for (size_t i = 1; i < g_scenario_repeats; ++i) {
       ScenarioResult r = bench_fig15(flows, legacy_mode);
+      if (r.wall_sec < best.wall_sec) best = r;
+    }
+    return best;
+  };
+  const auto best_fig15_backend = [](size_t flows,
+                                     sim::EventQueue::Backend b) {
+    ScenarioResult best = bench_fig15(flows, false, b);
+    for (size_t i = 1; i < g_scenario_repeats; ++i) {
+      ScenarioResult r = bench_fig15(flows, false, b);
       if (r.wall_sec < best.wall_sec) best = r;
     }
     return best;
@@ -400,7 +509,42 @@ int main(int argc, char** argv) {
                 l.events_per_sec / 1e6, l.events_per_hop,
                 100.0 * (1.0 - static_cast<double>(r.events_fired) /
                                    static_cast<double>(l.events_fired)));
+    std::printf("       breakdown: %llu kicks, %llu shaper retries, "
+                "%.1f%% wheel-routed, %llu hot-path allocs\n",
+                static_cast<unsigned long long>(r.kick_events),
+                static_cast<unsigned long long>(r.retry_events),
+                100.0 * static_cast<double>(r.wheel_events) /
+                    static_cast<double>(r.wheel_events + r.heap_events),
+                static_cast<unsigned long long>(r.hot_path_allocs));
   }
+
+  // In-binary wheel-vs-heap: the hybrid backend must fire the identical
+  // event sequence as the heap-only backend (the wheel is a pure scheduling
+  // structure swap), and not be slower.
+  std::printf("wheel-vs-heap backend comparison (fig15, 64 flows)...\n");
+  const ScenarioResult heap_only = best_fig15_backend(
+      64, sim::EventQueue::Backend::kHeapOnly);
+  const bool wheel_identical =
+      heap_only.events_fired == scen[0].events_fired &&
+      heap_only.packet_hops == scen[0].packet_hops &&
+      heap_only.goodput_gbps == scen[0].goodput_gbps;
+  std::printf("  hybrid %.2fs vs heap-only %.2fs (%.2fx); trajectories %s\n",
+              scen[0].wall_sec, heap_only.wall_sec,
+              heap_only.wall_sec / scen[0].wall_sec,
+              wheel_identical ? "identical" : "DIVERGED");
+
+  std::printf("multi-hop chain, train delivery (parking lot, 6 links)...\n");
+  ChainResult chain = bench_chain(6);
+  for (size_t i = 1; i < g_scenario_repeats; ++i) {
+    ChainResult c = bench_chain(6);
+    if (c.wall_sec < chain.wall_sec) chain = c;
+  }
+  std::printf("  %llu events / %llu hops = %.3f ev/hop, %.1f frames/drain, "
+              "goodput %.2fG, %llu hot-path allocs\n",
+              static_cast<unsigned long long>(chain.events_fired),
+              static_cast<unsigned long long>(chain.packet_hops),
+              chain.events_per_hop, chain.coalesce_factor, chain.goodput_gbps,
+              static_cast<unsigned long long>(chain.hot_path_allocs));
 
   SweepResult sweep;
   if (run_sweep) {
@@ -471,7 +615,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(h, "{\n");
   std::fprintf(h, "  \"bench\": \"hotpath\",\n");
-  std::fprintf(h, "  \"schema_version\": 1,\n");
+  std::fprintf(h, "  \"schema_version\": 2,\n");
+  std::fprintf(h, "  \"alloc_probe_enabled\": %s,\n",
+               bench::AllocProbe::enabled() ? "true" : "false");
   std::fprintf(h, "  \"fig15\": [\n");
   for (size_t i = 0; i < scen.size(); ++i) {
     const ScenarioResult& r = scen[i];
@@ -490,6 +636,16 @@ int main(int argc, char** argv) {
     std::fprintf(h, "      \"events_per_sec\": %.0f,\n", r.events_per_sec);
     std::fprintf(h, "      \"events_per_hop\": %.3f,\n", r.events_per_hop);
     std::fprintf(h, "      \"goodput_gbps\": %.2f,\n", r.goodput_gbps);
+    std::fprintf(h, "      \"kick_events\": %llu,\n",
+                 static_cast<unsigned long long>(r.kick_events));
+    std::fprintf(h, "      \"retry_events\": %llu,\n",
+                 static_cast<unsigned long long>(r.retry_events));
+    std::fprintf(h, "      \"wheel_events\": %llu,\n",
+                 static_cast<unsigned long long>(r.wheel_events));
+    std::fprintf(h, "      \"heap_events\": %llu,\n",
+                 static_cast<unsigned long long>(r.heap_events));
+    std::fprintf(h, "      \"hot_path_allocs\": %llu,\n",
+                 static_cast<unsigned long long>(r.hot_path_allocs));
     std::fprintf(h, "      \"legacy\": {\"events_fired\": %llu, "
                     "\"wall_sec\": %.3f, \"events_per_sec\": %.0f, "
                     "\"events_per_hop\": %.3f},\n",
@@ -510,6 +666,24 @@ int main(int argc, char** argv) {
     std::fprintf(h, "    }%s\n", i + 1 < scen.size() ? "," : "");
   }
   std::fprintf(h, "  ],\n");
+  std::fprintf(h, "  \"wheel_vs_heap\": {\"flows\": 64, "
+                  "\"wall_hybrid_sec\": %.3f, \"wall_heap_sec\": %.3f, "
+                  "\"identical_trajectory\": %s},\n",
+               scen[0].wall_sec, heap_only.wall_sec,
+               wheel_identical ? "true" : "false");
+  std::fprintf(h, "  \"chain\": {\"links\": %zu, \"events_fired\": %llu, "
+                  "\"packet_hops\": %llu, \"events_per_hop\": %.3f, "
+                  "\"train_events\": %llu, \"train_frames\": %llu, "
+                  "\"coalesce_factor\": %.2f, \"goodput_gbps\": %.2f, "
+                  "\"hot_path_allocs\": %llu},\n",
+               chain.links,
+               static_cast<unsigned long long>(chain.events_fired),
+               static_cast<unsigned long long>(chain.packet_hops),
+               chain.events_per_hop,
+               static_cast<unsigned long long>(chain.train_events),
+               static_cast<unsigned long long>(chain.train_frames),
+               chain.coalesce_factor, chain.goodput_gbps,
+               static_cast<unsigned long long>(chain.hot_path_allocs));
   if (run_sweep) {
     std::fprintf(h, "  \"sweep\": {\"points\": %zu, \"jobs\": %zu, "
                     "\"wall_jobs1_sec\": %.3f, \"wall_jobsN_sec\": %.3f, "

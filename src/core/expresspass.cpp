@@ -1,6 +1,8 @@
 #include "core/expresspass.hpp"
 
 #include <algorithm>
+
+#include "net/packet_pool.hpp"
 #include <string>
 
 namespace xpass::core {
@@ -54,8 +56,7 @@ void ExpressPassConnection::stop() {
   sim_.cancel(credit_timer_);
   sim_.cancel(feedback_timer_);
   sim_.cancel(request_timer_);
-  for (const sim::TimerId& id : release_timers_) sim_.cancel(id);
-  release_timers_.clear();
+  while (!release_timers_.empty()) sim_.cancel(release_timers_.pop_front());
   credits_running_ = false;
 }
 
@@ -168,10 +169,12 @@ void ExpressPassConnection::sender_on_packet(Packet&& p) {
   // Releases fire in FIFO order (times are non-decreasing and ties fire in
   // scheduling order), so this event is release_timers_.front() when it
   // runs.
+  // The waiting data frame sits in a pool slot, not in the callback capture:
+  // [this + one pointer] stays within the event queue's inline buffer.
   release_timers_.push_back(
-      sim_.at(release, [this, d = std::move(data)]() mutable {
+      sim_.at(release, [this, d = net::PacketRef(std::move(data))]() mutable {
         release_timers_.pop_front();
-        spec_.src->send(std::move(d));
+        spec_.src->send(std::move(*d));
       }));
 }
 

@@ -15,11 +15,11 @@
 //     regresses below what was sent, the sender goes back and resends).
 #pragma once
 
-#include <deque>
 #include <map>
 
 #include "core/feedback.hpp"
 #include "net/packet.hpp"
+#include "net/ring_buffer.hpp"
 #include "transport/connection.hpp"
 
 namespace xpass::core {
@@ -135,7 +135,9 @@ class ExpressPassConnection : public transport::Connection {
   // Scheduled host-release sends, oldest first (releases are FIFO, so the
   // front is always the next to fire). Cancelled in stop(): a connection
   // destroyed with a release in flight must not fire into freed memory.
-  std::deque<sim::TimerId> release_timers_;
+  // RingBuffer rather than std::deque: a deque in steady state allocates and
+  // frees a block every few hundred releases; the ring recycles its slots.
+  net::RingBuffer<sim::TimerId> release_timers_;
   bool any_credit_seen_ = false;
 
   // Receiver state (Fig 7b).

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <type_traits>
 
 #include "sim/time.hpp"
 
@@ -48,8 +49,23 @@ std::string_view to_string(PktType t);
 
 inline bool is_credit_class(PktType t) { return t == PktType::kCredit; }
 
+// Packed to exactly one cache line (64B, trivially copyable): packets are
+// stored by value in the ring-buffer queues and in event captures, so the
+// layout is what every enqueue/dequeue/delivery copies. The flag booleans
+// are single-bit fields sharing one byte (field syntax `p.ecn_ce = true`
+// unchanged); the old layout padded them to 8 bytes mid-struct.
 struct Packet {
   PktType type = PktType::kData;
+  // Traffic class for multi-class credit scheduling (§7: QoS is enforced on
+  // *credits* — weighting credit classes weights the data they admit).
+  uint8_t credit_class = 0;
+  bool ecn_ce : 1 = false;  // congestion experienced (set by switch queues)
+  bool ece : 1 = false;     // echoed by receiver in ACKs
+  bool fin : 1 = false;     // last data packet of the flow
+  // FCS-breaking bit error (fault injection). The frame still spends wire
+  // time and buffer space; switches forward it (cut-through does not
+  // validate FCS) and the receiving host discards it on checksum.
+  bool corrupted : 1 = false;
   FlowId flow = 0;
   NodeId src = 0;  // source host of *this packet* (not of the flow)
   NodeId dst = 0;
@@ -61,21 +77,12 @@ struct Packet {
                      // credit: cumulative bytes received (receiver-driven
                      // loss recovery, see core/sender)
 
-  bool ecn_ce = false;  // congestion experienced (set by switch queues)
-  bool ece = false;     // echoed by receiver in ACKs
-  bool fin = false;     // last data packet of the flow
-  // FCS-breaking bit error (fault injection). The frame still spends wire
-  // time and buffer space; switches forward it (cut-through does not
-  // validate FCS) and the receiving host discards it on checksum.
-  bool corrupted = false;
-  // Traffic class for multi-class credit scheduling (§7: QoS is enforced on
-  // *credits* — weighting credit classes weights the data they admit).
-  uint8_t credit_class = 0;
-
   double rcp_rate_bps = 0.0;  // 0 = unset; min of per-port RCP rates on path
   sim::Time ts;               // sender timestamp, echoed for RTT measurement
   sim::Time queue_delay;      // accumulated queuing delay (DX feedback)
 };
+static_assert(sizeof(Packet) == 64, "Packet must stay one cache line");
+static_assert(std::is_trivially_copyable_v<Packet>);
 
 // Convenience constructors ------------------------------------------------
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/node.hpp"
+#include "net/packet_pool.hpp"
 
 namespace xpass::net {
 
@@ -115,6 +116,7 @@ void Port::schedule_kick() {
   kick_pending_ = true;
   sim_.at(free_at_, [this] {
     kick_pending_ = false;
+    ++kick_events_;
     try_transmit();
   });
 }
@@ -137,6 +139,7 @@ void Port::try_transmit() {
       (!shape_credits_ || credit_shaper_.try_consume(cost, now))) {
     pkt = credit_qs_[cls].dequeue(now);
     class_served_[cls] += pkt.wire_bytes;
+    rebase_credit_accumulators();
     ++tx_credits_;
   } else if (!data_q_.empty() && !data_paused()) {
     pkt = data_q_.dequeue(now);
@@ -152,6 +155,7 @@ void Port::try_transmit() {
       retry_pending_ = true;
       sim_.after(wait, [this] {
         retry_pending_ = false;
+        ++retry_events_;
         try_transmit();
       });
     }
@@ -164,15 +168,98 @@ void Port::try_transmit() {
   tx_bytes_ += pkt.wire_bytes;
   const sim::Time tx = sim::tx_time(pkt.wire_bytes, cfg_.rate_bps);
   free_at_ = now + tx;
+  assert(peer_ != nullptr && "port not connected");
+  if (cfg_.train_window > sim::Time::zero()) {
+    // Train mode: park the frame on the wire FIFO; one drain event per
+    // train delivers every frame whose arrival falls inside the window.
+    wire_fifo_.push_back(WireFrame{free_at_ + cfg_.prop_delay,
+                                   PacketRef(std::move(pkt))});
+    // Burst service: when no credit is contending for the serializer, the
+    // rest of the data backlog transmits in this same event — each frame's
+    // wire arrival stays exact (free_at_ advances per frame), but the
+    // per-frame serializer-done kicks vanish. Without this, coalescing
+    // deliveries just converts delivery events into kick events one-for-one
+    // on backlogged ports. (Approximation: a credit arriving mid-burst
+    // window waits out the burst instead of preempting between frames.)
+    if (pick_credit_class() == SIZE_MAX) {
+      while (!data_q_.empty() && !data_paused()) {
+        Packet d = data_q_.dequeue(now);
+        ++tx_packets_;
+        tx_bytes_ += d.wire_bytes;
+        tx_data_bytes_ += d.wire_bytes;
+        check_pfc();
+        free_at_ = free_at_ + sim::tx_time(d.wire_bytes, cfg_.rate_bps);
+        wire_fifo_.push_back(WireFrame{free_at_ + cfg_.prop_delay,
+                                       PacketRef(std::move(d))});
+      }
+    } else if (data_q_.empty()) {
+      // Credit-only burst (the reverse path of a chain): serve the whole
+      // shaped backlog in this event by computing each credit's exact token
+      // departure analytically. Arrivals on the wire are identical to the
+      // retry-per-credit schedule — time_until rounds up, so the consume at
+      // the computed instant always succeeds — but a backlog of k credits
+      // costs one event instead of k retries. WFQ interleaving is preserved
+      // (class selection re-runs per credit against the updated deficits).
+      sim::Time depart = free_at_;
+      size_t bcls;
+      while ((bcls = pick_credit_class()) != SIZE_MAX) {
+        const double bcost = credit_cost(bcls);
+        if (shape_credits_) {
+          const sim::Time wait = credit_shaper_.time_until(bcost, depart);
+          if (wait == TokenBucket::kNever) break;
+          depart = depart + wait;
+          if (!credit_shaper_.try_consume(bcost, depart)) break;
+        }
+        Packet c = credit_qs_[bcls].dequeue(now);
+        class_served_[bcls] += c.wire_bytes;
+        rebase_credit_accumulators();
+        ++tx_credits_;
+        ++tx_packets_;
+        tx_bytes_ += c.wire_bytes;
+        free_at_ = depart + sim::tx_time(c.wire_bytes, cfg_.rate_bps);
+        depart = free_at_;
+        wire_fifo_.push_back(WireFrame{free_at_ + cfg_.prop_delay,
+                                       PacketRef(std::move(c))});
+      }
+    }
+    if (cfg_.legacy_tx_events || work_queued()) schedule_kick();
+    schedule_train_drain();
+    return;
+  }
   // One event per transmission: the delivery at tx+prop. A serializer-done
   // kick is added only when something is already waiting to be served then
   // (scheduled before the delivery, preserving the legacy event order for
   // same-timestamp ties).
   if (cfg_.legacy_tx_events || work_queued()) schedule_kick();
-  assert(peer_ != nullptr && "port not connected");
-  sim_.after(tx + cfg_.prop_delay, [this, p = std::move(pkt)]() mutable {
-    deliver_to_peer(std::move(p));
-  });
+  // The packet rides the wire in a pool slot: the capture is [this + one
+  // pointer], which stays inside the event queue's inline callback buffer
+  // (a by-value Packet capture would spill to the allocator every hop).
+  sim_.after(tx + cfg_.prop_delay,
+             [this, r = PacketRef(std::move(pkt))]() mutable {
+               deliver_to_peer(std::move(*r));
+             });
+}
+
+void Port::schedule_train_drain() {
+  if (train_pending_ || wire_fifo_.empty()) return;
+  train_pending_ = true;
+  sim_.at(wire_fifo_.front().arrival + cfg_.train_window,
+          [this] { drain_train(); });
+}
+
+void Port::drain_train() {
+  train_pending_ = false;
+  ++train_events_;
+  const sim::Time now = sim_.now();
+  // Deliver in arrival order, but only frames that have truly reached the
+  // peer by now — a train longer than the window leaves its tail for the
+  // next drain, so no frame is ever delivered before its wire arrival.
+  while (!wire_fifo_.empty() && wire_fifo_.front().arrival <= now) {
+    WireFrame f = wire_fifo_.pop_front();
+    ++train_frames_;
+    deliver_to_peer(std::move(*f.pkt));
+  }
+  schedule_train_drain();
 }
 
 void Port::deliver_to_peer(Packet&& p) {
@@ -257,6 +344,48 @@ void Port::rebaseline_credit_class(size_t cls) {
   if (min_key > 0.0) {
     class_served_[cls] =
         std::max(class_served_[cls], min_key * class_weights_[cls]);
+  }
+}
+
+void Port::rebase_credit_accumulators() {
+  // Keep the served-byte accumulators bounded. The scheduler compares
+  // normalized keys served[i]/weight[i], so the only rebase that preserves
+  // the scheduling order is a *virtual-time* shift: subtract weight[i] * V
+  // from every class, where V is the smallest backlogged normalized key.
+  // (Subtracting a common byte count instead would shift each key by a
+  // different amount — min/w[i] — and reorder unequal-weight classes.)
+  // Without the rebase the accumulators only ever grow; past ~2^53 bytes a
+  // double can no longer represent +84-byte increments, the largest (i.e.
+  // highest-weight) accumulator freezes first, and its class monopolizes the
+  // shaped bandwidth — starving low-weight classes on long campaigns.
+  if (class_served_.size() == 1) {
+    // Single class: the accumulator is never compared, only displayed.
+    if (class_served_[0] > cfg_.wfq_rebase_bytes) class_served_[0] = 0.0;
+    return;
+  }
+  double max_served = class_served_[0];
+  for (double v : class_served_) max_served = std::max(max_served, v);
+  if (max_served <= cfg_.wfq_rebase_bytes) return;
+  double v_min = -1.0;
+  for (size_t i = 0; i < credit_qs_.size(); ++i) {
+    if (credit_qs_[i].empty()) continue;
+    const double key = class_served_[i] / class_weights_[i];
+    if (v_min < 0.0 || key < v_min) v_min = key;
+  }
+  if (v_min < 0.0) {
+    // Nothing backlogged (the serve that crossed the threshold emptied the
+    // last queue): anchor on the global max so everything rebases to ~0.
+    // Idle classes are re-anchored by rebaseline_credit_class on return, so
+    // their exact residue is irrelevant.
+    for (size_t i = 0; i < class_served_.size(); ++i) {
+      v_min = std::max(v_min, class_served_[i] / class_weights_[i]);
+    }
+  }
+  // Backlogged keys sit within one credit of V (WFQ serves the minimum), so
+  // their rebased values restart near zero; stale idle classes clamp at 0.
+  for (size_t i = 0; i < class_served_.size(); ++i) {
+    class_served_[i] =
+        std::max(0.0, class_served_[i] - class_weights_[i] * v_min);
   }
 }
 

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "net/link_error.hpp"
+#include "net/packet_pool.hpp"
 #include "net/queue.hpp"
+#include "net/ring_buffer.hpp"
 #include "net/token_bucket.hpp"
 #include "sim/simulator.hpp"
 
@@ -85,6 +87,27 @@ struct LinkConfig {
   bool pfc = false;
   uint64_t pfc_pause_bytes = 150'000;
   uint64_t pfc_resume_bytes = 75'000;
+  // WFQ accumulator rebase threshold. The per-class served-byte
+  // accumulators only ever grow; past ~2^53 bytes a double can no longer
+  // represent +84-byte increments and low-weight classes starve. When the
+  // largest accumulator crosses this many bytes, the current virtual time
+  // (minimum served/weight key) is subtracted from every class in weight
+  // units — only relative deficits matter for the scheduling order, so the
+  // rebase is behavior-neutral while keeping the values far below the
+  // quantization cliff. (Tests shrink it to exercise the path.)
+  double wfq_rebase_bytes = 1.1e12;  // ~1 TB served, hours of sim time
+  // Train delivery coalescing. When > 0, back-to-back frames on this link
+  // share delivery events: each frame's wire arrival is queued in a per-port
+  // FIFO and a single drain event — scheduled `train_window` after the
+  // oldest undelivered arrival — hands every frame that has arrived by then
+  // to the peer, in arrival order. A saturated link delivers a whole
+  // serializer train per event instead of one frame each, which is what
+  // pushes multi-hop scenarios below one event per packet-hop. This is an
+  // *approximation*: a frame's delivery is deferred by up to train_window
+  // past its true arrival instant (choose it well under the RTT scales that
+  // matter — a few frame times). Zero = exact per-frame delivery (default;
+  // all golden scenarios run exact).
+  sim::Time train_window = sim::Time::zero();
   // Pre-coalescing event pattern: schedule a serializer-done wakeup for
   // every transmission, even when nothing is waiting to follow it. The
   // default self-scheduling path skips that event whenever the port's
@@ -125,6 +148,10 @@ class Port {
   const CreditQueue& credit_queue() const { return credit_qs_[0]; }
   CreditQueue& credit_queue(size_t cls) { return credit_qs_[cls]; }
   size_t num_credit_classes() const { return credit_qs_.size(); }
+  // WFQ served-byte accumulators (post-rebase relative values; tests).
+  const std::vector<double>& credit_class_served() const {
+    return class_served_;
+  }
 
   // RCP support: switches with RCP enabled update/stamp through these.
   void enable_rcp(sim::Time d0);
@@ -134,6 +161,14 @@ class Port {
   uint64_t tx_bytes() const { return tx_bytes_; }
   uint64_t tx_data_bytes() const { return tx_data_bytes_; }
   uint64_t tx_credits() const { return tx_credits_; }
+  // Event-accounting introspection (BENCH_hotpath breakdown columns):
+  // serializer-free service wakeups and shaper token-wait retries fired.
+  uint64_t kick_events() const { return kick_events_; }
+  uint64_t retry_events() const { return retry_events_; }
+  // Train-mode drain events fired and frames they delivered (frames per
+  // drain is the coalescing factor; zero/zero in exact mode).
+  uint64_t train_events() const { return train_events_; }
+  uint64_t train_frames() const { return train_frames_; }
 
   // PFC: pause/unpause *data* transmission out of this port (credits and
   // control packets keep flowing — they are a different priority class).
@@ -181,6 +216,10 @@ class Port {
   // Runs at wire-arrival time: applies link failure / error-model fate,
   // then hands the frame to the peer's owner.
   void deliver_to_peer(Packet&& p);
+  // Train mode: arm the single outstanding drain event (at the oldest
+  // queued arrival + train_window), and the drain itself.
+  void schedule_train_drain();
+  void drain_train();
   void rcp_update();
   // PFC threshold checks on this egress queue; pauses/resumes the owning
   // switch's ingress links.
@@ -191,6 +230,9 @@ class Port {
   // Re-anchors an idle class's WFQ deficit as it becomes backlogged, so a
   // long-idle class cannot monopolize the shaped credit bandwidth.
   void rebaseline_credit_class(size_t cls);
+  // Keeps the served-byte accumulators bounded (relative deficits only);
+  // see LinkConfig::wfq_rebase_bytes.
+  void rebase_credit_accumulators();
   // Shaper cost of the head credit of class `cls` (includes the host
   // software-limiter noise, deterministic per credit).
   double credit_cost(size_t cls) const;
@@ -215,6 +257,16 @@ class Port {
   // when queued work will actually be waiting there (self-scheduling; see
   // LinkConfig::legacy_tx_events).
   sim::Time free_at_;
+  // Train mode: frames on the wire awaiting the coalesced drain event. Each
+  // entry records its true wire-arrival instant; the drain only delivers
+  // frames whose arrival has passed, so causality holds even when a train
+  // outlasts its window.
+  struct WireFrame {
+    sim::Time arrival;
+    PacketRef pkt;
+  };
+  RingBuffer<WireFrame> wire_fifo_;
+  bool train_pending_ = false;
   bool kick_pending_ = false;
   bool retry_pending_ = false;
   uint32_t pause_count_ = 0;
@@ -229,6 +281,10 @@ class Port {
   uint64_t tx_bytes_ = 0;
   uint64_t tx_data_bytes_ = 0;
   uint64_t tx_credits_ = 0;
+  uint64_t kick_events_ = 0;
+  uint64_t retry_events_ = 0;
+  uint64_t train_events_ = 0;
+  uint64_t train_frames_ = 0;
 };
 
 }  // namespace xpass::net

@@ -1,6 +1,7 @@
 #include "net/token_bucket.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace xpass::net {
 
@@ -25,9 +26,23 @@ sim::Time TokenBucket::time_until(double bytes, sim::Time now) {
   if (rate_ <= 0.0) return kNever;
   const double wait_sec = deficit / rate_;
   if (wait_sec > kMaxWaitSec) return kNever;
-  // Never round down to zero: a 0-wait answer to a failed try_consume would
-  // spin the caller's retry loop at the same timestamp forever.
-  return std::max(sim::Time::seconds(wait_sec), sim::Time::ps(1));
+  // Round the wait UP to the next picosecond. Time::seconds() rounds to
+  // nearest, so a wakeup computed from deficit/rate could land 1 ps before
+  // the tokens actually suffice; the rescheduled try_consume then fails and
+  // the shaper burns a spurious retry event for every credit it emits.
+  // (The 1 ps floor also keeps a failed try_consume from retrying at the
+  // same timestamp forever.)
+  sim::Time wait = std::max(
+      sim::Time::ps(static_cast<int64_t>(std::ceil(wait_sec * 1e12))),
+      sim::Time::ps(1));
+  // ceil() in double can still be a hair early once wait_sec itself was
+  // rounded; verify against the same arithmetic try_consume will use and
+  // nudge forward until the retry is guaranteed to succeed.
+  while (tokens_ + wait.to_sec() * rate_ + 1e-9 < bytes &&
+         wait < sim::Time::seconds(kMaxWaitSec)) {
+    wait += sim::Time::ps(1);
+  }
+  return wait;
 }
 
 }  // namespace xpass::net

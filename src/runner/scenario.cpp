@@ -188,7 +188,9 @@ bool is_expresspass(Protocol p) {
 }  // namespace
 
 ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec) const {
-  sim::Simulator sim(spec.seed);
+  sim::Simulator sim(spec.seed, spec.heap_only_events
+                                    ? sim::EventQueue::Backend::kHeapOnly
+                                    : sim::EventQueue::Backend::kHybrid);
   net::Topology topo(sim);
 
   const TopologySpec& ts = spec.topology;

@@ -160,6 +160,12 @@ struct ScenarioSpec {
   FaultScenario faults;
   uint64_t fault_seed = kDefaultFaultSeed;
   bool check_invariants = false;
+  // Event-queue backend selector. The default hybrid queue routes near-term
+  // events through the timing wheel; heap-only forces the pure 4-ary heap.
+  // The two must produce byte-identical recorder output (the wheel is a
+  // scheduling-structure swap, not a semantic change) — tests flip this to
+  // prove it.
+  bool heap_only_events = false;
 };
 
 // --- The result -----------------------------------------------------------

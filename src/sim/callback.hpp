@@ -5,11 +5,12 @@
 // targets (so captures holding a Packet force a copy constructor into
 // existence) and it heap-allocates anything past its tiny SSO buffer —
 // which, at libstdc++'s 16 bytes, is every capture larger than two
-// pointers. Callback instead reserves enough inline storage for the
-// largest hot-path capture in the simulator: the port-to-port packet
-// forwarding lambda (a Port* plus a ~72-byte net::Packet), so scheduling a
-// packet hop never touches the allocator. Targets that still exceed the
-// buffer (or are not nothrow-movable) fall back to the heap transparently.
+// pointers. Callback instead reserves enough inline storage for every
+// hot-path capture in the simulator — a handful of pointers and timestamps;
+// in-flight packets ride in net::PacketPool slots and are captured as one
+// pointer — so scheduling a packet hop never touches the allocator.
+// Targets that still exceed the buffer (or are not nothrow-movable) fall
+// back to the heap transparently.
 //
 // Move-only targets are supported — a lambda capturing a std::unique_ptr
 // or a moved-in Packet schedules directly, no shared_ptr shims.
@@ -24,8 +25,10 @@ namespace xpass::sim {
 
 class Callback {
  public:
-  // Sized so [Port* peer, net::Packet p] fits inline; see header comment.
-  static constexpr size_t kInlineCapacity = 104;
+  // Six pointer-sized words: fits [this + PacketRef] forwarding captures
+  // and every timer capture on the hot path, at a third of the event-slot
+  // footprint the old packet-by-value sizing (104B) required.
+  static constexpr size_t kInlineCapacity = 48;
 
   Callback() = default;
   Callback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)

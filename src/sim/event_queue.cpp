@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -37,15 +39,39 @@ void EventQueue::release_slot(uint32_t idx) {
 }
 
 TimerId EventQueue::schedule(Time t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
+  if (t < now_) {
+    // The documented contract is t >= now(). A past-time event would fire
+    // out of order relative to events already fired at now() and break the
+    // FIFO-determinism contract, so it is clamped to now() — it still fires
+    // after everything already scheduled at now(), in scheduling order.
+    // Under the sanitize preset the offending call site is a bug to fix,
+    // not to paper over: fail loudly at the source.
+#ifdef XPASS_SANITIZE
+    std::fprintf(stderr,
+                 "EventQueue::schedule: past-time schedule (t=%lld ps < "
+                 "now=%lld ps)\n",
+                 static_cast<long long>(t.picos()),
+                 static_cast<long long>(now_.picos()));
+    std::abort();
+#else
+    t = now_;
+#endif
+  }
   const uint32_t idx = acquire_slot();
   Slot& s = slots_[idx];
   s.cb = std::move(cb);
   s.armed = true;
-  // Deferred heapification: the entry sits in the unsorted staging buffer
-  // until the queue is next stepped or peeked. If it is cancelled before
-  // then (teardown, RTO reschedule), it never costs a sift at all.
-  staging_.push_back(Entry{t, (next_seq_++ << kSlotBits) | idx});
+  const uint64_t key = (next_seq_++ << kSlotBits) | idx;
+  // Deferred routing: the entry sits in the unsorted staging buffer until
+  // the queue is next stepped, and only then picks wheel vs heap. An event
+  // cancelled before that (teardown, RTO reschedule) is dropped at flush
+  // without ever paying a wheel insert or a heap sift. Routing at flush
+  // time is trace-identical to routing at schedule time: now() and the
+  // wheel's tick cursor advance only when an event fires, and every staged
+  // entry is flushed before the next fire, so the wheel sees the same
+  // acceptance window either way — and fire order is the (t, seq) minimum
+  // across both structures regardless of where an entry landed.
+  staging_.push_back(Entry{t, key});
   ++live_count_;
   return TimerId{idx, s.gen};
 }
@@ -85,27 +111,73 @@ void EventQueue::fire_top() {
   cb();
 }
 
+const TimingWheel::Entry* EventQueue::next_wheel() {
+  const TimingWheel::Entry* w;
+  while ((w = wheel_.peek()) != nullptr &&
+         !slots_[static_cast<uint32_t>(w->key) & kSlotMask].armed) {
+    // Cancelled while bucketed: reclaim the pool slot as the entry surfaces
+    // (the wheel-side analogue of skim_cancelled).
+    release_slot(static_cast<uint32_t>(wheel_.pop().key) & kSlotMask);
+  }
+  return w;
+}
+
+void EventQueue::fire_wheel() {
+  const TimingWheel::Entry e = wheel_.pop();
+  const uint32_t idx = static_cast<uint32_t>(e.key) & kSlotMask;
+  Slot& s = slots_[idx];
+  Callback cb = std::move(s.cb);
+  release_slot(idx);
+  now_ = e.t;
+  --live_count_;
+  ++fired_;
+  // No references into slots_ may be held across the call: the callback can
+  // schedule, growing the vector.
+  cb();
+}
+
 bool EventQueue::step() {
   if (!staging_.empty()) flush_staging();
   skim_cancelled();
-  if (heap_.empty()) return false;
-  fire_top();
+  const TimingWheel::Entry* w = next_wheel();
+  const bool heap_has = !heap_.empty();
+  if (!w && !heap_has) return false;
+  if (!w || (heap_has && earlier(heap_[0], Entry{w->t, w->key}))) {
+    fire_top();
+  } else {
+    fire_wheel();
+  }
   return true;
 }
 
 void EventQueue::flush_staging() {
   for (const Entry& e : staging_) {
-    if (slots_[e.slot()].armed) {
-      if (hole_) {
-        // Fill the fired event's root hole directly (see fire_top).
-        hole_ = false;
-        heap_[0] = e;
-        sift_down(0);
-      } else {
-        heap_push(e);
+    if (!slots_[e.slot()].armed) {
+      // Cancelled while staged: reclaim without touching wheel or heap.
+      release_slot(e.slot());
+      continue;
+    }
+    if (backend_ == Backend::kHybrid) {
+      bool wheeled = wheel_.try_schedule(e.t, e.key);
+      if (!wheeled && wheel_.empty()) {
+        // The wheel idled through a heap-only stretch and its span window
+        // fell behind now(); re-anchor it and retry.
+        wheel_.sync(now_);
+        wheeled = wheel_.try_schedule(e.t, e.key);
       }
+      if (wheeled) {
+        ++wheel_scheduled_;
+        continue;
+      }
+    }
+    ++heap_scheduled_;
+    if (hole_) {
+      // Fill the fired event's root hole directly (see fire_top).
+      hole_ = false;
+      heap_[0] = e;
+      sift_down(0);
     } else {
-      release_slot(e.slot());  // cancelled while staged: skip the heap entirely
+      heap_push(e);
     }
   }
   staging_.clear();
@@ -137,8 +209,17 @@ void EventQueue::run_until(Time t_end) {
   for (;;) {
     if (!staging_.empty()) flush_staging();
     skim_cancelled();
-    if (heap_.empty() || heap_[0].t > t_end) break;
-    fire_top();
+    const TimingWheel::Entry* w = next_wheel();
+    const bool heap_has = !heap_.empty();
+    if (!w && !heap_has) break;
+    const bool use_heap =
+        !w || (heap_has && earlier(heap_[0], Entry{w->t, w->key}));
+    if ((use_heap ? heap_[0].t : w->t) > t_end) break;
+    if (use_heap) {
+      fire_top();
+    } else {
+      fire_wheel();
+    }
   }
   if (now_ < t_end) now_ = t_end;
 }

@@ -1,8 +1,18 @@
 // Discrete-event queue with cancellable timers, built on a generation-tagged
-// slot pool and a 4-ary heap.
+// slot pool, a hierarchical timing wheel for the near future, and a 4-ary
+// heap for far-future overflow.
 //
 // Events with equal timestamps fire in scheduling order (FIFO tie-break via a
 // monotonic sequence number) so runs are fully deterministic.
+//
+// Hybrid wheel/heap split: the hot path (credit pacing gaps, serializer
+// kicks, shaper retries, per-hop deliveries) schedules at most microseconds
+// ahead — those land in the timing wheel at O(1) per event. Watchdogs, RTOs
+// and scenario fault plans beyond the wheel's ~137 ms span go to the heap
+// (and stay there; an event never migrates between structures). The next
+// event to fire is the (t, seq)-minimum across both, so the firing order is
+// identical to a pure heap — EventQueue::Backend::kHeapOnly disables the
+// wheel so tests can prove it trace-for-trace.
 //
 // Design (and why it replaced the priority_queue + tombstone-set original):
 //
@@ -24,11 +34,13 @@
 //    slot bits never decide), keeping the FIFO tie-break while halving
 //    what a sift moves. Callbacks never move through the heap.
 //
-//  * Heapification is deferred: schedule() appends to an unsorted staging
-//    buffer, flushed into the heap only when the queue is next stepped or
-//    peeked. An event cancelled while still staged — the RTO-reschedule and
-//    teardown pattern, where most timers never fire — is dropped at flush
-//    without ever paying a sift.
+//  * Routing is deferred: schedule() appends to an unsorted staging buffer,
+//    and the wheel-vs-heap decision happens only when the queue is next
+//    stepped. An event cancelled while still staged — the RTO-reschedule
+//    and teardown pattern, where most timers never fire — is dropped at
+//    flush without ever paying a wheel insert or a heap sift. The deferral
+//    is trace-invisible: now() and the wheel cursor move only on fires, and
+//    staged entries always flush before the next fire.
 //
 //  * Pop and push fuse: firing leaves a hole at the root, and the flush
 //    drops the fired callback's successor event (the dominant "hold"
@@ -51,6 +63,7 @@
 
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
+#include "sim/timing_wheel.hpp"
 
 namespace xpass::sim {
 
@@ -66,7 +79,22 @@ struct TimerId {
 
 class EventQueue {
  public:
-  // Schedules `cb` at absolute time `t` (must be >= now()).
+  // Which structure carries near-future events. kHybrid (the default)
+  // routes everything within the timing wheel's ~137 ms span through the
+  // wheel and keeps the 4-ary heap as sparse far-future overflow; kHeapOnly
+  // routes everything through the heap. Both fire the exact same (t, seq)
+  // order — kHeapOnly exists so tests can prove that, trace for trace.
+  enum class Backend { kHybrid, kHeapOnly };
+
+  explicit EventQueue(Backend backend = Backend::kHybrid)
+      : backend_(backend) {}
+
+  Backend backend() const { return backend_; }
+
+  // Schedules `cb` at absolute time `t` (must be >= now()). A past-time `t`
+  // is clamped to now() — enforced, not just documented, because a silently
+  // accepted past-time event would fire out of order and break the FIFO
+  // determinism contract. Under XPASS_SANITIZE a past-time schedule aborts.
   TimerId schedule(Time t, Callback cb);
   // Cancels a pending event in O(1); no-op if already fired or cancelled.
   void cancel(TimerId id);
@@ -87,6 +115,10 @@ class EventQueue {
   // Introspection for tests and benchmarks.
   uint64_t fired() const { return fired_; }
   uint64_t cancelled() const { return cancelled_; }
+  // Routing split: events accepted by the wheel vs sent to the heap.
+  uint64_t wheel_scheduled() const { return wheel_scheduled_; }
+  uint64_t heap_scheduled() const { return heap_scheduled_; }
+  size_t wheel_entries() const { return wheel_.pending(); }
   // Total slots ever allocated: bounded by the max number of simultaneously
   // scheduled events, regardless of how many were cancelled over time.
   size_t pool_slots() const { return slots_.size(); }
@@ -133,7 +165,14 @@ class EventQueue {
   void fill_hole();
   // Pops the (flushed, armed) top entry and invokes its callback.
   void fire_top();
+  // Earliest live wheel entry (cancelled ones reclaimed on the way), or
+  // nullptr if the wheel has nothing pending.
+  const TimingWheel::Entry* next_wheel();
+  // Pops and fires the wheel entry next_wheel() returned.
+  void fire_wheel();
 
+  Backend backend_ = Backend::kHybrid;
+  TimingWheel wheel_;           // near-future events (kHybrid)
   std::vector<Entry> staging_;  // scheduled, not yet heapified
   std::vector<Entry> heap_;     // 4-ary min-heap on (t, seq)
   std::vector<Slot> slots_;
@@ -146,6 +185,8 @@ class EventQueue {
   size_t live_count_ = 0;
   uint64_t fired_ = 0;
   uint64_t cancelled_ = 0;
+  uint64_t wheel_scheduled_ = 0;
+  uint64_t heap_scheduled_ = 0;
 };
 
 }  // namespace xpass::sim

@@ -1,0 +1,69 @@
+// Timing-wheel trace identity over the protocol matrix.
+//
+// The hybrid event queue routes near-term events through a hierarchical
+// timing wheel and keeps the 4-ary heap only for far-future overflow. That
+// is a scheduling-structure swap, not a semantic change: for any scenario,
+// the hybrid and heap-only backends must pop the exact same (time, FIFO)
+// sequence, and therefore produce byte-identical recorder JSON. Running the
+// check across every protocol exercises every timer idiom in the codebase —
+// credit pacing, RTT gradients, RTOs, ECN marking windows, fault timers —
+// against the wheel's cascade/late-insert/ready-run machinery.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runner/protocols.hpp"
+#include "runner/scenario.hpp"
+
+namespace {
+
+using xpass::runner::Protocol;
+using xpass::runner::protocol_name;
+using xpass::runner::ScenarioEngine;
+using xpass::runner::ScenarioResult;
+using xpass::runner::ScenarioSpec;
+using xpass::runner::StopSpec;
+using xpass::runner::TrafficKind;
+using xpass::sim::Time;
+
+constexpr Protocol kAllProtocols[] = {
+    Protocol::kExpressPass, Protocol::kExpressPassNaive,
+    Protocol::kDctcp,       Protocol::kRcp,
+    Protocol::kHull,        Protocol::kDx,
+    Protocol::kCubic,       Protocol::kDcqcn,
+    Protocol::kTimely,      Protocol::kIdeal,
+};
+
+TEST(WheelTraceIdentity, EveryProtocolHybridMatchesHeapOnly) {
+  ScenarioSpec base;
+  base.topology.scale = 3;
+  base.topology.host_prop = Time::us(2);
+  base.traffic.kind = TrafficKind::kIncast;
+  base.traffic.flows = 6;
+  base.traffic.bytes = 150'000;
+  base.stop = StopSpec::completion(Time::sec(1));
+  base.check_invariants = true;
+
+  for (const Protocol p : kAllProtocols) {
+    ScenarioSpec spec = base;
+    spec.protocol = p;
+    spec.seed = 42;
+    spec.name = std::string("wheel-identity/") +
+                std::string(protocol_name(p));
+
+    ScenarioSpec heap_spec = spec;
+    heap_spec.heap_only_events = true;
+
+    const ScenarioResult wheel = ScenarioEngine().run(spec);
+    const ScenarioResult heap = ScenarioEngine().run(heap_spec);
+
+    EXPECT_EQ(wheel.recorder.to_json(spec.name),
+              heap.recorder.to_json(spec.name))
+        << spec.name << ": recorder JSON differs between backends";
+    EXPECT_EQ(wheel.end_time, heap.end_time) << spec.name;
+    EXPECT_EQ(wheel.completed, heap.completed) << spec.name;
+    EXPECT_EQ(wheel.data_drops, heap.data_drops) << spec.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Zero-allocation hot path: a warmed-up ExpressPass steady state must not
+// touch the global allocator at all.
+//
+// This binary links bench/alloc_probe.cpp, whose counting operator
+// new/delete observe every allocation. The simulation below reaches steady
+// state (pools, ring buffers, event slots and wheel nodes all at their
+// high-water marks), then runs a long measurement window under the probe.
+// Every per-packet and per-timer structure is recycled, so the expected
+// allocation count is exactly zero — one stray capture spill or deque block
+// fails the test.
+#include <gtest/gtest.h>
+
+#include "bench/alloc_probe.hpp"
+#include "net/topology_builders.hpp"
+#include "runner/flow_driver.hpp"
+#include "runner/protocols.hpp"
+
+namespace {
+
+using namespace xpass;
+using sim::Time;
+
+TEST(ZeroAllocSteadyState, ExpressPassDumbbellHotPathIsAllocationFree) {
+  if (!bench::AllocProbe::enabled()) {
+    GTEST_SKIP() << "alloc probe stubbed out under sanitizers";
+  }
+  sim::Simulator sim(29);
+  net::Topology topo(sim);
+  const auto link = runner::protocol_link_config(
+      runner::Protocol::kExpressPass, 10e9, Time::us(1));
+  auto d = net::build_dumbbell(topo, 16, link, link);
+  auto t = runner::make_transport(runner::Protocol::kExpressPass, sim, topo,
+                                  Time::us(100));
+  runner::FlowDriver driver(sim, *t);
+  for (uint32_t i = 1; i <= 16; ++i) {
+    transport::FlowSpec s;
+    s.id = i;
+    s.src = d.senders[i - 1];
+    s.dst = d.receivers[i - 1];
+    s.size_bytes = transport::kLongRunning;
+    s.start_time = Time::us(50 * i);
+    driver.add(s);
+  }
+  // Warm-up: feedback converges and every pool/ring/slab reaches its
+  // high-water mark.
+  sim.run_until(Time::ms(40));
+
+  const auto mark = bench::AllocProbe::mark();
+  sim.run_until(Time::ms(90));
+  const auto delta = bench::AllocProbe::since(mark);
+
+  const uint64_t events = sim.events().fired();
+  EXPECT_GT(events, 100000u);  // the window actually carried traffic
+  EXPECT_EQ(delta.allocs, 0u)
+      << "steady state allocated " << delta.allocs << " times ("
+      << delta.bytes << " bytes) across " << events << " events";
+  EXPECT_EQ(delta.frees, 0u);
+  driver.stop_all();
+}
+
+}  // namespace

@@ -88,6 +88,43 @@ TEST(TokenBucket, AbsurdWaitClampsToNever) {
   EXPECT_EQ(tb.time_until(168.0, Time::zero()), TokenBucket::kNever);
 }
 
+TEST(TokenBucket, TimeUntilWakeupAlwaysSucceeds) {
+  // Regression: time_until used Time::seconds(), which rounds to the
+  // *nearest* picosecond — roughly half of all deficits produced a wakeup
+  // 1 ps early, the retried try_consume failed, and the shaper burned a
+  // spurious extra retry event per credit. The wait must always be rounded
+  // up: consuming exactly at now + time_until() must succeed.
+  uint64_t s = 0x9e3779b97f4a7c15ULL;
+  auto next = [&s] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 11;
+  };
+  int finite = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // Rates around real shaper magnitudes (bytes/s) and credit-ish costs.
+    const double rate = 1e3 + static_cast<double>(next() % 1000000007ULL);
+    const double cost = 64.0 + static_cast<double>(next() % 1000) * 0.148;
+    TokenBucket tb(rate, cost + 50.0);
+    const Time start = Time::ps(static_cast<int64_t>(next() % (1ULL << 40)));
+    tb.reset(start);  // empty
+    // Accrue a fractional sub-cost token balance.
+    const Time now = start + Time::ps(static_cast<int64_t>(next() % 1000000));
+    tb.refill(now);
+    const double have = tb.tokens();
+    if (have + 1e-9 >= cost) continue;  // no wait needed: trivial
+    const Time wait = tb.time_until(cost, now);
+    if (wait == TokenBucket::kNever) continue;
+    ++finite;
+    ASSERT_TRUE(tb.try_consume(cost, now + wait))
+        << "rate=" << rate << " cost=" << cost
+        << " wait_ps=" << wait.picos();
+    // And the wait is tight: at most 1 ns of overshoot beyond the exact
+    // fractional deficit (it only ever rounds up by single picoseconds).
+    EXPECT_LE(wait.to_sec(), (cost - have) / rate + 1e-9);
+  }
+  EXPECT_GT(finite, 1000);  // the sweep actually exercised finite waits
+}
+
 TEST(TokenBucket, ResetEmptiesBucket) {
   // Link recovery restarts the meter empty: tokens "accrued" during an
   // outage must not let the port burst at recovery time.

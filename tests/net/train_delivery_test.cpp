@@ -1,0 +1,175 @@
+// Train delivery coalescing (LinkConfig::train_window): back-to-back frames
+// on a link share one drain event per window instead of one delivery event
+// each. The mode is a bounded-skew approximation, and these tests pin its
+// contract: every frame still arrives, in wire order, never before its true
+// arrival instant and never more than one window after it; the event count
+// actually shrinks; and the schedule is deterministic run-to-run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace xpass;
+using namespace xpass::net;
+using sim::Time;
+
+struct Delivery {
+  uint64_t seq;
+  Time at;
+
+  bool operator==(const Delivery& o) const {
+    return seq == o.seq && at == o.at;
+  }
+};
+
+struct RunResult {
+  std::vector<Delivery> deliveries;
+  uint64_t events_fired = 0;
+  uint64_t train_events = 0;
+  uint64_t train_frames = 0;
+};
+
+constexpr size_t kFrames = 64;
+
+// One 10G link, 64 full-MTU data frames enqueued back to back at t=0: the
+// serializer emits a single contiguous train (~1.23us per frame).
+RunResult run(Time window) {
+  LinkConfig cfg;
+  cfg.rate_bps = 10e9;
+  cfg.prop_delay = Time::us(1);
+  cfg.train_window = window;
+  sim::Simulator sim(5);
+  Topology topo(sim);
+  Host& a = topo.add_host("a");
+  Host& b = topo.add_host("b");
+  topo.connect(a, b, cfg);
+  topo.finalize();
+
+  RunResult r;
+  b.register_flow(9, [&](Packet&& p) {
+    r.deliveries.push_back(Delivery{p.seq, sim.now()});
+  });
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    Packet p;
+    p.type = PktType::kData;
+    p.flow = 9;
+    p.src = a.id();
+    p.dst = b.id();
+    p.wire_bytes = kMaxWireBytes;
+    p.payload_bytes = kMssBytes;
+    p.seq = i;
+    a.send(std::move(p));
+  }
+  sim.run();
+  r.events_fired = sim.events().fired();
+  r.train_events = a.nic().train_events();
+  r.train_frames = a.nic().train_frames();
+  return r;
+}
+
+TEST(TrainDelivery, ConservesFramesOrderAndBoundsSkew) {
+  const Time window = Time::us(5);
+  const RunResult exact = run(Time::zero());
+  const RunResult train = run(window);
+
+  ASSERT_EQ(exact.deliveries.size(), kFrames);
+  ASSERT_EQ(train.deliveries.size(), kFrames);
+  for (size_t i = 0; i < kFrames; ++i) {
+    // Same frames in the same (wire) order...
+    EXPECT_EQ(train.deliveries[i].seq, exact.deliveries[i].seq);
+    // ...delivered causally: at or after the true arrival instant (the
+    // exact-mode delivery time), and at most one window later.
+    EXPECT_GE(train.deliveries[i].at, exact.deliveries[i].at) << "frame " << i;
+    EXPECT_LE(train.deliveries[i].at, exact.deliveries[i].at + window)
+        << "frame " << i;
+  }
+}
+
+TEST(TrainDelivery, CoalescesDeliveryEvents) {
+  const RunResult exact = run(Time::zero());
+  const RunResult train = run(Time::us(5));
+
+  // Every frame rode a drain, and one drain carried several frames (a 5us
+  // window spans ~4 serializations at 10G/full-MTU).
+  EXPECT_EQ(train.train_frames, kFrames);
+  EXPECT_GT(train.train_events, 0u);
+  EXPECT_LT(train.train_events, kFrames / 2);
+  EXPECT_LT(train.events_fired, exact.events_fired);
+  // Exact mode never touches the train machinery.
+  EXPECT_EQ(exact.train_events, 0u);
+  EXPECT_EQ(exact.train_frames, 0u);
+}
+
+TEST(TrainDelivery, DeterministicAcrossRuns) {
+  const RunResult x = run(Time::us(5));
+  const RunResult y = run(Time::us(5));
+  EXPECT_EQ(x.deliveries, y.deliveries);
+  EXPECT_EQ(x.events_fired, y.events_fired);
+  EXPECT_EQ(x.train_events, y.train_events);
+}
+
+// Credit-only bursts must reproduce the shaped schedule, not sidestep it:
+// each credit's wire arrival under train mode is the exact retry-per-credit
+// arrival (the burst computes the same token departures analytically), so
+// every delivery lands within [exact, exact + window] just like data.
+TEST(TrainDelivery, CreditBurstPreservesShapedSchedule) {
+  constexpr size_t kCredits = 128;
+  auto run_credits = [](Time window) {
+    LinkConfig cfg;
+    cfg.rate_bps = 10e9;
+    cfg.prop_delay = Time::us(1);
+    cfg.credit_queue_pkts = 1 << 20;
+    cfg.host_credit_shaper_noise = 0.0;  // exact token clock
+    cfg.train_window = window;
+    sim::Simulator sim(5);
+    Topology topo(sim);
+    Host& a = topo.add_host("a");
+    Host& b = topo.add_host("b");
+    topo.connect(a, b, cfg);
+    topo.finalize();
+    std::vector<Delivery> out;
+    b.register_flow(7, [&](Packet&& p) {
+      out.push_back(Delivery{p.seq, sim.now()});
+    });
+    for (uint64_t i = 0; i < kCredits; ++i) {
+      Packet c = make_control(PktType::kCredit, 7, a.id(), b.id());
+      c.seq = i;
+      a.send(std::move(c));
+    }
+    sim.run();
+    return std::pair{out, a.nic().retry_events()};
+  };
+  const Time window = Time::us(20);
+  const auto [exact, exact_retries] = run_credits(Time::zero());
+  const auto [train, train_retries] = run_credits(window);
+  ASSERT_EQ(exact.size(), kCredits);
+  ASSERT_EQ(train.size(), kCredits);
+  for (size_t i = 0; i < kCredits; ++i) {
+    EXPECT_EQ(train[i].seq, exact[i].seq);
+    EXPECT_GE(train[i].at, exact[i].at) << "credit " << i;
+    EXPECT_LE(train[i].at, exact[i].at + window) << "credit " << i;
+  }
+  // The burst replaced the per-credit retry storm with O(1) wakeups.
+  EXPECT_GE(exact_retries, kCredits / 2);
+  EXPECT_LT(train_retries, 8u);
+}
+
+// A train longer than its window must split across several drains without
+// ever delivering a frame early: with a window shorter than one frame time
+// every frame still arrives exactly in order (degenerating to one frame per
+// drain, i.e. the exact event count).
+TEST(TrainDelivery, TinyWindowDegeneratesToExactOrdering) {
+  const RunResult exact = run(Time::zero());
+  const RunResult tiny = run(Time::ns(100));
+  ASSERT_EQ(tiny.deliveries.size(), kFrames);
+  EXPECT_EQ(tiny.train_events, kFrames);
+  for (size_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(tiny.deliveries[i].seq, exact.deliveries[i].seq);
+    EXPECT_GE(tiny.deliveries[i].at, exact.deliveries[i].at);
+  }
+}
+
+}  // namespace

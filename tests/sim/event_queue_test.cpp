@@ -248,6 +248,39 @@ TEST(EventQueue, LargeCapturesFallBackToHeapCorrectly) {
   EXPECT_EQ(last, 'y');
 }
 
+#ifdef XPASS_SANITIZE
+TEST(EventQueueDeathTest, PastTimeScheduleAbortsUnderSanitize) {
+  // Under XPASS_SANITIZE a past-time schedule is a hard bug, not something
+  // to paper over: the queue aborts with a diagnostic.
+  EventQueue q;
+  q.schedule(Time::us(2), [] {});
+  q.run();  // now() == 2us
+  EXPECT_DEATH(q.schedule(Time::us(1), [] {}), "past-time schedule");
+}
+#else
+TEST(EventQueue, PastTimeScheduleClampsToNow) {
+  // Release builds clamp a past-time schedule to now(): the event fires
+  // immediately — but in FIFO position *after* events already queued at
+  // now(), never "in the past" (which would reorder history and break the
+  // determinism contract).
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::us(2), [&] {
+    order.push_back(0);
+    // Queued at the same instant, before the past-time event is scheduled.
+    q.schedule(Time::us(2), [&] { order.push_back(1); });
+    // t < now(): clamps to now() == 2us, fires after the event above.
+    q.schedule(Time::us(1), [&] {
+      order.push_back(2);
+      EXPECT_EQ(q.now(), Time::us(2));
+    });
+  });
+  q.schedule(Time::us(3), [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+#endif
+
 TEST(EventQueue, CancelFromWithinOwnCallbackWindow) {
   // A callback cancelling its own (already-fired) id must be inert even
   // though the slot was just recycled into the free list.
