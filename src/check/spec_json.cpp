@@ -251,6 +251,16 @@ Json spec_to_json_doc(const ScenarioSpec& spec) {
           Json::boolean(spec.telemetry.flow_rate_series));
   doc.set("telemetry", std::move(tel));
 
+  if (spec.budget) {
+    const sim::RunBudget& b = *spec.budget;
+    Json budget = Json::object();
+    budget.set("max_events", Json::u64(b.max_events));
+    budget.set("max_sim_time_ps", time_json(b.max_sim_time));
+    budget.set("max_wall_ms", Json::number(b.max_wall_ms));
+    budget.set("max_live_events", Json::u64(b.max_live_events));
+    doc.set("budget", std::move(budget));
+  }
+
   Json faults = Json::object();
   const runner::FaultScenario& f = spec.faults;
   faults.set("flap_down_ps", time_json(f.flap_down));
@@ -404,6 +414,16 @@ std::optional<ScenarioSpec> spec_from_json_doc(const Json& doc,
         t->get_bool("per_port_queue_series", tel.per_port_queue_series);
     tel.flow_rate_series =
         t->get_bool("flow_rate_series", tel.flow_rate_series);
+  }
+
+  if (const Json* b = doc.find("budget")) {
+    sim::RunBudget budget;
+    budget.max_events = b->get_u64("max_events", budget.max_events);
+    budget.max_sim_time = time_from(*b, "max_sim_time_ps", budget.max_sim_time);
+    budget.max_wall_ms = b->get_double("max_wall_ms", budget.max_wall_ms);
+    budget.max_live_events = static_cast<size_t>(
+        b->get_u64("max_live_events", budget.max_live_events));
+    spec.budget = budget;
   }
 
   if (const Json* f = doc.find("faults")) {

@@ -1,0 +1,190 @@
+#include "exec/campaign_store.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace xpass::exec {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// FNV-1a, 64-bit. Used both for the entry checksum and (with two distinct
+// offset bases) as the two halves of the 128-bit content address. Not
+// cryptographic — the store defends against truncation and bit rot, not an
+// adversary writing colliding entries into its own cache directory.
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+// Second stream: FNV offset basis XOR a golden-ratio constant, so the two
+// halves of the key decorrelate without a second pass algorithm.
+constexpr uint64_t kFnvOffsetAlt = kFnvOffset ^ 0x9e3779b97f4a7c15ULL;
+
+uint64_t fnv1a(std::string_view bytes, uint64_t h) {
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void append_hex64(std::string& out, uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHex[(v >> shift) & 0xf]);
+  }
+}
+
+// Entry header: "xpass.campaign.entry.v1 <payload size> <payload fnv64>\n"
+// followed by the raw payload bytes. The payload is stored verbatim (no
+// JSON escaping layer) so a cache hit is byte-for-byte the original result.
+constexpr std::string_view kEntryMagic = "xpass.campaign.entry.v1";
+
+}  // namespace
+
+CampaignStore::CampaignStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir_) / "objects", ec);
+  if (ec) {
+    throw std::runtime_error("CampaignStore: cannot create '" + dir_ +
+                             "/objects': " + ec.message());
+  }
+  fs::create_directories(fs::path(dir_) / "quarantine", ec);
+  if (ec) {
+    throw std::runtime_error("CampaignStore: cannot create '" + dir_ +
+                             "/quarantine': " + ec.message());
+  }
+}
+
+std::string CampaignStore::key(std::string_view canonical_bytes,
+                               std::string_view code_version) {
+  // Two independent 64-bit FNV streams over (version || '\0' || bytes); the
+  // version separator keeps ("v1", "2spec") and ("v12", "spec") distinct.
+  uint64_t lo = fnv1a(code_version, kFnvOffset);
+  lo = fnv1a(std::string_view("\0", 1), lo);
+  lo = fnv1a(canonical_bytes, lo);
+  uint64_t hi = fnv1a(code_version, kFnvOffsetAlt);
+  hi = fnv1a(std::string_view("\0", 1), hi);
+  hi = fnv1a(canonical_bytes, hi);
+  std::string out;
+  out.reserve(32);
+  append_hex64(out, hi);
+  append_hex64(out, lo);
+  return out;
+}
+
+std::string CampaignStore::object_path(const std::string& key) const {
+  return (fs::path(dir_) / "objects" / (key + ".entry")).string();
+}
+
+std::string CampaignStore::manifest_path() const {
+  return (fs::path(dir_) / "manifest.jsonl").string();
+}
+
+std::string CampaignStore::quarantine_dir() const {
+  return (fs::path(dir_) / "quarantine").string();
+}
+
+bool CampaignStore::store(const std::string& key, std::string_view payload) {
+  // Temp file in the objects directory itself so the rename never crosses a
+  // filesystem boundary (cross-device rename is copy+delete — not atomic).
+  // The name mixes the key and a per-handle sequence so concurrent writers
+  // of *different* keys never collide; concurrent writers of the same key
+  // write identical content (content addressing), so last-rename-wins is
+  // still correct.
+  std::ostringstream tmp_name;
+  tmp_name << "." << key << "." << ++temp_seq_ << ".tmp";
+  const fs::path tmp = fs::path(dir_) / "objects" / tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << kEntryMagic << ' ' << payload.size() << ' ';
+    std::string sum;
+    append_hex64(sum, fnv1a(payload, kFnvOffset));
+    out << sum << '\n' << payload;
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, object_path(key), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> CampaignStore::load(const std::string& key) {
+  std::ifstream in(object_path(key), std::ios::binary);
+  if (!in) {
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    ++corrupt_;
+    ++misses_;
+    return std::nullopt;
+  }
+  // Parse "<magic> <size> <hex checksum>" strictly; anything else is rot.
+  std::istringstream hs(header);
+  std::string magic, sum_hex;
+  uint64_t size = 0;
+  if (!(hs >> magic >> size >> sum_hex) || magic != kEntryMagic ||
+      sum_hex.size() != 16) {
+    ++corrupt_;
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  if (static_cast<uint64_t>(in.gcount()) != size || in.get() != EOF) {
+    // Short read (truncated entry) or trailing bytes (overlong entry).
+    ++corrupt_;
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string expect;
+  append_hex64(expect, fnv1a(payload, kFnvOffset));
+  if (expect != sum_hex) {
+    ++corrupt_;
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return payload;
+}
+
+bool CampaignStore::append_manifest(std::string_view line) {
+  std::ofstream out(manifest_path(), std::ios::binary | std::ios::app);
+  if (!out) return false;
+  out << line << '\n';
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::vector<std::string> CampaignStore::read_manifest() const {
+  std::vector<std::string> lines;
+  std::ifstream in(manifest_path(), std::ios::binary);
+  if (!in) return lines;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  size_t start = 0;
+  for (;;) {
+    const size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) break;  // torn tail (no '\n') is dropped
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace xpass::exec

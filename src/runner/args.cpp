@@ -151,6 +151,28 @@ size_t Args::runs() {
   return static_cast<size_t>(v);
 }
 
+double Args::timeout_ms() {
+  const double v = f64("timeout-ms", 0);
+  if (v < 0) {
+    fail("timeout-ms", "must be >= 0");
+    return 0;
+  }
+  return v;
+}
+
+std::optional<std::string> Args::cache_dir() {
+  auto v = str("cache-dir");
+  if (v && v->empty()) {
+    fail("cache-dir", "expects a directory path");
+    return std::nullopt;
+  }
+  return v;
+}
+
+bool Args::resume() { return flag("resume"); }
+
+size_t Args::retries() { return static_cast<size_t>(u64("retries", 0)); }
+
 // Queried boolean switches written as `--switch value` captured a trailing
 // token speculatively; once all queries have run, give unconsumed ones back
 // to the positional list (in their original relative order at the tail).

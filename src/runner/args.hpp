@@ -46,6 +46,17 @@ class Args {
   // `--runs M`: >= 1 seed replications.
   size_t runs();
 
+  // Campaign flags (see exec::CampaignOptions).
+  // `--timeout-ms T`: per-run wall-clock budget, >= 0 ms; absent returns 0
+  // (no budget). Negative / non-numeric values are errors.
+  double timeout_ms();
+  // `--cache-dir DIR`: campaign result-store directory; nullopt if absent.
+  std::optional<std::string> cache_dir();
+  // `--resume`: serve cached results instead of re-running.
+  bool resume();
+  // `--retries N`: extra attempts for tasks that throw; absent returns 0.
+  size_t retries();
+
   // True once any error (malformed value, or — after checked() — an
   // unqueried flag) has been recorded.
   bool ok() const { return errors_.empty(); }

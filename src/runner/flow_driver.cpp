@@ -23,6 +23,9 @@ bool FlowDriver::run_to_completion(sim::Time deadline) {
     sim::Time next = sim_.now() + chunk;
     if (next > deadline) next = deadline;
     sim_.run_until(next);
+    // A budget abort turns run_until into a no-op: now() stops advancing,
+    // so without this break the settle loop would spin forever.
+    if (sim_.aborted()) break;
   }
   return completed() >= scheduled_;
 }

@@ -187,10 +187,22 @@ bool is_expresspass(Protocol p) {
 
 }  // namespace
 
-ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec) const {
+ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec,
+                                   const RunOverrides& overrides) const {
   sim::Simulator sim(spec.seed, spec.heap_only_events
                                     ? sim::EventQueue::Backend::kHeapOnly
                                     : sim::EventQueue::Backend::kHybrid);
+  // Merge the spec's budget with caller-side enforcement: the override's
+  // wall-clock leash tightens (never loosens) whatever the spec declares.
+  {
+    sim::RunBudget budget = spec.budget.value_or(sim::RunBudget{});
+    if (overrides.wall_clock_ms > 0 && (budget.max_wall_ms <= 0 ||
+                                        overrides.wall_clock_ms <
+                                            budget.max_wall_ms)) {
+      budget.max_wall_ms = overrides.wall_clock_ms;
+    }
+    if (budget.any()) sim.set_budget(budget);
+  }
   net::Topology topo(sim);
 
   const TopologySpec& ts = spec.topology;
@@ -253,7 +265,8 @@ ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec) const {
 
   // Sampling steps run_until; the event stream a stepped run processes is
   // identical to one uninterrupted run, so sampling can never perturb a
-  // golden output.
+  // golden output. An aborted sim makes run_until a no-op, so every stepped
+  // loop must break on aborted() or it would spin to its horizon.
   const sim::Time interval = spec.telemetry.sample_interval;
   auto run_until = [&](sim::Time until) {
     if (interval > sim::Time::zero()) {
@@ -261,6 +274,7 @@ ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec) const {
       while (t < until) {
         t = std::min(t + interval, until);
         sim.run_until(t);
+        if (sim.aborted()) break;  // drop the partial sample point
         rec.sample_all(t.to_sec());
       }
     } else {
@@ -290,10 +304,11 @@ ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec) const {
       if (interval > sim::Time::zero()) {
         // run_to_completion's 1ms settle checks, at sample granularity.
         sim::Time t = sim.now();
-        while (t < spec.stop.horizon &&
+        while (t < spec.stop.horizon && !sim.aborted() &&
                driver.completed() + driver.failed() < driver.scheduled()) {
           t = std::min(t + interval, spec.stop.horizon);
           sim.run_until(t);
+          if (sim.aborted()) break;
           rec.sample_all(t.to_sec());
         }
         completion_result = driver.completed() == driver.scheduled();
@@ -305,8 +320,18 @@ ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec) const {
   if (spec.stop.kind != StopKind::kWindow) {
     rate_pairs = driver.rates().snapshot_rates_ordered(sim.now());
   }
-  if (spec.check_invariants) checker.run_checks();
+  // A truncated run stops mid-flight by construction — packets are on the
+  // wire, credits are outstanding. The final invariant sweep judges "did
+  // the run end in a sane state", which is only meaningful for runs that
+  // actually ended; gate it off so a budget abort never false-fires it.
+  // Periodic sweeps that ran before the abort still count and still report.
+  if (spec.check_invariants && !sim.aborted()) checker.run_checks();
 
+  res.aborted = sim.aborted();
+  if (res.aborted) {
+    res.abort_reason = std::string(sim::abort_reason_name(sim.abort_reason()));
+    rec.set_abort(res.abort_reason);
+  }
   res.scheduled = driver.scheduled();
   res.completed = driver.completed();
   res.failed = driver.failed();

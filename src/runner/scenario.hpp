@@ -24,6 +24,7 @@
 #include "net/topology.hpp"
 #include "runner/faults.hpp"
 #include "runner/protocols.hpp"
+#include "sim/run_budget.hpp"
 #include "stats/fct.hpp"
 #include "stats/recorder.hpp"
 #include "workload/flow_size_dist.hpp"
@@ -166,6 +167,20 @@ struct ScenarioSpec {
   // scheduling-structure swap, not a semantic change) — tests flip this to
   // prove it.
   bool heap_only_events = false;
+  // Optional run budget (event / sim-time / wall-clock / live-event caps).
+  // Exceeding a cap truncates the run gracefully: the result is still fully
+  // measured and emitted, flagged aborted with the tripped budget's name.
+  // Part of the spec — it round-trips through spec_json and participates in
+  // campaign content addressing (a budgeted run IS a different experiment).
+  std::optional<sim::RunBudget> budget;
+};
+
+// Per-invocation enforcement knobs that are NOT part of the experiment's
+// identity: a campaign's --timeout-ms applies a wall-clock leash to every
+// task without changing any spec (or its cache key — wall-clock truncations
+// are machine-dependent and never cached anyway).
+struct RunOverrides {
+  double wall_clock_ms = 0;  // 0 = no override
 };
 
 // --- The result -----------------------------------------------------------
@@ -221,6 +236,14 @@ struct ScenarioResult {
   uint64_t invariant_violations = 0;
   std::vector<std::string> invariant_messages;
 
+  // Budget truncation (RunBudget / RunOverrides). An aborted result is a
+  // valid measurement of a shorter run: every scalar above is still filled,
+  // but final invariant sweeps are skipped (a truncated network is mid-
+  // flight by construction, not broken) and kWindow/kCompletion semantics
+  // cover only the simulated portion.
+  bool aborted = false;
+  std::string abort_reason;  // sim::abort_reason_name spelling
+
   // Every scalar above plus any registered probe, for uniform JSON/CSV
   // emission (gauges are detached — safe to keep past the run).
   stats::Recorder recorder;
@@ -230,7 +253,12 @@ struct ScenarioResult {
 class ScenarioEngine {
  public:
   // Builds, runs, measures, tears down. Deterministic in (spec.seed, spec).
-  ScenarioResult run(const ScenarioSpec& spec) const;
+  ScenarioResult run(const ScenarioSpec& spec) const {
+    return run(spec, RunOverrides{});
+  }
+  // Same, with caller-side enforcement overrides merged into the budget.
+  ScenarioResult run(const ScenarioSpec& spec,
+                     const RunOverrides& overrides) const;
 
   // Runs every spec of a sweep grid on an exec::SweepRunner (jobs == 0:
   // XPASS_JOBS / hardware concurrency). Results are index-ordered and

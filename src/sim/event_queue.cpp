@@ -150,6 +150,23 @@ bool EventQueue::step() {
   return true;
 }
 
+bool EventQueue::step_until(Time t_end) {
+  if (!staging_.empty()) flush_staging();
+  skim_cancelled();
+  const TimingWheel::Entry* w = next_wheel();
+  const bool heap_has = !heap_.empty();
+  if (!w && !heap_has) return false;
+  const bool use_heap =
+      !w || (heap_has && earlier(heap_[0], Entry{w->t, w->key}));
+  if ((use_heap ? heap_[0].t : w->t) > t_end) return false;
+  if (use_heap) {
+    fire_top();
+  } else {
+    fire_wheel();
+  }
+  return true;
+}
+
 void EventQueue::flush_staging() {
   for (const Entry& e : staging_) {
     if (!slots_[e.slot()].armed) {

@@ -106,6 +106,11 @@ class EventQueue {
 
   // Fires the next event. Returns false if none remain.
   bool step();
+  // Fires the next event only if it is scheduled at or before `t_end`.
+  // Returns true iff an event fired; unlike run_until it never advances
+  // now() past the last fired event, so budgeted callers can interleave
+  // per-event limit checks with the exact same fire order.
+  bool step_until(Time t_end);
   // Runs events until the queue is exhausted or the next event is after
   // `t_end`; leaves now() == t_end if exhausted earlier events only.
   void run_until(Time t_end);

@@ -1,0 +1,62 @@
+// RunBudget: per-run limits that turn a pathological simulation into a
+// graceful truncation instead of a hung process.
+//
+// A fuzz or sweep campaign is only as robust as its worst spec: one scenario
+// whose event loop never drains (a mis-wired retry storm, a fan-out bomb, a
+// horizon far beyond what its traffic needs) used to pin a worker thread
+// forever. A budget caps the run on four independent axes — events fired,
+// simulated time, wall-clock time, and live (pending) events — and tripping
+// any of them is a *clean stop*, not an error: the Simulator marks itself
+// aborted with a reason, the step loop returns, and the harness still gets a
+// well-formed (truncated) result it can emit, cache, or quarantine.
+//
+// Determinism: the event, sim-time, and live-event budgets count simulator
+// state only, so two runs of the same (spec, seed, budget) truncate at the
+// same event and produce byte-identical recorder output. The wall-clock
+// budget is inherently machine-dependent — it exists to unstick hung runs —
+// so wall-clock-aborted results must never be cached or compared (the
+// campaign layer enforces this by refusing to store them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace xpass::sim {
+
+// Why a budgeted run stopped early. kNone means the run completed normally.
+enum class AbortReason : uint8_t {
+  kNone,
+  kEventBudget,      // fired-event cap (deterministic)
+  kSimTimeBudget,    // simulated-time cap (deterministic)
+  kWallClockBudget,  // wall-clock cap (machine-dependent; never cache)
+  kLiveEventBudget,  // pending-event cap: the fan-out-bomb guard
+};
+
+// Stable spellings, used in recorder JSON ("abort_reason") and manifests.
+std::string_view abort_reason_name(AbortReason r);
+
+struct RunBudget {
+  // Events fired since the budget was armed. 0 = unlimited.
+  uint64_t max_events = 0;
+  // Simulated time elapsed since the budget was armed; run_until targets
+  // beyond the cap are truncated to it. zero() = unlimited.
+  Time max_sim_time;
+  // Wall-clock milliseconds since the budget was armed, checked every
+  // kWallCheckPeriod fired events (a steady_clock read per event would
+  // dominate the hot path). 0 = unlimited.
+  double max_wall_ms = 0;
+  // Ceiling on simultaneously pending events — the proxy for "live packets"
+  // plus timers: a scenario whose every event schedules two more blows this
+  // long before it exhausts memory. 0 = unlimited.
+  size_t max_live_events = 0;
+
+  bool any() const {
+    return max_events != 0 || max_sim_time > Time::zero() ||
+           max_wall_ms > 0 || max_live_events != 0;
+  }
+};
+
+}  // namespace xpass::sim

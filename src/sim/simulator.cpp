@@ -1,0 +1,82 @@
+#include "sim/simulator.hpp"
+
+#include <chrono>
+
+namespace xpass::sim {
+
+namespace {
+
+int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string_view abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "";
+    case AbortReason::kEventBudget: return "event-budget";
+    case AbortReason::kSimTimeBudget: return "sim-time-budget";
+    case AbortReason::kWallClockBudget: return "wall-clock-budget";
+    case AbortReason::kLiveEventBudget: return "live-event-budget";
+  }
+  return "?";
+}
+
+void Simulator::set_budget(const RunBudget& b) {
+  budget_ = b;
+  budget_armed_ = b.any();
+  abort_ = AbortReason::kNone;
+  armed_at_ = now();
+  armed_fired_ = events_.fired();
+  armed_wall_ns_ = budget_.max_wall_ms > 0 ? wall_now_ns() : 0;
+}
+
+void Simulator::run_budgeted(Time t_end, bool bounded) {
+  if (aborted()) return;
+  Time target = t_end;
+  bool sim_capped = false;
+  if (budget_.max_sim_time > Time::zero()) {
+    const Time cap = armed_at_ + budget_.max_sim_time;
+    if (cap < target) {
+      target = cap;
+      sim_capped = true;
+    }
+  }
+  const int64_t wall_deadline_ns =
+      budget_.max_wall_ms > 0
+          ? armed_wall_ns_ + static_cast<int64_t>(budget_.max_wall_ms * 1e6)
+          : 0;
+  uint64_t since_wall_check = 0;
+  for (;;) {
+    if (budget_.max_events != 0 &&
+        events_.fired() - armed_fired_ >= budget_.max_events) {
+      abort_ = AbortReason::kEventBudget;
+      return;
+    }
+    if (budget_.max_live_events != 0 &&
+        events_.pending() > budget_.max_live_events) {
+      abort_ = AbortReason::kLiveEventBudget;
+      return;
+    }
+    if (wall_deadline_ns != 0 && ++since_wall_check >= kWallCheckPeriod) {
+      since_wall_check = 0;
+      if (wall_now_ns() > wall_deadline_ns) {
+        abort_ = AbortReason::kWallClockBudget;
+        return;
+      }
+    }
+    if (!events_.step_until(target)) break;
+  }
+  // Nothing left at or before `target`: settle now() exactly like an
+  // unbudgeted run_until would (run() has no horizon to advance to).
+  if (bounded) events_.run_until(target);
+  if (sim_capped && events_.pending() > 0) {
+    // The cap, not the caller's horizon, ended the run while work remained.
+    abort_ = AbortReason::kSimTimeBudget;
+  }
+}
+
+}  // namespace xpass::sim

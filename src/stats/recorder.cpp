@@ -57,6 +57,10 @@ std::string Recorder::to_json(const std::string& scenario_name) const {
   out += kSchema;
   out += "\",\n  \"scenario\": ";
   append_quoted(out, scenario_name);
+  if (!abort_reason_.empty()) {
+    out += ",\n  \"aborted\": true,\n  \"abort_reason\": ";
+    append_quoted(out, abort_reason_);
+  }
   out += ",\n  \"scalars\": {";
   bool first = true;
   for (const auto& [name, v] : scalars_) {

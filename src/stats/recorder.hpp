@@ -100,6 +100,16 @@ class Recorder {
   // Count of non-finite pushes refused (scalars, samples, gauge reads).
   uint64_t rejected() const { return rejected_; }
 
+  // --- truncation ---------------------------------------------------------
+  // Marks this run as truncated by a RunBudget. The emitted JSON then
+  // carries "aborted": true plus the machine-readable reason, so consumers
+  // (check_recorder_json.py, campaign merges) can tell a clean run from a
+  // budget-clipped one — every recorded value is still valid, it just
+  // covers a shorter window than the spec asked for.
+  void set_abort(std::string reason) { abort_reason_ = std::move(reason); }
+  bool aborted() const { return !abort_reason_.empty(); }
+  const std::string& abort_reason() const { return abort_reason_; }
+
   // Drops the registered callbacks (which capture raw pointers into the
   // scenario's network) but keeps every collected value, so a Recorder can
   // safely outlive the Simulator/Topology it observed.
@@ -113,12 +123,15 @@ class Recorder {
   // Schema-tagged JSON document (see tools/check_recorder_json.py):
   //   {"schema": "xpass.recorder.v1", "scenario": <name>,
   //    "scalars": {...}, "series": {<name>: {"t_sec": [...], "v": [...]}}}
+  // Budget-truncated runs add "aborted": true and "abort_reason": <string>
+  // between "scenario" and "scalars"; healthy runs omit both keys.
   std::string to_json(const std::string& scenario_name) const;
   // "t_sec,value\n" rows for one series; empty string if unknown.
   std::string series_csv(const std::string& name) const;
 
  private:
   uint64_t rejected_ = 0;
+  std::string abort_reason_;  // non-empty = run truncated by a budget
   std::map<std::string, double> scalars_;
   std::map<std::string, std::function<double()>> gauges_;
   std::map<std::string, Series> series_;

@@ -1,0 +1,149 @@
+// CampaignStore tests: content addressing is stable and version-sensitive,
+// entries round-trip byte-exactly, and every flavor of on-disk damage —
+// missing, truncated, corrupted, garbage — degrades to a cache miss.
+#include "exec/campaign_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace xpass::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const char* name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+TEST(CampaignStoreKey, StableAndInputSensitive) {
+  const std::string k = CampaignStore::key("spec-bytes", "v1");
+  EXPECT_EQ(k.size(), 32u);
+  EXPECT_EQ(k, CampaignStore::key("spec-bytes", "v1"));  // pure function
+  EXPECT_NE(k, CampaignStore::key("spec-bytes2", "v1"));
+  // A code-version bump invalidates by construction: keys stop matching.
+  EXPECT_NE(k, CampaignStore::key("spec-bytes", "v2"));
+  // The version/bytes boundary is framed, not concatenated.
+  EXPECT_NE(CampaignStore::key("2spec", "v1"), CampaignStore::key("spec", "v12"));
+  for (char c : k) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << k;
+  }
+}
+
+TEST(CampaignStore, RoundTripsPayloadByteExactly) {
+  CampaignStore store(temp_dir("store_roundtrip"));
+  // Payload with every awkward byte class: newlines, quotes, NUL, UTF-8.
+  std::string payload = "{\n  \"x\": 1\n}\n\"quoted\"\\slash\xc3\xa9";
+  payload.push_back('\0');
+  payload += "after-nul";
+  const std::string key = CampaignStore::key(payload);
+  EXPECT_TRUE(store.store(key, payload));
+  auto loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+  EXPECT_EQ(store.hits(), 1u);
+  EXPECT_EQ(store.corrupt(), 0u);
+}
+
+TEST(CampaignStore, MissingKeyIsAMiss) {
+  CampaignStore store(temp_dir("store_missing"));
+  EXPECT_FALSE(store.load(CampaignStore::key("never stored")).has_value());
+  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_EQ(store.corrupt(), 0u);
+}
+
+TEST(CampaignStore, TruncatedEntryIsACountedMissNotACrash) {
+  CampaignStore store(temp_dir("store_trunc"));
+  const std::string key = CampaignStore::key("payload");
+  ASSERT_TRUE(store.store(key, "the full payload bytes"));
+  // SIGKILL mid-write can't actually leave this state (temp+rename), but
+  // disk truncation can: chop the published entry.
+  const std::string full = read_file(store.object_path(key));
+  write_file(store.object_path(key), full.substr(0, full.size() - 5));
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(store.corrupt(), 1u);
+}
+
+TEST(CampaignStore, BitFlippedPayloadFailsChecksum) {
+  CampaignStore store(temp_dir("store_flip"));
+  const std::string key = CampaignStore::key("payload");
+  ASSERT_TRUE(store.store(key, "payload bytes to damage"));
+  std::string full = read_file(store.object_path(key));
+  full[full.size() - 3] ^= 0x20;  // flip one payload bit
+  write_file(store.object_path(key), full);
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(store.corrupt(), 1u);
+}
+
+TEST(CampaignStore, GarbageAndOverlongEntriesAreMisses) {
+  CampaignStore store(temp_dir("store_garbage"));
+  const std::string key = CampaignStore::key("x");
+  write_file(store.object_path(key), "not an entry at all");
+  EXPECT_FALSE(store.load(key).has_value());
+  // Overlong: valid header + payload + trailing junk.
+  ASSERT_TRUE(store.store(key, "payload"));
+  write_file(store.object_path(key), read_file(store.object_path(key)) + "junk");
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(store.corrupt(), 2u);
+}
+
+TEST(CampaignStore, StoreLeavesNoTempFiles) {
+  CampaignStore store(temp_dir("store_tmpclean"));
+  for (int i = 0; i < 5; ++i) {
+    const std::string payload = "payload " + std::to_string(i);
+    ASSERT_TRUE(store.store(CampaignStore::key(payload), payload));
+  }
+  size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(fs::path(store.dir()) /
+                                              "objects")) {
+    EXPECT_EQ(e.path().extension(), ".entry") << e.path();
+    ++entries;
+  }
+  EXPECT_EQ(entries, 5u);
+}
+
+TEST(CampaignStore, OverwriteIsIdempotent) {
+  CampaignStore store(temp_dir("store_overwrite"));
+  const std::string key = CampaignStore::key("p");
+  ASSERT_TRUE(store.store(key, "p"));
+  ASSERT_TRUE(store.store(key, "p"));  // same content, last rename wins
+  auto loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "p");
+}
+
+TEST(CampaignStore, ManifestRoundTripsAndDropsTornTail) {
+  CampaignStore store(temp_dir("store_manifest"));
+  EXPECT_TRUE(store.read_manifest().empty());
+  ASSERT_TRUE(store.append_manifest("{\"index\":0}"));
+  ASSERT_TRUE(store.append_manifest("{\"index\":1}"));
+  auto lines = store.read_manifest();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"index\":0}");
+  EXPECT_EQ(lines[1], "{\"index\":1}");
+  // Simulate SIGKILL mid-append: a torn final line without '\n'.
+  {
+    std::ofstream out(store.manifest_path(), std::ios::binary | std::ios::app);
+    out << "{\"ind";
+  }
+  lines = store.read_manifest();
+  EXPECT_EQ(lines.size(), 2u);  // the torn tail is invisible
+}
+
+}  // namespace
+}  // namespace xpass::exec

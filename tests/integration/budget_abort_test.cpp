@@ -1,0 +1,120 @@
+// Budget-truncated engine runs: a tripped RunBudget must come out as a
+// clean partial result — aborted + reason set, recorder output valid and
+// carrying the abort marker, and NO invariant assertions fired against the
+// mid-flight network state. Event-budget truncation must additionally be
+// deterministic (same spec -> byte-identical recorder JSON).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runner/scenario.hpp"
+#include "sim/run_budget.hpp"
+
+namespace {
+
+using namespace xpass;
+using runner::Protocol;
+using sim::Time;
+
+runner::ScenarioSpec budgeted_dumbbell() {
+  runner::ScenarioSpec s;
+  s.name = "unit/budget_dumbbell";
+  s.seed = 11;
+  s.topology.kind = runner::TopologyKind::kDumbbell;
+  s.topology.scale = 4;
+  s.protocol = Protocol::kExpressPass;
+  s.traffic.kind = runner::TrafficKind::kPairwise;
+  s.traffic.flows = 4;
+  s.stop = runner::StopSpec::measure_window(Time::ms(5), Time::ms(40));
+  s.check_invariants = true;
+  return s;
+}
+
+TEST(BudgetAbort, EventBudgetProducesCleanPartialResult) {
+  auto s = budgeted_dumbbell();
+  sim::RunBudget b;
+  b.max_events = 20'000;  // far fewer than the ~45ms run needs
+  s.budget = b;
+  const auto r = runner::ScenarioEngine().run(s);
+
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.abort_reason, "event-budget");
+  // The truncation is graceful: no invariant sweep ran against the torn
+  // window, so nothing can have fired spuriously.
+  EXPECT_EQ(r.invariant_violations, 0u);
+  EXPECT_TRUE(r.invariant_messages.empty());
+
+  // The recorder output is a valid document that carries the abort marker.
+  EXPECT_TRUE(r.recorder.aborted());
+  EXPECT_EQ(r.recorder.abort_reason(), "event-budget");
+  const std::string json = r.recorder.to_json(r.name);
+  EXPECT_NE(json.find("\"schema\": \"xpass.recorder.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"aborted\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"abort_reason\": \"event-budget\""),
+            std::string::npos);
+}
+
+TEST(BudgetAbort, EventBudgetTruncationIsDeterministic) {
+  auto s = budgeted_dumbbell();
+  sim::RunBudget b;
+  b.max_events = 20'000;
+  s.budget = b;
+  runner::ScenarioEngine engine;
+  const auto a = engine.run(s);
+  const auto c = engine.run(s);
+  ASSERT_TRUE(a.aborted);
+  ASSERT_TRUE(c.aborted);
+  // The whole emitted document — every scalar, every series point — is
+  // byte-identical: an event budget truncates at the same event everywhere.
+  EXPECT_EQ(a.recorder.to_json(a.name), c.recorder.to_json(c.name));
+  EXPECT_EQ(a.end_time, c.end_time);
+}
+
+TEST(BudgetAbort, SimTimeBudgetCapsTheRunHorizon) {
+  auto s = budgeted_dumbbell();
+  sim::RunBudget b;
+  b.max_sim_time = Time::ms(2);  // the spec asks for 45ms
+  s.budget = b;
+  const auto r = runner::ScenarioEngine().run(s);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.abort_reason, "sim-time-budget");
+  EXPECT_LE(r.end_time, Time::ms(2));
+  EXPECT_EQ(r.invariant_violations, 0u);
+}
+
+TEST(BudgetAbort, WallClockOverrideTruncatesCleanly) {
+  auto s = budgeted_dumbbell();
+  // A horizon this sim cannot finish quickly; the override reins it in.
+  s.stop = runner::StopSpec::run_for(Time::sec(3600));
+  runner::RunOverrides ov;
+  ov.wall_clock_ms = 50;
+  const auto r = runner::ScenarioEngine().run(s, ov);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.abort_reason, "wall-clock-budget");
+  EXPECT_EQ(r.invariant_violations, 0u);
+  EXPECT_TRUE(r.invariant_messages.empty());
+  const std::string json = r.recorder.to_json(r.name);
+  EXPECT_NE(json.find("\"abort_reason\": \"wall-clock-budget\""),
+            std::string::npos);
+}
+
+TEST(BudgetAbort, UnexceededBudgetLeavesTheRunUntouched) {
+  auto plain = budgeted_dumbbell();
+  auto roomy = budgeted_dumbbell();
+  sim::RunBudget b;
+  b.max_events = 50'000'000;
+  b.max_sim_time = Time::sec(10);
+  roomy.budget = b;
+  runner::ScenarioEngine engine;
+  const auto a = engine.run(plain);
+  const auto c = engine.run(roomy);
+  EXPECT_FALSE(c.aborted);
+  // The budget fields feed the cache key, so the names/specs differ — but
+  // the measured physics must not.
+  EXPECT_EQ(a.sum_rate_bps, c.sum_rate_bps);
+  EXPECT_EQ(a.jain, c.jain);
+  EXPECT_EQ(a.bottleneck_max_queue_bytes, c.bottleneck_max_queue_bytes);
+  EXPECT_EQ(a.invariant_violations, c.invariant_violations);
+}
+
+}  // namespace

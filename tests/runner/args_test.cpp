@@ -142,6 +142,100 @@ TEST(Args, F64RejectsNonFinite) {
   }
 }
 
+TEST(Args, TimeoutMsParsesAndRejectsNegative) {
+  {
+    Argv a({"--timeout-ms=250.5"});
+    Args args(a.argc(), a.argv());
+    EXPECT_DOUBLE_EQ(args.timeout_ms(), 250.5);
+    EXPECT_TRUE(args.ok()) << args.error();
+  }
+  {
+    Argv a({});
+    Args args(a.argc(), a.argv());
+    EXPECT_DOUBLE_EQ(args.timeout_ms(), 0.0);  // absent = no budget
+    EXPECT_TRUE(args.ok());
+  }
+  for (auto tokens : {std::vector<std::string>{"--timeout-ms=-5"},
+                      std::vector<std::string>{"--timeout-ms=nope"},
+                      std::vector<std::string>{"--timeout-ms=inf"}}) {
+    Argv a(tokens);
+    Args args(a.argc(), a.argv());
+    EXPECT_DOUBLE_EQ(args.timeout_ms(), 0.0) << tokens[0];
+    EXPECT_FALSE(args.ok()) << "accepted: " << tokens[0];
+    EXPECT_NE(args.error().find("--timeout-ms"), std::string::npos);
+  }
+}
+
+TEST(Args, CacheDirWantsANonEmptyPath) {
+  {
+    Argv a({"--cache-dir", "results/cache"});
+    Args args(a.argc(), a.argv());
+    auto dir = args.cache_dir();
+    ASSERT_TRUE(dir.has_value());
+    EXPECT_EQ(*dir, "results/cache");
+    EXPECT_TRUE(args.ok()) << args.error();
+  }
+  {
+    Argv a({});
+    Args args(a.argc(), a.argv());
+    EXPECT_FALSE(args.cache_dir().has_value());  // absent = caching off
+    EXPECT_TRUE(args.ok());
+  }
+  {
+    Argv a({"--cache-dir="});
+    Args args(a.argc(), a.argv());
+    EXPECT_FALSE(args.cache_dir().has_value());
+    EXPECT_FALSE(args.ok());
+    EXPECT_NE(args.error().find("--cache-dir"), std::string::npos);
+  }
+}
+
+TEST(Args, ResumeIsABareFlag) {
+  {
+    Argv a({"--resume"});
+    Args args(a.argc(), a.argv());
+    EXPECT_TRUE(args.resume());
+    EXPECT_TRUE(args.ok()) << args.error();
+  }
+  {
+    Argv a({});
+    Args args(a.argc(), a.argv());
+    EXPECT_FALSE(args.resume());
+    EXPECT_TRUE(args.ok());
+  }
+  {
+    Argv a({"--resume=yes"});  // boolean flags take no value
+    Args args(a.argc(), a.argv());
+    args.resume();
+    EXPECT_FALSE(args.ok());
+  }
+}
+
+TEST(Args, RetriesSharesStrictU64Validation) {
+  {
+    Argv a({"--retries=3"});
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.retries(), 3u);
+    EXPECT_TRUE(args.ok()) << args.error();
+  }
+  {
+    Argv a({});
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.retries(), 0u);  // absent = fail on first exception
+    EXPECT_TRUE(args.ok());
+  }
+  for (auto tokens : {std::vector<std::string>{"--retries=-1"},
+                      std::vector<std::string>{"--retries=2x"},
+                      std::vector<std::string>{"--retries="},
+                      std::vector<std::string>{"--retries=99999999999999999999"}}) {
+    Argv a(tokens);
+    Args args(a.argc(), a.argv());
+    EXPECT_EQ(args.retries(), 0u) << tokens[0];
+    EXPECT_FALSE(args.ok()) << "accepted: " << tokens[0];
+    EXPECT_NE(args.error().find("--retries"), std::string::npos);
+  }
+}
+
 TEST(Args, UnqueriedFlagReportsUnknown) {
   Argv a({"--fulll"});  // typo of --full
   Args args(a.argc(), a.argv());

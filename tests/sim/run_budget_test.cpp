@@ -1,0 +1,191 @@
+// RunBudget / Simulator budgeted-run tests: every budget axis trips as a
+// clean, deterministic (where promised) truncation, and an unbudgeted or
+// unexceeded run is indistinguishable from the pre-budget fast path.
+#include "sim/run_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace xpass::sim {
+namespace {
+
+// A self-rescheduling tick chain: fires at t, t+dt, t+2dt, ... forever.
+void chain(Simulator& sim, Time dt, std::vector<int64_t>* fired) {
+  sim.after(dt, [&sim, dt, fired] {
+    fired->push_back(sim.now().picos());
+    chain(sim, dt, fired);
+  });
+}
+
+TEST(RunBudget, AnyDetectsEachAxis) {
+  EXPECT_FALSE(RunBudget{}.any());
+  RunBudget b;
+  b.max_events = 1;
+  EXPECT_TRUE(b.any());
+  b = RunBudget{};
+  b.max_sim_time = Time::us(1);
+  EXPECT_TRUE(b.any());
+  b = RunBudget{};
+  b.max_wall_ms = 0.5;
+  EXPECT_TRUE(b.any());
+  b = RunBudget{};
+  b.max_live_events = 10;
+  EXPECT_TRUE(b.any());
+}
+
+TEST(RunBudget, AbortReasonNamesAreStable) {
+  EXPECT_EQ(abort_reason_name(AbortReason::kNone), "");
+  EXPECT_EQ(abort_reason_name(AbortReason::kEventBudget), "event-budget");
+  EXPECT_EQ(abort_reason_name(AbortReason::kSimTimeBudget), "sim-time-budget");
+  EXPECT_EQ(abort_reason_name(AbortReason::kWallClockBudget),
+            "wall-clock-budget");
+  EXPECT_EQ(abort_reason_name(AbortReason::kLiveEventBudget),
+            "live-event-budget");
+}
+
+TEST(RunBudget, EventBudgetTruncatesDeterministically) {
+  auto run = [](uint64_t cap) {
+    Simulator sim(7);
+    std::vector<int64_t> fired;
+    chain(sim, Time::us(1), &fired);
+    RunBudget b;
+    b.max_events = cap;
+    sim.set_budget(b);
+    sim.run_until(Time::sec(1));
+    EXPECT_TRUE(sim.aborted());
+    EXPECT_EQ(sim.abort_reason(), AbortReason::kEventBudget);
+    EXPECT_EQ(fired.size(), cap);
+    EXPECT_EQ(sim.budget_events_fired(), cap);
+    return fired;
+  };
+  const auto a = run(100);
+  const auto b = run(100);
+  EXPECT_EQ(a, b);  // same seed + same budget -> identical truncation point
+  // now() froze at the last fired event, not the run_until horizon.
+  EXPECT_EQ(a.back(), Time::us(100).picos());
+}
+
+TEST(RunBudget, AbortedSimulatorRefusesFurtherWork) {
+  Simulator sim;
+  std::vector<int64_t> fired;
+  chain(sim, Time::us(1), &fired);
+  RunBudget b;
+  b.max_events = 5;
+  sim.set_budget(b);
+  sim.run_until(Time::ms(10));
+  ASSERT_TRUE(sim.aborted());
+  const size_t n = fired.size();
+  const Time frozen = sim.now();
+  sim.run_until(Time::ms(20));  // must be a no-op
+  sim.run();
+  EXPECT_EQ(fired.size(), n);
+  EXPECT_EQ(sim.now(), frozen);
+}
+
+TEST(RunBudget, SimTimeBudgetCapsHorizon) {
+  Simulator sim;
+  std::vector<int64_t> fired;
+  chain(sim, Time::us(10), &fired);
+  RunBudget b;
+  b.max_sim_time = Time::us(35);
+  sim.set_budget(b);
+  sim.run_until(Time::ms(1));
+  EXPECT_TRUE(sim.aborted());
+  EXPECT_EQ(sim.abort_reason(), AbortReason::kSimTimeBudget);
+  // Events at 10/20/30 us fired; the 40 us event is beyond the cap.
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(sim.now(), Time::us(35));  // settled exactly at the cap
+}
+
+TEST(RunBudget, SimTimeCapWithoutPendingWorkIsNotAnAbort) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(Time::us(5), [&] { ++fired; });
+  RunBudget b;
+  b.max_sim_time = Time::us(100);
+  sim.set_budget(b);
+  sim.run_until(Time::ms(1));
+  // The queue drained before the cap: a short run, not a truncated one.
+  EXPECT_FALSE(sim.aborted());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(RunBudget, LiveEventBudgetStopsFanOutBomb) {
+  Simulator sim;
+  // Each firing schedules two successors: live count doubles every layer.
+  struct Bomb {
+    Simulator& sim;
+    void tick() {
+      sim.after(Time::ns(10), [this] { tick(); });
+      sim.after(Time::ns(10), [this] { tick(); });
+    }
+  } bomb{sim};
+  bomb.tick();
+  RunBudget b;
+  b.max_live_events = 1024;
+  sim.set_budget(b);
+  sim.run_until(Time::ms(100));
+  EXPECT_TRUE(sim.aborted());
+  EXPECT_EQ(sim.abort_reason(), AbortReason::kLiveEventBudget);
+  // Stopped right as the live set crossed the cap, far from memory blowup.
+  EXPECT_GT(sim.pending(), 1024u);
+  EXPECT_LT(sim.pending(), 4096u);
+}
+
+TEST(RunBudget, WallClockBudgetUnsticksInfiniteLoop) {
+  Simulator sim;
+  // Same-time rescheduling: sim time never advances, so only the wall
+  // budget can end this run.
+  std::function<void()> spin = [&] { sim.at(sim.now(), [&] { spin(); }); };
+  sim.at(Time::zero(), [&] { spin(); });
+  RunBudget b;
+  b.max_wall_ms = 50;
+  sim.set_budget(b);
+  sim.run();  // unbounded run(): would never return without the budget
+  EXPECT_TRUE(sim.aborted());
+  EXPECT_EQ(sim.abort_reason(), AbortReason::kWallClockBudget);
+}
+
+TEST(RunBudget, UnexceededBudgetMatchesUnbudgetedRun) {
+  auto run = [](bool budgeted) {
+    Simulator sim(3);
+    std::vector<int64_t> fired;
+    chain(sim, Time::us(1), &fired);
+    if (budgeted) {
+      RunBudget b;
+      b.max_events = 1'000'000;
+      b.max_sim_time = Time::sec(10);
+      b.max_live_events = 1'000'000;
+      sim.set_budget(b);
+    }
+    sim.run_until(Time::us(500));
+    EXPECT_FALSE(sim.aborted());
+    EXPECT_EQ(sim.now(), Time::us(500));
+    return fired;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(RunBudget, RearmingClearsAbortAndCountsFromNow) {
+  Simulator sim;
+  std::vector<int64_t> fired;
+  chain(sim, Time::us(1), &fired);
+  RunBudget b;
+  b.max_events = 3;
+  sim.set_budget(b);
+  sim.run_until(Time::ms(1));
+  ASSERT_TRUE(sim.aborted());
+  ASSERT_EQ(fired.size(), 3u);
+  sim.set_budget(b);  // re-arm: 3 more events from here
+  EXPECT_FALSE(sim.aborted());
+  sim.run_until(Time::ms(1));
+  EXPECT_TRUE(sim.aborted());
+  EXPECT_EQ(fired.size(), 6u);
+}
+
+}  // namespace
+}  // namespace xpass::sim

@@ -11,11 +11,14 @@ ScenarioEngine run can write (e.g. `xpass_cli --json=out.json`):
       "series": {"<dotted.name>": {"t_sec": [..], "v": [..]}, ...}
     }
 
-Checks: the schema tag, the four required keys (and no others), scalar
-values are finite numbers, every series has equal-length t_sec/v arrays of
-finite numbers with non-decreasing t_sec. With --require-scalar NAME
-(repeatable), the named scalar(s) must be present — CI uses this to assert
-the engine recorded the standard probes.
+Budget-truncated runs additionally carry "aborted": true and a known
+"abort_reason" string; healthy runs omit both keys.
+
+Checks: the schema tag, the four required keys (plus the optional abort
+pair, and no others), scalar values are finite numbers, every series has
+equal-length t_sec/v arrays of finite numbers with non-decreasing t_sec.
+With --require-scalar NAME (repeatable), the named scalar(s) must be
+present — CI uses this to assert the engine recorded the standard probes.
 
 Usage: check_recorder_json.py FILE... [--require-scalar NAME]...
 Exits non-zero with a message per problem.
@@ -28,6 +31,12 @@ import sys
 
 SCHEMA = "xpass.recorder.v1"
 REQUIRED_KEYS = {"schema", "scenario", "scalars", "series"}
+# Present only on budget-truncated runs (sim::RunBudget); absent == healthy.
+OPTIONAL_KEYS = {"aborted", "abort_reason"}
+ABORT_REASONS = {
+    "event-budget", "sim-time-budget", "wall-clock-budget",
+    "live-event-budget",
+}
 
 
 def is_finite_number(v):
@@ -47,12 +56,23 @@ def check_doc(doc, path, require_scalars):
     keys = set(doc.keys())
     for k in sorted(REQUIRED_KEYS - keys):
         bad(f"missing key '{k}'")
-    for k in sorted(keys - REQUIRED_KEYS):
+    for k in sorted(keys - REQUIRED_KEYS - OPTIONAL_KEYS):
         bad(f"unexpected key '{k}'")
     if doc.get("schema") != SCHEMA:
         bad(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
     if not isinstance(doc.get("scenario"), str) or not doc.get("scenario"):
         bad("scenario must be a non-empty string")
+
+    # The abort pair comes and goes together: a truncated run has
+    # aborted == true plus a known reason; a healthy run has neither.
+    if "aborted" in keys or "abort_reason" in keys:
+        if doc.get("aborted") is not True:
+            bad(f"aborted must be true when present, got "
+                f"{doc.get('aborted')!r}")
+        reason = doc.get("abort_reason")
+        if reason not in ABORT_REASONS:
+            bad(f"abort_reason {reason!r} is not one of "
+                f"{sorted(ABORT_REASONS)}")
 
     scalars = doc.get("scalars", {})
     if not isinstance(scalars, dict):

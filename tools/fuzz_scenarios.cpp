@@ -38,6 +38,8 @@ constexpr const char* kUsage =
     "  --no-shrink         keep failing specs unshrunk\n"
     "  --no-metamorphic    skip metamorphic oracles (faster)\n"
     "  --no-differential   skip differential oracles\n"
+    "  --journal FILE      append one verdict line per finished scenario\n"
+    "  --resume            with --journal: skip journaled-clean scenarios\n"
     "  --repro FILE        replay one repro/spec JSON instead of fuzzing\n"
     "  --expect-fail       with --repro: exit 0 iff the oracle still fails\n"
     "  --list-oracles      print oracle names and exit\n"
@@ -127,10 +129,17 @@ int main(int argc, char** argv) {
   opts.oracles.metamorphic = !args.flag("no-metamorphic");
   opts.oracles.differential = !args.flag("no-differential");
   opts.verbose = args.flag("verbose");
+  opts.journal = args.str("journal").value_or("");
+  opts.resume = args.resume();
   const auto protocol = args.str("protocol");
   const auto repro_path = args.str("repro");
   const bool expect_fail = args.flag("expect-fail");
   args.die_on_error(kUsage);
+  if (opts.resume && opts.journal.empty()) {
+    std::fprintf(stderr, "fuzz_scenarios: --resume requires --journal\n%s",
+                 kUsage);
+    return 2;
+  }
 
   if (list_oracles) {
     for (const auto& name : xpass::check::OracleSuite::oracle_names()) {
@@ -173,7 +182,9 @@ int main(int argc, char** argv) {
 
   const auto report = xpass::check::run_fuzz(opts, stderr);
   std::fprintf(stderr,
-               "fuzz: %zu scenarios, %zu engine runs, %zu failure(s)\n",
-               report.scenarios, report.engine_runs, report.failures.size());
+               "fuzz: %zu scenarios, %zu engine runs, %zu resumed, "
+               "%zu failure(s)\n",
+               report.scenarios, report.engine_runs, report.resumed,
+               report.failures.size());
   return report.clean() ? 0 : 3;
 }

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <string>
 
+#include "exec/campaign.hpp"
 #include "exec/sweep_runner.hpp"
 #include "runner/args.hpp"
 #include "runner/protocols.hpp"
@@ -61,6 +62,15 @@ struct Options {
   // --json=PATH: also emit the run's recorder (every scalar plus any series
   // probes) as JSON. With --runs=M, run i writes PATH.i.
   std::string json_path;
+  // Campaign mode (any of these set routes runs through exec::run_campaign;
+  // the plain path stays byte-identical when none are): --cache-dir=DIR
+  // persists results to a resumable content-addressed store, --resume
+  // serves verified entries instead of re-running, --timeout-ms=T leashes
+  // each run's wall clock, --retries=N retries throwing runs with backoff.
+  std::string cache_dir;
+  bool resume = false;
+  double timeout_ms = 0;
+  size_t retries = 0;
 };
 
 constexpr const char* kUsage =
@@ -70,6 +80,8 @@ constexpr const char* kUsage =
     "  [--pairs=N] [--k=N] [--flows=N] [--incast=N] [--bytes=N|long]\n"
     "  [--load=F] [--rate-gbps=F] [--duration-ms=F] [--seed=N]\n"
     "  [--spraying] [--runs=M] [--jobs=N] [--json=PATH]\n"
+    "  campaign (crash-safe batches; see EXPERIMENTS.md):\n"
+    "  [--cache-dir=DIR] [--resume] [--timeout-ms=T] [--retries=N]\n"
     "  faults (target: first fabric link):\n"
     "  [--flap-ms=DOWN,UP] [--kill-ms=T] [--data-drop=P] [--credit-drop=P]\n"
     "  [--data-corrupt=P] [--credit-corrupt=P] [--fault-seed=N]\n"
@@ -124,6 +136,10 @@ Options parse(int argc, char** argv) {
   o.fault_seed = args.u64("fault-seed", o.fault_seed);
   o.check_invariants = args.flag("check-invariants");
   if (auto v = args.str("json")) o.json_path = *v;
+  if (auto v = args.cache_dir()) o.cache_dir = *v;
+  o.resume = args.resume();
+  o.timeout_ms = args.timeout_ms();
+  o.retries = args.retries();
   const bool help = args.flag("help");
   args.die_on_error(kUsage);
   for (const std::string& p : args.positional()) {
@@ -274,16 +290,73 @@ std::string format_report(const Options& o, bool has_faults,
   return out;
 }
 
-void write_json(const std::string& path, const runner::ScenarioResult& r) {
+// Both JSON writers emit payload + '\n', so a cache hit's stored payload
+// produces a file byte-identical to the one the original run wrote.
+void write_json_payload(const std::string& path, const std::string& payload) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  const std::string json = r.recorder.to_json(r.name);
-  std::fwrite(json.data(), 1, json.size(), f);
+  std::fwrite(payload.data(), 1, payload.size(), f);
   std::fputc('\n', f);
   std::fclose(f);
+}
+
+void write_json(const std::string& path, const runner::ScenarioResult& r) {
+  write_json_payload(path, r.recorder.to_json(r.name));
+}
+
+// The crash-safe path: every run goes through exec::run_campaign, which
+// persists/serves results via the content-addressed store, retries and
+// quarantines throwing runs, and leashes hangs with the wall-clock budget.
+int run_campaign_mode(const Options& o,
+                      const std::vector<runner::ScenarioSpec>& grid) {
+  exec::CampaignOptions copts;
+  copts.cache_dir = o.cache_dir;
+  copts.resume = o.resume;
+  copts.retries = o.retries;
+  copts.timeout_ms = o.timeout_ms;
+  copts.jobs = o.jobs;
+  copts.seed = o.seed;
+  const exec::CampaignReport report = exec::run_campaign(grid, copts);
+
+  for (size_t i = 0; i < report.tasks.size(); ++i) {
+    const exec::CampaignTaskResult& t = report.tasks[i];
+    if (grid.size() > 1) {
+      std::printf("=== run %zu/%zu (seed %llu) ===\n", i + 1, grid.size(),
+                  static_cast<unsigned long long>(grid[i].seed));
+    }
+    if (t.cache_hit) {
+      std::printf("cached result (key %s)\n", t.key.c_str());
+    } else if (t.result) {
+      std::fputs(format_report(o, grid[i].faults.any(), *t.result).c_str(),
+                 stdout);
+      if (t.result->aborted) {
+        std::printf("  aborted         : %s\n", t.result->abort_reason.c_str());
+      }
+    } else {
+      std::printf("task %s after %u attempt(s): %s\n",
+                  std::string(exec::task_status_name(t.outcome.status)).c_str(),
+                  t.outcome.attempts, t.outcome.error.c_str());
+      if (!t.quarantine_path.empty()) {
+        std::printf("  repro: %s\n", t.quarantine_path.c_str());
+      }
+    }
+    if (i + 1 < report.tasks.size()) std::printf("\n");
+    if (!o.json_path.empty() && !t.payload.empty()) {
+      const std::string path = grid.size() == 1
+                                   ? o.json_path
+                                   : o.json_path + "." + std::to_string(i + 1);
+      write_json_payload(path, t.payload);
+    }
+  }
+  std::printf("campaign: %zu tasks, cache hits: %zu, ran: %zu, "
+              "quarantined: %zu, timed out: %zu, over budget: %zu, "
+              "skipped: %zu\n",
+              report.tasks.size(), report.hits, report.ran, report.quarantined,
+              report.timed_out, report.over_budget, report.skipped);
+  return report.all_usable() ? 0 : 1;
 }
 
 }  // namespace
@@ -298,6 +371,24 @@ int main(int argc, char** argv) {
   }
   if (!o.workload.empty() && !parse_workload(o.workload)) {
     usage("unknown workload");
+  }
+
+  if (o.resume && o.cache_dir.empty()) usage("--resume requires --cache-dir");
+  const bool campaign_mode =
+      !o.cache_dir.empty() || o.timeout_ms > 0 || o.retries > 0;
+  if (campaign_mode) {
+    // Same seed schedule as the plain path: a single run uses --seed
+    // itself, replications use task_seed(seed, i) — so cached entries match
+    // the plain path's results spec-for-spec.
+    std::vector<runner::ScenarioSpec> grid;
+    if (o.runs == 1) {
+      grid.push_back(make_spec(o, o.seed));
+    } else {
+      for (size_t i = 0; i < o.runs; ++i) {
+        grid.push_back(make_spec(o, exec::task_seed(o.seed, i)));
+      }
+    }
+    return run_campaign_mode(o, grid);
   }
 
   runner::ScenarioEngine engine;
