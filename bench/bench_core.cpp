@@ -30,6 +30,7 @@
 
 #include "bench/alloc_probe.hpp"
 #include "bench/common.hpp"
+#include "net/topology_builders.hpp"
 #include "sim/event_queue.hpp"
 
 namespace {
@@ -340,6 +341,38 @@ ChainResult bench_chain(size_t n_links) {
   return r;
 }
 
+// ---- Topology construction: fat-tree build + route computation -----------
+//
+// finalize() runs recompute_routes(), the all-pairs BFS that builds every
+// switch's CSR route table; on large fat trees this dominated large-scale
+// scenario startup before the CSR flattening (the nested table allocated
+// one inner vector per (switch, destination) pair). Best-of-3 wall seconds
+// for build+finalize of a k-ary fat tree.
+
+struct TopoBuildResult {
+  size_t k;
+  size_t hosts;
+  size_t switches;
+  double build_sec;
+};
+
+TopoBuildResult bench_topology_build(size_t k) {
+  TopoBuildResult r;
+  r.k = k;
+  r.build_sec = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_sec();
+    sim::Simulator sim(1);
+    net::Topology topo(sim);
+    net::LinkConfig cfg;
+    auto ft = net::build_fat_tree(topo, k, cfg, cfg);
+    r.build_sec = std::min(r.build_sec, now_sec() - t0);
+    r.hosts = ft.hosts.size();
+    r.switches = topo.switches().size();
+  }
+  return r;
+}
+
 // ---- 12-point sweep: --jobs scaling and byte-identity --------------------
 
 struct SweepResult {
@@ -546,6 +579,16 @@ int main(int argc, char** argv) {
               chain.events_per_hop, chain.coalesce_factor, chain.goodput_gbps,
               static_cast<unsigned long long>(chain.hot_path_allocs));
 
+  std::printf("topology construction (fat tree build + routes, best of "
+              "3)...\n");
+  std::vector<TopoBuildResult> topo_builds;
+  for (size_t k : {8, 16}) {
+    topo_builds.push_back(bench_topology_build(k));
+    const TopoBuildResult& t = topo_builds.back();
+    std::printf("  k=%-2zu: %zu hosts, %zu switches, %.3fs\n", t.k, t.hosts,
+                t.switches, t.build_sec);
+  }
+
   SweepResult sweep;
   if (run_sweep) {
     std::printf("12-point scalability sweep (3 protocols x {4,16,64,256} "
@@ -593,6 +636,16 @@ int main(int argc, char** argv) {
                  r.flows, static_cast<unsigned long long>(r.events_fired),
                  r.wall_sec, r.events_per_sec, r.goodput_gbps,
                  i + 1 < scen.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"topology_construction\": [\n");
+  for (size_t i = 0; i < topo_builds.size(); ++i) {
+    const TopoBuildResult& t = topo_builds[i];
+    std::fprintf(f,
+                 "    {\"k\": %zu, \"hosts\": %zu, \"switches\": %zu, "
+                 "\"build_sec\": %.4f}%s\n",
+                 t.k, t.hosts, t.switches, t.build_sec,
+                 i + 1 < topo_builds.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");

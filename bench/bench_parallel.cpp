@@ -1,0 +1,223 @@
+// Sharded-core scaling baseline: runs one fat-tree scenario on the serial
+// core and on the sharded parallel core at 2/4/8 shards, and emits
+// BENCH_parallel.json (schema documented in EXPERIMENTS.md, gated by
+// tools/check_bench_regression.py --parallel).
+//
+// Two metric classes, gated differently:
+//  - Determinism invariants (count/byte-based, hold on any hardware):
+//    two runs at the same shard count produce byte-identical recorder JSON,
+//    and --shards=1 routes through the serial core byte-identically.
+//    Always gated.
+//  - Wall-clock scaling (speedup, parallel efficiency at 8 shards): only
+//    meaningful when the host actually has >= 8 cores. The JSON records
+//    "cores" so the gate can skip the efficiency check on small runners
+//    (the committed baseline is the maintainer-machine measurement, exactly
+//    like BENCH_core.json's absolute throughputs).
+//
+// Also runs the large-scale acceptance workload: a k=16 fat tree with
+// >= 100k Poisson flows under a run budget, proving the sharded core
+// completes (budget-truncated, gracefully measured) instead of hanging or
+// exhausting memory.
+//
+// Usage: bench_parallel [BENCH_parallel.json] [--quick]
+//   --quick shrinks the workload for CI smoke (k=4 scaling, no large run);
+//   the committed JSON must be regenerated without it.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/scenario.hpp"
+#include "sim/run_budget.hpp"
+
+namespace {
+
+using namespace xpass;
+using sim::Time;
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool g_quick = false;
+
+// The scaling workload: every host pair talks (long-running flows, so the
+// credit/data machinery stays saturated for the whole window) on a fat tree
+// whose pods partition cleanly across shards.
+runner::ScenarioSpec scaling_spec(size_t shards) {
+  runner::ScenarioSpec s;
+  s.name = "bench_parallel/scaling";
+  s.seed = 29;
+  s.protocol = runner::Protocol::kExpressPass;
+  s.topology.kind = runner::TopologyKind::kFatTree;
+  s.topology.fat_tree_k = g_quick ? 4 : 8;
+  s.traffic.kind = runner::TrafficKind::kPairwise;
+  s.traffic.flows = g_quick ? 16 : 256;
+  s.traffic.bytes = transport::kLongRunning;
+  s.traffic.start_spread_sec = 1e-3;
+  s.stop = runner::StopSpec::completion(Time::ms(g_quick ? 2 : 5));
+  s.shards = shards;
+  return s;
+}
+
+struct ScalingRow {
+  size_t shards;  // 0 = serial core
+  double wall_sec;
+  std::string recorder_json;
+  uint64_t data_drops = 0;
+  double sum_rate_bps = 0;
+};
+
+ScalingRow run_scaling(size_t shards) {
+  runner::ScenarioEngine engine;
+  const runner::ScenarioSpec spec = scaling_spec(shards);
+  const double t0 = now_sec();
+  const runner::ScenarioResult r = engine.run(spec);
+  ScalingRow row;
+  row.shards = shards;
+  row.wall_sec = now_sec() - t0;
+  row.recorder_json = r.recorder.to_json(r.name);
+  row.data_drops = r.data_drops;
+  row.sum_rate_bps = r.sum_rate_bps;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = "BENCH_parallel.json";
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
+    } else if (positional == 0) {
+      out_path = argv[i];
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const size_t cores = std::thread::hardware_concurrency();
+
+  // ---- Scaling: serial vs 2/4/8 shards -----------------------------------
+  const std::vector<size_t> shard_counts =
+      g_quick ? std::vector<size_t>{0, 2, 4} : std::vector<size_t>{0, 2, 4, 8};
+  std::printf("sharded-core scaling (fat tree k=%zu, %zu long flows, "
+              "%zu cores)...\n",
+              static_cast<size_t>(g_quick ? 4 : 8),
+              static_cast<size_t>(g_quick ? 16 : 256), cores);
+  std::vector<ScalingRow> rows;
+  for (size_t s : shard_counts) {
+    rows.push_back(run_scaling(s));
+    std::printf("  shards=%zu%s: %.2fs  (goodput %.1fG, drops %llu)\n",
+                rows.back().shards, s == 0 ? " (serial)" : "",
+                rows.back().wall_sec, rows.back().sum_rate_bps / 1e9,
+                static_cast<unsigned long long>(rows.back().data_drops));
+  }
+  const double serial_wall = rows.front().wall_sec;
+  const size_t max_shards = shard_counts.back();
+  const double max_wall = rows.back().wall_sec;
+  const double speedup = serial_wall / max_wall;
+  const double efficiency = speedup / static_cast<double>(max_shards);
+  std::printf("  speedup at %zu shards: %.2fx (efficiency %.2f)%s\n",
+              max_shards, speedup, efficiency,
+              cores < max_shards ? "  [cores < shards: not meaningful]" : "");
+
+  // ---- Determinism: same shard count twice => byte-identical recorder ----
+  const ScalingRow rerun = run_scaling(max_shards);
+  const bool identical = rerun.recorder_json == rows.back().recorder_json;
+  // --shards=1 must route through the untouched serial core.
+  runner::ScenarioEngine engine;
+  runner::ScenarioSpec one = scaling_spec(1);
+  const std::string one_json = engine.run(one).recorder.to_json(one.name);
+  const bool serial_identical = one_json == rows.front().recorder_json;
+  std::printf("  determinism: rerun at %zu shards %s, shards=1 vs serial "
+              "%s\n",
+              max_shards, identical ? "byte-identical" : "DIVERGED",
+              serial_identical ? "byte-identical" : "DIVERGED");
+
+  // ---- Large-scale acceptance: k=16, >= 100k flows, budgeted -------------
+  bool large_ran = false;
+  bool large_completed = false;
+  size_t large_scheduled = 0, large_completed_flows = 0;
+  double large_wall = 0;
+  std::string large_abort;
+  if (!g_quick) {
+    std::printf("large-scale run (fat tree k=16, 100k flows, event "
+                "budget)...\n");
+    runner::ScenarioSpec big;
+    big.name = "bench_parallel/large";
+    big.seed = 29;
+    big.protocol = runner::Protocol::kExpressPass;
+    big.topology.kind = runner::TopologyKind::kFatTree;
+    big.topology.fat_tree_k = 16;
+    big.traffic.kind = runner::TrafficKind::kPoisson;
+    big.traffic.workload = workload::WorkloadKind::kWebSearch;
+    big.traffic.load = 0.4;
+    big.traffic.flows = 100'000;
+    big.stop = runner::StopSpec::completion(Time::ms(200));
+    sim::RunBudget budget;
+    budget.max_events = 20'000'000;  // graceful truncation, bounded wall
+    big.budget = budget;
+    big.shards = 8;
+    const double t0 = now_sec();
+    const runner::ScenarioResult r = engine.run(big);
+    large_wall = now_sec() - t0;
+    large_ran = true;
+    large_completed = true;  // returned at all = completed under budget
+    large_scheduled = r.scheduled;
+    large_completed_flows = r.completed;
+    large_abort = r.aborted ? r.abort_reason : "";
+    std::printf("  %zu flows scheduled, %zu completed, %.1fs wall%s%s\n",
+                r.scheduled, r.completed, large_wall,
+                r.aborted ? ", budget-truncated: " : "",
+                r.aborted ? r.abort_reason.c_str() : "");
+  }
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"parallel\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"quick\": %s,\n", g_quick ? "true" : "false");
+  std::fprintf(f, "  \"cores\": %zu,\n", cores);
+  std::fprintf(f, "  \"scaling\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"wall_sec\": %.3f, "
+                 "\"goodput_gbps\": %.2f, \"data_drops\": %llu}%s\n",
+                 rows[i].shards, rows[i].wall_sec,
+                 rows[i].sum_rate_bps / 1e9,
+                 static_cast<unsigned long long>(rows[i].data_drops),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"max_shards\": %zu,\n", max_shards);
+  std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"efficiency\": %.3f,\n", efficiency);
+  std::fprintf(f, "  \"identical_rerun\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "  \"shards1_matches_serial\": %s,\n",
+               serial_identical ? "true" : "false");
+  if (large_ran) {
+    std::fprintf(f,
+                 "  \"large\": {\"k\": 16, \"shards\": 8, \"scheduled\": %zu, "
+                 "\"completed\": %zu, \"wall_sec\": %.1f, "
+                 "\"finished\": %s, \"abort_reason\": \"%s\"}\n",
+                 large_scheduled, large_completed_flows, large_wall,
+                 large_completed ? "true" : "false", large_abort.c_str());
+  } else {
+    std::fprintf(f, "  \"large\": null\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return (identical && serial_identical) ? 0 : 1;
+}

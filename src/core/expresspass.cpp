@@ -53,8 +53,8 @@ void ExpressPassConnection::stop() {
   started_ = false;
   spec_.src->unregister_flow(spec_.id);
   spec_.dst->unregister_flow(spec_.id);
-  sim_.cancel(credit_timer_);
-  sim_.cancel(feedback_timer_);
+  rsim_.cancel(credit_timer_);
+  rsim_.cancel(feedback_timer_);
   sim_.cancel(request_timer_);
   while (!release_timers_.empty()) sim_.cancel(release_timers_.pop_front());
   credits_running_ = false;
@@ -100,7 +100,8 @@ void ExpressPassConnection::on_watchdog() {
   ++dead_retries_;
   if (dead_retries_ > cfg_.max_dead_retries) {
     abort_flow("sender: no credits after " +
-               std::to_string(cfg_.max_dead_retries) + " request retries");
+                   std::to_string(cfg_.max_dead_retries) + " request retries",
+               /*sender_half=*/true);
     return;
   }
   send_request();
@@ -110,12 +111,30 @@ void ExpressPassConnection::on_watchdog() {
   arm_watchdog();
 }
 
-void ExpressPassConnection::abort_flow(const std::string& why) {
-  sim_.cancel(request_timer_);
-  sim_.cancel(credit_timer_);
-  sim_.cancel(feedback_timer_);
-  credits_running_ = false;
-  done_ = true;
+void ExpressPassConnection::abort_flow(const std::string& why,
+                                       bool sender_half) {
+  if (&sim_ == &rsim_) {
+    // Serial: one thread owns both halves; tear everything down at once.
+    sim_.cancel(request_timer_);
+    sim_.cancel(credit_timer_);
+    sim_.cancel(feedback_timer_);
+    credits_running_ = false;
+    done_ = true;
+    fail_flow(why);
+    return;
+  }
+  // Sharded: each half may only touch its own shard's event queue and its
+  // own state. fail_flow()'s settlement is the cross-thread signal — the
+  // other half sees failed() on its next timer/packet and goes quiet
+  // (watchdog and credit/feedback pumps all check it before re-arming).
+  if (sender_half) {
+    sim_.cancel(request_timer_);
+  } else {
+    rsim_.cancel(credit_timer_);
+    rsim_.cancel(feedback_timer_);
+    credits_running_ = false;
+    done_ = true;
+  }
   fail_flow(why);
 }
 
@@ -201,8 +220,8 @@ void ExpressPassConnection::receiver_on_packet(Packet&& p) {
     case PktType::kCreditStop:
       done_ = true;
       credits_running_ = false;
-      sim_.cancel(credit_timer_);
-      sim_.cancel(feedback_timer_);
+      rsim_.cancel(credit_timer_);
+      rsim_.cancel(feedback_timer_);
       return;
     case PktType::kData: {
       ++data_rcvd_period_;
@@ -255,8 +274,8 @@ void ExpressPassConnection::receiver_on_packet(Packet&& p) {
         done_ = true;
         if (credits_running_) {
           credits_running_ = false;
-          sim_.cancel(credit_timer_);
-          sim_.cancel(feedback_timer_);
+          rsim_.cancel(credit_timer_);
+          rsim_.cancel(feedback_timer_);
         }
       }
       return;
@@ -272,11 +291,13 @@ void ExpressPassConnection::start_credits() {
   data_rcvd_period_ = 0;
   schedule_next_credit();
   feedback_timer_ =
-      sim_.after(cfg_.update_period, [this] { run_feedback(); });
+      rsim_.after(cfg_.update_period, [this] { run_feedback(); });
 }
 
 void ExpressPassConnection::send_credit() {
-  if (!credits_running_) return;
+  // failed(): the sender half may have aborted on its own thread; it cannot
+  // cancel our timers, so the credit pump stops itself here.
+  if (!credits_running_ || failed()) return;
   Packet credit = net::make_control(PktType::kCredit, spec_.id,
                                     spec_.dst->id(), spec_.src->id());
   credit.seq = credit_seq_++;
@@ -284,7 +305,7 @@ void ExpressPassConnection::send_credit() {
   credit.credit_class = cfg_.traffic_class;
   if (cfg_.randomize_credit_size) {
     credit.wire_bytes = static_cast<uint32_t>(
-        sim_.rng().uniform_int(net::kMinWireBytes, net::kMinWireBytes + 8));
+        rsim_.rng().uniform_int(net::kMinWireBytes, net::kMinWireBytes + 8));
   }
   spec_.dst->send(std::move(credit));
   ++credits_sent_total_;
@@ -298,14 +319,14 @@ void ExpressPassConnection::schedule_next_credit() {
   // are spaced by the time a credit+MTU cycle takes at that rate.
   double gap_sec = net::kCreditCycleBytes * 8.0 / rate;
   if (cfg_.jitter > 0.0) {
-    gap_sec *= 1.0 + cfg_.jitter * sim_.rng().uniform(-1.0, 1.0);
+    gap_sec *= 1.0 + cfg_.jitter * rsim_.rng().uniform(-1.0, 1.0);
   }
   credit_timer_ =
-      sim_.after(sim::Time::seconds(gap_sec), [this] { send_credit(); });
+      rsim_.after(sim::Time::seconds(gap_sec), [this] { send_credit(); });
 }
 
 void ExpressPassConnection::run_feedback() {
-  if (!credits_running_) return;
+  if (!credits_running_ || failed()) return;
   // Dead-flow detection: credits going out, nothing at all coming back, for
   // long enough that even a min-rate sender (one data packet per ~13ms at
   // 10G) would have shown up many times over. The sender is gone — stop
@@ -313,7 +334,8 @@ void ExpressPassConnection::run_feedback() {
   if (credits_sent_period_ > 0 && data_rcvd_period_ == 0) {
     if (++dead_periods_ >= cfg_.receiver_dead_periods) {
       abort_flow("receiver: credits paced but no data for " +
-                 std::to_string(dead_periods_) + " update periods");
+                     std::to_string(dead_periods_) + " update periods",
+                 /*sender_half=*/false);
       return;
     }
   } else if (data_rcvd_period_ > 0) {
@@ -331,7 +353,7 @@ void ExpressPassConnection::run_feedback() {
   credits_dropped_period_ = 0;
   data_rcvd_period_ = 0;
   feedback_timer_ =
-      sim_.after(cfg_.update_period, [this] { run_feedback(); });
+      rsim_.after(cfg_.update_period, [this] { run_feedback(); });
 }
 
 }  // namespace xpass::core

@@ -108,7 +108,10 @@ class ExpressPassConnection : public transport::Connection {
     return stop_sent_ && spec_.size_bytes != transport::kLongRunning &&
            snd_nxt_ >= spec_.size_bytes;
   }
-  void abort_flow(const std::string& why);
+  // Settles the flow as failed. Sharded runs may only touch the calling
+  // half's timers (the other half's event queue belongs to another thread);
+  // the orphaned half observes failed() and winds itself down.
+  void abort_flow(const std::string& why, bool sender_half);
 
   // Receiver side.
   void receiver_on_packet(net::Packet&& p);

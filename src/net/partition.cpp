@@ -1,0 +1,134 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "net/port.hpp"
+#include "net/topology.hpp"
+
+namespace xpass::net {
+
+namespace {
+constexpr uint32_t kUnassigned = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+Partition partition_topology(const Topology& topo, size_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("partition: shards must be >= 1");
+  }
+  const size_t n = topo.num_nodes();
+  Partition part;
+  part.shards = shards;
+  part.shard_of.assign(n, 0);
+  if (shards == 1 || n == 0) return part;
+
+  std::vector<char> is_host(n, 0);
+  for (const Host* h : topo.hosts()) is_host[h->id()] = 1;
+
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const auto& l : topo.links()) {
+    adj[l.a].push_back(l.b);
+    adj[l.b].push_back(l.a);
+  }
+
+  // 1. Group hosts by first-hop switch (hosts have one NIC, enforced by
+  // finalize()); a host whose single peer is another host leads its own
+  // group. std::map keeps groups ordered by leader id.
+  std::map<NodeId, std::vector<NodeId>> groups;
+  for (const Host* h : topo.hosts()) {
+    const NodeId id = h->id();
+    NodeId key = id;
+    if (!adj[id].empty() && !is_host[adj[id][0]]) key = adj[id][0];
+    groups[key].push_back(id);
+  }
+
+  // 2. Deal groups out as contiguous runs balanced by host count: each
+  // shard takes groups until it holds its fair share of the hosts still
+  // unplaced (recomputed greedily so earlier rounding doesn't starve the
+  // last shards).
+  std::vector<uint32_t> shard(n, kUnassigned);
+  size_t remaining_hosts = topo.hosts().size();
+  size_t s = 0;
+  size_t in_shard = 0;
+  for (auto& [key, members] : groups) {
+    const size_t shards_left = shards - s;
+    const size_t target = (remaining_hosts + shards_left - 1) / shards_left;
+    for (NodeId m : members) shard[m] = static_cast<uint32_t>(s);
+    if (!is_host[key]) shard[key] = static_cast<uint32_t>(s);
+    in_shard += members.size();
+    if (in_shard >= target && s + 1 < shards) {
+      remaining_hosts -= in_shard;
+      ++s;
+      in_shard = 0;
+    }
+  }
+
+  // 3. Propagate to the rest of the fabric: a switch whose assigned
+  // neighbors have a *unique* majority shard joins it; recompute each round
+  // from the previous round's snapshot so intra-round order can't matter.
+  // In a fat tree this pins every aggregation switch to its pod's shard in
+  // one round, while core switches (which straddle all pods evenly) tie
+  // and fall through to round-robin below.
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::vector<std::pair<NodeId, uint32_t>> newly;
+    for (NodeId v = 0; v < n; ++v) {
+      if (shard[v] != kUnassigned || is_host[v]) continue;
+      std::vector<size_t> votes(shards, 0);
+      bool any = false;
+      for (NodeId u : adj[v]) {
+        if (shard[u] != kUnassigned) {
+          ++votes[shard[u]];
+          any = true;
+        }
+      }
+      if (!any) continue;
+      size_t best = 0;
+      bool unique = true;
+      for (size_t i = 1; i < shards; ++i) {
+        if (votes[i] > votes[best]) {
+          best = i;
+          unique = true;
+        } else if (votes[i] == votes[best]) {
+          unique = false;
+        }
+      }
+      if (unique) newly.emplace_back(v, static_cast<uint32_t>(best));
+    }
+    for (auto& [v, sh] : newly) {
+      shard[v] = sh;
+      changed = true;
+    }
+  }
+
+  // 4. Round-robin whatever is left (cores, isolated nodes) by node id.
+  size_t rr = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (shard[v] == kUnassigned) {
+      shard[v] = static_cast<uint32_t>(rr++ % shards);
+    }
+  }
+
+  // Cut census and conservative lookahead.
+  for (const auto& l : topo.links()) {
+    if (shard[l.a] == shard[l.b]) continue;
+    ++part.cut_links;
+    const sim::Time d = l.pa->config().prop_delay;
+    if (d <= sim::Time::zero()) {
+      throw std::invalid_argument(
+          "partition: cut link " + std::to_string(l.a) + "<->" +
+          std::to_string(l.b) +
+          " has zero propagation delay (no conservative lookahead)");
+    }
+    part.lookahead = std::min(part.lookahead, d);
+  }
+
+  part.shard_of = std::move(shard);
+  return part;
+}
+
+}  // namespace xpass::net

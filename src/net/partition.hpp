@@ -1,0 +1,54 @@
+// Deterministic topology partitioner for sharded parallel runs.
+//
+// Splits a finalized Topology into N shards along locality lines so that
+// most packet hops stay shard-local and the conservative lookahead (the
+// minimum propagation delay across any cut link) stays as large as the
+// fabric allows:
+//
+//   1. Hosts are grouped by their first-hop switch (the ToR in a fat tree;
+//      for host<->host direct links the host is its own group). Groups are
+//      ordered by group-leader node id and dealt out as *contiguous runs*
+//      balanced by host count — in a fat tree built pod-by-pod this lands
+//      whole pods on one shard whenever shards divide the pod count.
+//   2. Each first-hop switch joins the shard of its hosts.
+//   3. Every other switch that neighbors an assigned switch takes the
+//      majority shard among its assigned neighbors (ties break toward the
+//      lowest shard id), iterating level by level until fixed point — in a
+//      fat tree this pins aggregation switches to their pod's shard.
+//   4. Anything still unassigned (core switches, isolated nodes) is dealt
+//      round-robin by node id.
+//
+// The result is a pure function of (topology shape, shard count): no RNG,
+// no iteration-order dependence, so a fixed shard count always yields the
+// same cut and therefore the same parallel schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xpass::net {
+
+class Topology;
+
+struct Partition {
+  // shard_of[node id] -> shard index, for every node in the topology.
+  std::vector<uint32_t> shard_of;
+  size_t shards = 1;
+  // Conservative lookahead: min prop_delay over links whose endpoints sit
+  // on different shards. Time::max() when the cut is empty (every node on
+  // one shard) — windows then stretch to the next control event.
+  sim::Time lookahead = sim::Time::max();
+  // Number of full-duplex links crossing the cut (diagnostics / tests).
+  size_t cut_links = 0;
+};
+
+// Partitions `topo` into `shards` pieces (shards >= 1). Requires
+// Topology::finalize(). Throws std::invalid_argument if shards == 0 or if
+// any cut link has zero propagation delay (zero lookahead cannot make
+// progress conservatively).
+Partition partition_topology(const Topology& topo, size_t shards);
+
+}  // namespace xpass::net

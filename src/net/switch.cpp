@@ -23,7 +23,7 @@ uint64_t Switch::symmetric_hash(NodeId a, NodeId b, FlowId flow) {
 const std::vector<Port*>* Switch::live_candidates(NodeId dst) const {
   // Exclude failed links; requiring both directions up implements §3.1's
   // symmetric exclusion of unidirectionally failed links.
-  const auto& cands = routes_[dst];
+  const std::span<Port* const> cands = candidates(dst);
   const uint64_t* epoch = liveness_epoch();
   if (epoch == nullptr) {
     // Standalone switch (unit tests): no shared epoch, scan every call.
@@ -45,7 +45,7 @@ const std::vector<Port*>* Switch::live_candidates(NodeId dst) const {
 }
 
 Port* Switch::route(NodeId src, NodeId dst, FlowId flow) const {
-  if (dst >= routes_.size() || routes_[dst].empty()) return nullptr;
+  if (candidates(dst).empty()) return nullptr;
   const std::vector<Port*>& live = *live_candidates(dst);
   // Selecting live[h % n_up] reproduces the pre-cache scan exactly: the
   // cache preserves candidate order, so "the pick-th up candidate" is a
@@ -54,14 +54,14 @@ Port* Switch::route(NodeId src, NodeId dst, FlowId flow) const {
   if (live.size() == 1) return live[0];
   const uint64_t h =
       mix(symmetric_hash(src, dst, flow) ^
-          (static_cast<uint64_t>(dist_[dst]) * 0xd1342543de82ef95ULL));
+          (static_cast<uint64_t>(routes_.dist[dst]) * 0xd1342543de82ef95ULL));
   return live[h % live.size()];
 }
 
 void Switch::receive(Packet&& p, Port& in) {
   (void)in;
   Port* out = nullptr;
-  if (spraying_ && p.dst < routes_.size() && routes_[p.dst].size() > 1) {
+  if (spraying_ && candidates(p.dst).size() > 1) {
     const std::vector<Port*>& live = *live_candidates(p.dst);
     if (!live.empty()) out = live[rr_counter_++ % live.size()];
   } else {

@@ -7,12 +7,26 @@
 // the paper's "symmetric hashing + deterministic ECMP".
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/node.hpp"
 #include "net/port.hpp"
 
 namespace xpass::net {
+
+// Per-switch routing table in CSR form: the ECMP candidates for destination
+// d are ports[offsets[d] .. offsets[d+1]), candidate order preserved
+// (sorted by neighbor id — deterministic ECMP). Flat arrays instead of a
+// vector-of-vectors: recompute_routes() builds one of these per switch, and
+// on k=16 fat trees the nested form's per-(switch, destination) inner
+// vectors dominated construction time with allocator churn.
+struct RouteTable {
+  std::vector<uint32_t> offsets;  // size = num destinations + 1
+  std::vector<Port*> ports;       // flat candidate array
+  std::vector<uint32_t> dist;     // hop distance per destination (0 = none)
+};
 
 class Switch : public Node {
  public:
@@ -24,14 +38,16 @@ class Switch : public Node {
   // Routing table: per destination node id, the ECMP candidate egress ports
   // (sorted deterministically by Topology::finalize) and the hop distance
   // to that destination. Installing a table drops the live-candidate caches.
-  void set_routes(std::vector<std::vector<Port*>> table,
-                  std::vector<uint32_t> dist) {
+  void set_routes(RouteTable table) {
     routes_ = std::move(table);
-    dist_ = std::move(dist);
-    cache_.assign(routes_.size(), LiveCache{});
+    const size_t n = routes_.offsets.empty() ? 0 : routes_.offsets.size() - 1;
+    cache_.assign(n, LiveCache{});
   }
-  const std::vector<Port*>& candidates(NodeId dst) const {
-    return routes_[dst];
+  std::span<Port* const> candidates(NodeId dst) const {
+    if (dst + 1 >= routes_.offsets.size()) return {};
+    return std::span<Port* const>(routes_.ports)
+        .subspan(routes_.offsets[dst],
+                 routes_.offsets[dst + 1] - routes_.offsets[dst]);
   }
 
   // ECMP selection for a packet of `flow` between hosts `src` and `dst`
@@ -78,8 +94,7 @@ class Switch : public Node {
   // shared epoch to key the cache on).
   const std::vector<Port*>* live_candidates(NodeId dst) const;
 
-  std::vector<std::vector<Port*>> routes_;
-  std::vector<uint32_t> dist_;
+  RouteTable routes_;
   mutable std::vector<LiveCache> cache_;
   mutable std::vector<Port*> scan_scratch_;  // no-epoch fallback storage
   bool spraying_ = false;

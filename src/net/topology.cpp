@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 namespace xpass::net {
@@ -97,43 +96,59 @@ void Topology::recompute_routes() {
   }
 
   // Per-switch route tables, destinations = hosts (the only endpoints).
-  std::vector<std::vector<std::vector<Port*>>> tables(n);
-  std::vector<std::vector<uint32_t>> dists(n);
-  for (Switch* sw : switches_) {
-    tables[sw->id()].assign(n, {});
-    dists[sw->id()].assign(n, 0);
+  // Built directly in CSR form: candidates append to one flat array per
+  // switch while counts accumulate in offsets[dst + 1]; a prefix sum at the
+  // end turns counts into ranges. This relies on hosts_ being sorted by
+  // node id (add_host assigns monotonically increasing ids), so candidates
+  // arrive in destination order. The previous nested layout allocated one
+  // inner vector per (switch, destination) pair — ~430k tiny vectors on a
+  // k=16 fat tree — and that allocator churn dominated construction; the
+  // CSR build does O(#switches) allocations total.
+  const size_t ns = switches_.size();
+  std::vector<RouteTable> tables(ns);
+  for (RouteTable& t : tables) {
+    t.offsets.assign(n + 1, 0);
+    t.dist.assign(n, 0);
   }
 
   constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
   std::vector<uint32_t> dist(n);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
   for (Host* dst : hosts_) {
     std::fill(dist.begin(), dist.end(), kInf);
     dist[dst->id()] = 0;
-    std::queue<NodeId> q;
-    q.push(dst->id());
-    while (!q.empty()) {
-      const NodeId v = q.front();
-      q.pop();
+    queue.clear();
+    queue.push_back(dst->id());
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
       for (const auto& [port, u] : adj[v]) {
         (void)port;
         if (dist[u] == kInf) {
           dist[u] = dist[v] + 1;
-          q.push(u);
+          queue.push_back(u);
         }
       }
     }
-    for (Switch* sw : switches_) {
-      const NodeId v = sw->id();
+    for (size_t i = 0; i < ns; ++i) {
+      const NodeId v = switches_[i]->id();
       if (dist[v] == kInf || dist[v] == 0) continue;
-      auto& cands = tables[v][dst->id()];
+      RouteTable& t = tables[i];
+      uint32_t count = 0;
       for (const auto& [port, u] : adj[v]) {
-        if (dist[u] + 1 == dist[v]) cands.push_back(port);
+        if (dist[u] + 1 == dist[v]) {
+          t.ports.push_back(port);
+          ++count;
+        }
       }
-      dists[v][dst->id()] = dist[v];
+      t.offsets[dst->id() + 1] = count;
+      t.dist[dst->id()] = dist[v];
     }
   }
-  for (Switch* sw : switches_) {
-    sw->set_routes(std::move(tables[sw->id()]), std::move(dists[sw->id()]));
+  for (size_t i = 0; i < ns; ++i) {
+    std::vector<uint32_t>& off = tables[i].offsets;
+    for (size_t d = 1; d < off.size(); ++d) off[d] += off[d - 1];
+    switches_[i]->set_routes(std::move(tables[i]));
   }
 }
 

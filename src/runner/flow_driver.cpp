@@ -1,15 +1,39 @@
 #include "runner/flow_driver.hpp"
 
+#include <algorithm>
+
 namespace xpass::runner {
+
+void FlowDriver::set_parallel(sim::ParallelSimulator& psim,
+                              const std::vector<uint32_t>& shard_of) {
+  shard_of_ = &shard_of;
+  sinks_.clear();
+  for (size_t i = 0; i < psim.shard_count(); ++i) {
+    sinks_.push_back(std::make_unique<ShardSink>());
+  }
+}
 
 transport::Connection& FlowDriver::add(const transport::FlowSpec& spec) {
   ++scheduled_;
   auto conn = transport_.create(spec);
-  conn->set_rate_tracker(&rates_);
-  conn->set_on_complete([this](transport::Connection& c) {
-    fcts_.record(c.spec().size_bytes, c.fct());
+  if (sinks_.empty()) {
+    conn->set_rate_tracker(&rates_);
+    conn->set_on_complete([this](transport::Connection& c) {
+      fcts_.record(c.spec().size_bytes, c.fct());
+    });
+  } else {
+    // The receiver half — the only caller of deliver()/on_complete — runs
+    // on the destination host's shard thread; give it that shard's sink.
+    ShardSink& sink = *sinks_[(*shard_of_)[spec.dst->id()]];
+    conn->set_rate_tracker(&sink.rates);
+    conn->set_on_complete([&sink](transport::Connection& c) {
+      sink.completions.push_back({c.completion_time(), c.spec().id,
+                                  c.spec().size_bytes, c.fct()});
+    });
+  }
+  conn->set_on_fail([this](transport::Connection&) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
   });
-  conn->set_on_fail([this](transport::Connection&) { ++failed_; });
   transport::Connection* raw = conn.get();
   conns_.push_back(std::move(conn));
   sim_.at(spec.start_time, [raw] { raw->start(); });
@@ -19,7 +43,7 @@ transport::Connection& FlowDriver::add(const transport::FlowSpec& spec) {
 bool FlowDriver::run_to_completion(sim::Time deadline) {
   const sim::Time chunk = sim::Time::ms(1);
   while (sim_.now() < deadline) {
-    if (completed() + failed_ >= scheduled_) break;
+    if (completed() + failed() >= scheduled_) break;
     sim::Time next = sim_.now() + chunk;
     if (next > deadline) next = deadline;
     sim_.run_until(next);
@@ -28,6 +52,26 @@ bool FlowDriver::run_to_completion(sim::Time deadline) {
     if (sim_.aborted()) break;
   }
   return completed() >= scheduled_;
+}
+
+void FlowDriver::sync_rates() {
+  for (auto& s : sinks_) s->rates.drain_into(rates_);
+}
+
+void FlowDriver::finish_parallel() {
+  if (sinks_.empty()) return;
+  sync_rates();
+  std::vector<Completion> all;
+  for (auto& s : sinks_) {
+    all.insert(all.end(), s->completions.begin(), s->completions.end());
+    s->completions.clear();
+  }
+  std::sort(all.begin(), all.end(), [](const Completion& a,
+                                       const Completion& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.id < b.id;
+  });
+  for (const Completion& c : all) fcts_.record(c.bytes, c.fct);
 }
 
 void FlowDriver::stop_all() {

@@ -3,11 +3,21 @@
 // This is the top of the public API: build a Topology, pick a Transport,
 // hand the driver a list of FlowSpecs (from workload/ generators or by
 // hand), run the simulator, read the collectors.
+//
+// Sharded runs (set_parallel) split collection: completion callbacks fire on
+// the destination host's shard thread, so each shard gets its own sink (a
+// RateTracker plus a completion log) and the driver's scenario-facing
+// collectors (fcts(), rates()) are filled by canonical merges that run on
+// the barrier/main thread only — sync_rates() at window barriers,
+// finish_parallel() once after the run. Failure settlement can come from
+// either half of a connection, so failed_ is a plain atomic counter.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "sim/parallel.hpp"
 #include "stats/fct.hpp"
 #include "stats/rate_tracker.hpp"
 #include "stats/recorder.hpp"
@@ -20,6 +30,12 @@ class FlowDriver {
   FlowDriver(sim::Simulator& sim, transport::Transport& transport)
       : sim_(sim), transport_(transport) {}
 
+  // Sharded collection: one sink per shard, flows indexed by their
+  // destination host's shard (`shard_of` by node id — the partitioner's
+  // map, which must outlive the driver). Call before any add().
+  void set_parallel(sim::ParallelSimulator& psim,
+                    const std::vector<uint32_t>& shard_of);
+
   // Schedules creation + start of the flow at spec.start_time. Returns the
   // connection (owned by the driver) so callers may re-hook callbacks or
   // inspect protocol state.
@@ -30,14 +46,30 @@ class FlowDriver {
 
   // Runs until every scheduled flow is settled (completed or failed) or
   // `deadline` passes. Returns true iff everything *completed* — aborted
-  // flows end the wait but still count as a false result.
+  // flows end the wait but still count as a false result. Serial runs only.
   bool run_to_completion(sim::Time deadline);
 
+  // Drains every shard sink's goodput into rates() in shard order (no-op in
+  // serial runs). Call only at window barriers / after the run, when the
+  // worker threads are parked.
+  void sync_rates();
+  // Canonical merge of the shard completion logs into fcts(): completions
+  // sort by (completion time, flow id) — a total order independent of which
+  // shard observed them — then record in that order. Call once, after the
+  // run. Includes a final sync_rates(). No-op in serial runs.
+  void finish_parallel();
+
   size_t scheduled() const { return scheduled_; }
-  size_t completed() const { return fcts_.completed(); }
+  size_t completed() const {
+    size_t n = fcts_.completed();
+    for (const auto& s : sinks_) n += s->completions.size();
+    return n;
+  }
   // Flows the protocol gave up on (endpoint unreachable past the retry
   // budget). completed() + failed() == scheduled() once everything settled.
-  size_t failed() const { return failed_; }
+  size_t failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
   stats::FctCollector& fcts() { return fcts_; }
   stats::RateTracker& rates() { return rates_; }
 
@@ -52,7 +84,8 @@ class FlowDriver {
   // ("flows.scheduled", "flows.completed", "flows.failed") and, when
   // `per_flow_series` is set, one "flow.<id>.bytes" series gauge per
   // already-added flow (cumulative delivered bytes — sampling never resets
-  // the goodput windows).
+  // the goodput windows). Sharded runs sample at barriers, where the shard
+  // sinks are quiescent and rates() has been synced.
   void register_telemetry(stats::Recorder& r, bool per_flow_series = false) {
     r.gauge("flows.scheduled",
             [this] { return static_cast<double>(scheduled()); });
@@ -70,13 +103,27 @@ class FlowDriver {
   }
 
  private:
+  // One flow's settlement record, written by its destination shard's thread.
+  struct Completion {
+    sim::Time t;  // completion time (receiver clock)
+    uint32_t id;
+    uint64_t bytes;
+    sim::Time fct;
+  };
+  struct ShardSink {
+    stats::RateTracker rates;
+    std::vector<Completion> completions;
+  };
+
   sim::Simulator& sim_;
   transport::Transport& transport_;
   std::vector<std::unique_ptr<transport::Connection>> conns_;
   stats::FctCollector fcts_;
   stats::RateTracker rates_;
+  std::vector<std::unique_ptr<ShardSink>> sinks_;  // empty = serial
+  const std::vector<uint32_t>* shard_of_ = nullptr;
   size_t scheduled_ = 0;
-  size_t failed_ = 0;
+  std::atomic<size_t> failed_{0};
 };
 
 }  // namespace xpass::runner

@@ -173,6 +173,17 @@ struct ScenarioSpec {
   // Part of the spec — it round-trips through spec_json and participates in
   // campaign content addressing (a budgeted run IS a different experiment).
   std::optional<sim::RunBudget> budget;
+  // Sharded parallel execution (sim::ParallelSimulator): the topology is
+  // partitioned into this many shards, each running on its own thread with
+  // conservative time-window synchronization. 0 or 1 = the serial core,
+  // byte-identical to every pre-existing run. Shard count is part of the
+  // experiment's identity: a sharded run is deterministic and reproducible
+  // at a *fixed* shard count, but different counts produce different (all
+  // individually valid) event interleavings. spec_json emits the field only
+  // when > 1, so serial cache keys are unchanged. Not every spec can shard:
+  // PFC links, delivery trains, and the kIdeal/kDcqcn/kTimely protocols
+  // couple shards outside the credit/data packet streams and are rejected.
+  size_t shards = 0;
 };
 
 // Per-invocation enforcement knobs that are NOT part of the experiment's

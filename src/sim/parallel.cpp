@@ -1,0 +1,205 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace xpass::sim {
+
+namespace {
+
+thread_local size_t tl_shard = ParallelSimulator::kNoShard;
+
+int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// splitmix64 finalizer: decorrelates the per-shard PRNG streams from the
+// scenario seed and from each other.
+uint64_t shard_seed(uint64_t seed, size_t shard) {
+  uint64_t z = seed + (shard + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+size_t ParallelSimulator::current_shard() { return tl_shard; }
+
+ParallelSimulator::ParallelSimulator(uint64_t seed, size_t shards,
+                                     EventQueue::Backend backend)
+    : control_(seed, backend) {
+  if (shards < 2) shards = 2;  // shards <= 1 belongs on the serial core
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(shard_seed(seed, i), backend));
+  }
+  channels_.resize(shards * shards);
+  channel_seq_.assign(shards * shards, 0);
+  for (auto& c : channels_) c = std::make_unique<SpscQueue<RemoteEvent>>();
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelSimulator::post(size_t src, size_t dst, Time t, Callback fn) {
+  const size_t idx = src * shards_.size() + dst;
+  channels_[idx]->push(RemoteEvent{t, channel_seq_[idx]++, std::move(fn)});
+}
+
+void ParallelSimulator::set_budget(const RunBudget& b) {
+  budget_ = b;
+  budget_armed_ = b.any();
+  control_.force_abort(AbortReason::kNone);
+  armed_at_ = control_.now();
+  armed_fired_ = events_fired();
+  armed_wall_ns_ = wall_ns();
+}
+
+uint64_t ParallelSimulator::events_fired() const {
+  uint64_t n = control_.events().fired();
+  for (const auto& s : shards_) n += s->sim.events().fired();
+  return n;
+}
+
+size_t ParallelSimulator::pending() const {
+  size_t n = control_.pending();
+  for (const auto& s : shards_) n += s->sim.pending();
+  return n;
+}
+
+void ParallelSimulator::start_workers() {
+  if (!threads_.empty()) return;
+  threads_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void ParallelSimulator::worker_main(size_t idx) {
+  tl_shard = idx;
+  if (worker_init_) worker_init_(idx);
+  uint64_t seen = 0;
+  for (;;) {
+    Time target;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      target = window_target_;
+    }
+    shards_[idx]->sim.run_until(target);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelSimulator::run_shards_to(Time w) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    window_target_ = w;
+    running_ = shards_.size();
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return running_ == 0; });
+}
+
+void ParallelSimulator::drain_channels() {
+  merge_scratch_.clear();
+  const size_t n = shards_.size();
+  for (size_t src = 0; src < n; ++src) {
+    for (size_t dst = 0; dst < n; ++dst) {
+      SpscQueue<RemoteEvent>& ch = channel(src, dst);
+      if (ch.empty()) continue;
+      std::vector<RemoteEvent> batch;
+      ch.drain(batch);
+      for (RemoteEvent& e : batch) {
+        merge_scratch_.push_back(MergedEvent{e.t, static_cast<uint32_t>(src),
+                                             static_cast<uint32_t>(dst), e.seq,
+                                             std::move(e.fn)});
+      }
+    }
+  }
+  if (merge_scratch_.empty()) return;
+  // Canonical order: (arrival, source shard, channel sequence) is unique
+  // and schedule-independent, so the destination queues' FIFO tie-break
+  // sees the same insertion sequence on every run.
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const MergedEvent& a, const MergedEvent& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  remote_events_ += merge_scratch_.size();
+  for (MergedEvent& e : merge_scratch_) {
+    shards_[e.dst]->sim.at(e.t, std::move(e.fn));
+  }
+  merge_scratch_.clear();
+}
+
+void ParallelSimulator::check_budget() {
+  AbortReason r = AbortReason::kNone;
+  if (budget_.max_events != 0 &&
+      events_fired() - armed_fired_ >= budget_.max_events) {
+    r = AbortReason::kEventBudget;
+  } else if (budget_.max_sim_time > Time::zero() &&
+             control_.now() - armed_at_ >= budget_.max_sim_time) {
+    r = AbortReason::kSimTimeBudget;
+  } else if (budget_.max_live_events != 0 &&
+             pending() >= budget_.max_live_events) {
+    r = AbortReason::kLiveEventBudget;
+  } else if (budget_.max_wall_ms > 0 &&
+             static_cast<double>(wall_ns() - armed_wall_ns_) / 1e6 >=
+                 budget_.max_wall_ms) {
+    r = AbortReason::kWallClockBudget;
+  }
+  if (r != AbortReason::kNone) control_.force_abort(r);
+}
+
+void ParallelSimulator::run_until(Time t_end) {
+  if (control_.aborted()) return;
+  // Mirror the serial core's sim-time budget semantics: run_until targets
+  // beyond the armed cap are truncated to it, so now() freezes at the cap
+  // instead of overshooting by up to one window.
+  if (budget_armed_ && budget_.max_sim_time > Time::zero()) {
+    const Time cap = armed_at_ + budget_.max_sim_time;
+    if (cap < t_end) t_end = cap;
+  }
+  start_workers();
+  while (control_.now() < t_end && !control_.aborted()) {
+    Time w = t_end;
+    const Time ctrl_next = control_.next_event_time();
+    if (ctrl_next < w) w = ctrl_next;
+    if (lookahead_ != Time::max()) {
+      Time shard_next = Time::max();
+      for (auto& s : shards_) {
+        const Time t = s->sim.next_event_time();
+        if (t < shard_next) shard_next = t;
+      }
+      if (shard_next != Time::max()) {
+        const Time horizon = shard_next + lookahead_;
+        if (horizon < w) w = horizon;
+      }
+    }
+    run_shards_to(w);
+    drain_channels();
+    control_.run_until(w);
+    ++windows_;
+    if (budget_armed_) check_budget();
+  }
+}
+
+}  // namespace xpass::sim

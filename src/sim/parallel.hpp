@@ -1,0 +1,177 @@
+// ParallelSimulator: conservative time-window parallel discrete-event core.
+//
+// A serial Simulator interleaves every component's events in one queue; the
+// parallel core instead gives each topology shard its own Simulator (event
+// queue + PRNG) driven by a dedicated worker thread, plus one "control"
+// Simulator for global events (flow starts, fault plans, invariant sweeps,
+// telemetry), and advances them all in lockstep windows:
+//
+//   1. The barrier thread computes the window end
+//        W = min(next shard event + lookahead, next control event, target)
+//      where `lookahead` is the minimum propagation delay over links whose
+//      endpoints live in different shards.
+//   2. Every worker runs its shard's queue to W concurrently. A packet
+//      crossing a shard boundary is not delivered inline: the egress port
+//      posts it to the (src, dst) shard pair's SPSC channel with its wire
+//      arrival time. Safety: every event fired inside the window has
+//      timestamp >= N (the minimum next-event time the window was computed
+//      from), so its cross-shard arrival lands at >= N + lookahead >= W —
+//      always at or beyond the window end, never in a worker's past.
+//   3. At the barrier, channels are drained and merged canonically — sorted
+//      by (arrival time, source shard, channel sequence) — onto the
+//      destination queues, then control events up to W fire on the barrier
+//      thread while every worker is parked. Control events may freely read
+//      and mutate any shard's state: the barrier's mutex orders those
+//      accesses against the workers on both sides.
+//
+// Determinism: at a FIXED shard count the run is a pure function of the
+// scenario — shard execution between barriers is single-threaded, the
+// channel merge order is canonical, and window boundaries are computed from
+// deterministic quantities only — so recorder output is byte-identical
+// across runs and thread schedules. Results legitimately differ from the
+// serial core (and between different shard counts): each shard draws from
+// its own PRNG stream. shards <= 1 therefore bypasses this class entirely
+// and runs today's serial core unchanged.
+//
+// Budgets are enforced at barrier granularity: event / sim-time / live
+// budgets count summed deterministic state, so truncation points reproduce;
+// a trip forwards through the control simulator's aborted() state.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/spsc_queue.hpp"
+
+namespace xpass::sim {
+
+class ParallelSimulator {
+ public:
+  // current_shard() for threads that are not shard workers.
+  static constexpr size_t kNoShard = static_cast<size_t>(-1);
+
+  ParallelSimulator(uint64_t seed, size_t shards,
+                    EventQueue::Backend backend = EventQueue::Backend::kHybrid);
+  ~ParallelSimulator();
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  size_t shard_count() const { return shards_.size(); }
+  // The control simulator: global time, global events, budget/abort state.
+  // It is seeded exactly like the serial core's Simulator, so scenario
+  // setup (traffic generation) draws the same streams either way.
+  Simulator& control() { return control_; }
+  Simulator& shard(size_t i) { return shards_[i]->sim; }
+
+  // Minimum propagation delay across shard-crossing links; Time::max()
+  // (the default) means no cross-shard traffic is possible and windows run
+  // straight to the next control event / target. Must be > 0.
+  void set_lookahead(Time la) { lookahead_ = la; }
+  Time lookahead() const { return lookahead_; }
+
+  // Runs every worker thread calls `fn(shard)` once before its first
+  // window — the hook that binds shard-owned resources (net::PacketPool)
+  // to the thread. Set before the first run_until().
+  void set_worker_init(std::function<void(size_t)> fn) {
+    worker_init_ = std::move(fn);
+  }
+
+  // Cross-shard handoff: enqueue `fn` to run on shard `dst` at absolute
+  // time `t` (the wire arrival; always >= the current window end, by the
+  // lookahead argument above). Producer contract: called from shard `src`'s
+  // worker thread mid-window, or from the barrier thread while workers are
+  // parked — never concurrently for the same (src, dst) pair.
+  void post(size_t src, size_t dst, Time t, Callback fn);
+
+  // Barrier-granularity budget (see file comment). Mirrors
+  // Simulator::set_budget: arms from current state, re-arming clears a
+  // previous abort.
+  void set_budget(const RunBudget& b);
+
+  // Advances control + shards to `t_end` in conservative windows. Returns
+  // immediately once aborted() (budget trip), leaving now() frozen at the
+  // last completed barrier.
+  void run_until(Time t_end);
+
+  Time now() const { return control_.now(); }
+  bool aborted() const { return control_.aborted(); }
+  AbortReason abort_reason() const { return control_.abort_reason(); }
+
+  // The calling thread's shard index (kNoShard on non-worker threads).
+  // Shard-indexed sinks (per-shard stats) key off this.
+  static size_t current_shard();
+
+  // Introspection for tests, benches, and budget accounting.
+  uint64_t windows() const { return windows_; }
+  uint64_t remote_events() const { return remote_events_; }
+  uint64_t events_fired() const;
+  size_t pending() const;
+
+ private:
+  struct RemoteEvent {
+    Time t;
+    uint64_t seq = 0;
+    Callback fn;
+  };
+  struct Shard {
+    explicit Shard(uint64_t seed, EventQueue::Backend backend)
+        : sim(seed, backend) {}
+    Simulator sim;
+  };
+
+  SpscQueue<RemoteEvent>& channel(size_t src, size_t dst) {
+    return *channels_[src * shards_.size() + dst];
+  }
+
+  void start_workers();
+  void worker_main(size_t idx);
+  void run_shards_to(Time w);
+  void drain_channels();
+  void check_budget();
+
+  Simulator control_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<SpscQueue<RemoteEvent>>> channels_;
+  std::vector<uint64_t> channel_seq_;  // producer-owned per-channel counters
+  Time lookahead_ = Time::max();
+  std::function<void(size_t)> worker_init_;
+
+  // Worker pool: released per window by epoch bump, parked between windows.
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t epoch_ = 0;
+  Time window_target_;
+  size_t running_ = 0;
+  bool stop_ = false;
+
+  // Scratch for the canonical barrier merge (reused across windows).
+  struct MergedEvent {
+    Time t;
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    uint64_t seq = 0;
+    Callback fn;
+  };
+  std::vector<MergedEvent> merge_scratch_;
+
+  // Budget accounting (barrier granularity).
+  RunBudget budget_;
+  bool budget_armed_ = false;
+  Time armed_at_;
+  uint64_t armed_fired_ = 0;
+  int64_t armed_wall_ns_ = 0;
+
+  uint64_t windows_ = 0;
+  uint64_t remote_events_ = 0;
+};
+
+}  // namespace xpass::sim

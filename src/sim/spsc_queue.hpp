@@ -1,0 +1,92 @@
+// Bounded single-producer single-consumer ring for cross-shard handoff.
+//
+// Each ordered shard pair (src, dst) in a ParallelSimulator owns one
+// channel: the src shard's worker thread pushes remote deliveries during a
+// window, and the barrier thread drains them while every worker is parked.
+// The ring is the lock-free fast path — a power-of-two slot array with
+// acquire/release head/tail counters, so a push never takes a lock and a
+// drain never blocks a producer. When a burst outruns the ring, pushes spill
+// into an unbounded overflow vector instead of blocking: the overflow is
+// touched only by the producer mid-window and only by the consumer at the
+// barrier, and the barrier's own synchronization orders those accesses, so
+// the spill path needs no lock either. Capacity is therefore a performance
+// knob, never a correctness limit.
+//
+// Determinism: entries carry a producer-side sequence number assigned in
+// push order. Shard execution within a window is single-threaded and
+// deterministic, so the (seq) order of a channel — and with it the barrier's
+// canonical (time, src shard, seq) merge — is a pure function of the
+// scenario, independent of thread scheduling.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xpass::sim {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(size_t capacity = 1024) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. Never blocks: a full ring spills into the overflow
+  // vector (see file comment for why that is safe without a lock).
+  void push(T&& v) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head <= mask_) {
+      ring_[tail & mask_] = std::move(v);
+      tail_.store(tail + 1, std::memory_order_release);
+    } else {
+      overflow_.push_back(std::move(v));
+    }
+  }
+
+  // Consumer side: pops one ring entry. Does not see overflow entries —
+  // those are only visible through drain(), at a barrier.
+  bool try_pop(T& out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(ring_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Barrier-only consumer call (producer parked): moves every entry — ring
+  // first, then the overflow spill, i.e. exactly push order — into `out`.
+  void drain(std::vector<T>& out) {
+    T v;
+    while (try_pop(v)) out.push_back(std::move(v));
+    for (T& o : overflow_) out.push_back(std::move(o));
+    overflow_.clear();
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           overflow_.empty();
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> ring_;
+  size_t mask_ = 0;
+  // Producer-only between barriers; consumer-only at barriers.
+  std::vector<T> overflow_;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace xpass::sim

@@ -1,0 +1,148 @@
+// Partitioner unit tests: host balance, pod alignment on fat trees,
+// lookahead/cut-link computation, and the degenerate/throwing cases.
+#include "net/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/topology_builders.hpp"
+
+namespace xpass::net {
+namespace {
+
+using sim::Time;
+
+TEST(Partition, SingleShardTrivial) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  LinkConfig cfg;
+  build_dumbbell(topo, 4, cfg, cfg);
+  const Partition p = partition_topology(topo, 1);
+  EXPECT_EQ(p.shards, 1u);
+  EXPECT_EQ(p.cut_links, 0u);
+  EXPECT_EQ(p.lookahead, Time::max());
+  for (uint32_t s : p.shard_of) EXPECT_EQ(s, 0u);
+}
+
+TEST(Partition, ZeroShardsThrows) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  LinkConfig cfg;
+  build_dumbbell(topo, 2, cfg, cfg);
+  EXPECT_THROW(partition_topology(topo, 0), std::invalid_argument);
+}
+
+TEST(Partition, DumbbellSplitsAcrossTheBottleneck) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  LinkConfig cfg;
+  auto d = build_dumbbell(topo, 8, cfg, cfg);
+  const Partition p = partition_topology(topo, 2);
+  // Senders hang off one switch, receivers off the other: the only balanced
+  // 2-way cut with whole first-hop groups is sender-side vs receiver-side.
+  for (size_t i = 1; i < d.senders.size(); ++i) {
+    EXPECT_EQ(p.shard_of[d.senders[i]->id()], p.shard_of[d.senders[0]->id()]);
+  }
+  for (size_t i = 1; i < d.receivers.size(); ++i) {
+    EXPECT_EQ(p.shard_of[d.receivers[i]->id()],
+              p.shard_of[d.receivers[0]->id()]);
+  }
+  EXPECT_NE(p.shard_of[d.senders[0]->id()], p.shard_of[d.receivers[0]->id()]);
+  // Exactly the bottleneck link is cut, and lookahead is its prop delay.
+  EXPECT_EQ(p.cut_links, 1u);
+  EXPECT_EQ(p.lookahead, cfg.prop_delay);
+}
+
+TEST(Partition, FatTreePodAlignment) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  LinkConfig cfg;
+  auto ft = build_fat_tree(topo, 4, cfg, cfg);  // 4 pods, 4 hosts each
+  const Partition p = partition_topology(topo, 4);
+
+  // Hosts of the same pod (same edge switch pair) land on the same shard,
+  // one pod per shard; every shard gets exactly 4 hosts.
+  std::vector<size_t> hosts_per_shard(4, 0);
+  for (size_t pod = 0; pod < 4; ++pod) {
+    const uint32_t s = p.shard_of[ft.hosts[pod * 4]->id()];
+    for (size_t h = 1; h < 4; ++h) {
+      EXPECT_EQ(p.shard_of[ft.hosts[pod * 4 + h]->id()], s)
+          << "host " << pod * 4 + h << " split from its pod";
+    }
+    hosts_per_shard[s] += 4;
+  }
+  for (size_t s = 0; s < 4; ++s) EXPECT_EQ(hosts_per_shard[s], 4u);
+  // Distinct pods on distinct shards (perfect balance at shards == pods).
+  std::set<uint32_t> pod_shards;
+  for (size_t pod = 0; pod < 4; ++pod) {
+    pod_shards.insert(p.shard_of[ft.hosts[pod * 4]->id()]);
+  }
+  EXPECT_EQ(pod_shards.size(), 4u);
+
+  // Pod-local switches (edges + aggregates) follow their pod's hosts, so
+  // intra-pod traffic never crosses a shard boundary.
+  for (size_t pod = 0; pod < 4; ++pod) {
+    const uint32_t s = p.shard_of[ft.hosts[pod * 4]->id()];
+    EXPECT_EQ(p.shard_of[ft.edges[pod * 2]->id()], s);
+    EXPECT_EQ(p.shard_of[ft.edges[pod * 2 + 1]->id()], s);
+    EXPECT_EQ(p.shard_of[ft.aggrs[pod * 2]->id()], s);
+    EXPECT_EQ(p.shard_of[ft.aggrs[pod * 2 + 1]->id()], s);
+  }
+
+  // Only aggregate--core links are cut; lookahead is the fabric prop delay.
+  EXPECT_GT(p.cut_links, 0u);
+  EXPECT_EQ(p.lookahead, cfg.prop_delay);
+}
+
+TEST(Partition, BalanceWithMoreGroupsThanShards) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  LinkConfig cfg;
+  auto ft = build_fat_tree(topo, 4, cfg, cfg);
+  const Partition p = partition_topology(topo, 2);
+  // 16 hosts over 2 shards: 8 + 8, pods kept whole.
+  std::vector<size_t> hosts_per_shard(2, 0);
+  for (Host* h : ft.hosts) ++hosts_per_shard[p.shard_of[h->id()]];
+  EXPECT_EQ(hosts_per_shard[0], 8u);
+  EXPECT_EQ(hosts_per_shard[1], 8u);
+}
+
+TEST(Partition, EveryNodeAssigned) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  LinkConfig cfg;
+  build_fat_tree(topo, 4, cfg, cfg);
+  for (size_t shards : {2, 3, 4, 5}) {
+    const Partition p = partition_topology(topo, shards);
+    ASSERT_EQ(p.shard_of.size(), topo.num_nodes());
+    for (uint32_t s : p.shard_of) EXPECT_LT(s, shards);
+  }
+}
+
+TEST(Partition, ZeroPropCutLinkThrows) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  LinkConfig cfg;
+  cfg.prop_delay = Time::zero();  // no lookahead possible across the cut
+  build_dumbbell(topo, 4, cfg, cfg);
+  EXPECT_THROW(partition_topology(topo, 2), std::invalid_argument);
+}
+
+TEST(Partition, Deterministic) {
+  sim::Simulator sim(1);
+  Topology topo(sim);
+  LinkConfig cfg;
+  build_fat_tree(topo, 4, cfg, cfg);
+  const Partition a = partition_topology(topo, 3);
+  const Partition b = partition_topology(topo, 3);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  EXPECT_EQ(a.lookahead, b.lookahead);
+  EXPECT_EQ(a.cut_links, b.cut_links);
+}
+
+}  // namespace
+}  // namespace xpass::net

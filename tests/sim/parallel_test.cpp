@@ -1,0 +1,210 @@
+// ParallelSimulator + SpscQueue unit tests: channel ordering, conservative
+// window edge cases (no cross-shard traffic, minimum-lookahead cuts,
+// mid-window control events, budget aborts), and two-run determinism.
+#include "sim/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/spsc_queue.hpp"
+
+namespace xpass::sim {
+namespace {
+
+// ---- SpscQueue -----------------------------------------------------------
+
+TEST(SpscQueue, PushPopOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) q.push(int(i));
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscQueue<int>(64).capacity(), 64u);
+}
+
+TEST(SpscQueue, OverflowSpillPreservesPushOrderInDrain) {
+  SpscQueue<int> q(4);  // ring holds 4; the rest spill to overflow
+  for (int i = 0; i < 10; ++i) q.push(int(i));
+  EXPECT_FALSE(q.empty());
+  std::vector<int> out;
+  q.drain(out);
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_TRUE(q.empty());
+  // The queue is reusable after a drain (ring indices keep advancing).
+  q.push(42);
+  int v = 0;
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 42);
+}
+
+// ---- ParallelSimulator ---------------------------------------------------
+
+TEST(ParallelSim, ShardClocksReachTargetWithoutEvents) {
+  // Zero cross-shard traffic, zero events anywhere: windows run straight to
+  // the target and every clock (control + shards) lands exactly on it.
+  ParallelSimulator psim(1, 2);
+  psim.run_until(Time::ms(3));
+  EXPECT_EQ(psim.now(), Time::ms(3));
+  EXPECT_EQ(psim.control().now(), Time::ms(3));
+  EXPECT_EQ(psim.shard(0).now(), Time::ms(3));
+  EXPECT_EQ(psim.shard(1).now(), Time::ms(3));
+}
+
+TEST(ParallelSim, ShardLocalEventsFire) {
+  ParallelSimulator psim(1, 2);
+  // One flag per shard: each is written only by its own worker thread, and
+  // the end-of-run barrier orders the reads below.
+  bool fired0 = false, fired1 = false;
+  psim.shard(0).at(Time::us(10), [&] { fired0 = true; });
+  psim.shard(1).at(Time::us(20), [&] { fired1 = true; });
+  psim.run_until(Time::ms(1));
+  EXPECT_TRUE(fired0);
+  EXPECT_TRUE(fired1);
+}
+
+TEST(ParallelSim, CrossShardPostArrivesAtRequestedTime) {
+  ParallelSimulator psim(1, 2);
+  psim.set_lookahead(Time::us(5));
+  Time arrival;
+  // A shard-0 event at t=10us posts work to shard 1 at t=15us (>= 10us +
+  // lookahead, the producer contract).
+  psim.shard(0).at(Time::us(10), [&] {
+    psim.post(0, 1, Time::us(15), [&] { arrival = psim.shard(1).now(); });
+  });
+  psim.run_until(Time::ms(1));
+  EXPECT_EQ(arrival, Time::us(15));
+  EXPECT_EQ(psim.remote_events(), 1u);
+}
+
+TEST(ParallelSim, MinLookaheadCutForcesSmallWindows) {
+  // With lookahead L and a pending event at N, no window may extend past
+  // N + L: more barriers than with an effectively-infinite lookahead.
+  ParallelSimulator tight(1, 2);
+  tight.set_lookahead(Time::us(1));
+  for (int i = 0; i < 10; ++i) {
+    tight.shard(0).at(Time::us(10 * (i + 1)), [] {});
+  }
+  tight.run_until(Time::ms(1));
+  const uint64_t tight_windows = tight.windows();
+
+  ParallelSimulator loose(1, 2);  // default lookahead: Time::max()
+  for (int i = 0; i < 10; ++i) {
+    loose.shard(0).at(Time::us(10 * (i + 1)), [] {});
+  }
+  loose.run_until(Time::ms(1));
+  EXPECT_GT(tight_windows, loose.windows());
+  EXPECT_EQ(tight.events_fired(), loose.events_fired());
+}
+
+TEST(ParallelSim, ControlEventsInterleaveAtBarriers) {
+  // A control event mid-run (the fault-plan / flow-start pattern): it must
+  // run with every shard clock exactly at its timestamp, and mutations it
+  // makes (scheduling onto a shard) must be honored afterwards.
+  ParallelSimulator psim(1, 2);
+  psim.set_lookahead(Time::us(50));
+  bool shard_saw = false;
+  Time control_seen_shard_now;
+  psim.control().at(Time::us(100), [&] {
+    control_seen_shard_now = psim.shard(1).now();
+    psim.shard(1).at(Time::us(120), [&] { shard_saw = true; });
+  });
+  psim.run_until(Time::ms(1));
+  EXPECT_EQ(control_seen_shard_now, Time::us(100));
+  EXPECT_TRUE(shard_saw);
+}
+
+TEST(ParallelSim, BudgetAbortFreezesAtBarrier) {
+  ParallelSimulator psim(1, 2);
+  psim.set_lookahead(Time::us(1));
+  // Self-rescheduling load on both shards so the event budget trips.
+  std::vector<std::shared_ptr<std::function<void()>>> ticks;
+  for (size_t s = 0; s < 2; ++s) {
+    Simulator& sim = psim.shard(s);
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&sim, tick] { sim.after(Time::us(1), [tick] { (*tick)(); }); };
+    sim.at(Time::us(1), [tick] { (*tick)(); });
+    ticks.push_back(tick);
+  }
+  RunBudget b;
+  b.max_events = 100;
+  psim.set_budget(b);
+  psim.run_until(Time::ms(10));
+  EXPECT_TRUE(psim.aborted());
+  EXPECT_EQ(psim.abort_reason(), AbortReason::kEventBudget);
+  const Time frozen = psim.now();
+  EXPECT_LT(frozen, Time::ms(10));
+  // Further runs are no-ops while aborted.
+  psim.run_until(Time::ms(10));
+  EXPECT_EQ(psim.now(), frozen);
+}
+
+TEST(ParallelSim, SimTimeBudgetTruncates) {
+  ParallelSimulator psim(1, 2);
+  RunBudget b;
+  b.max_sim_time = Time::us(500);
+  psim.set_budget(b);
+  psim.run_until(Time::ms(10));
+  EXPECT_TRUE(psim.aborted());
+  EXPECT_EQ(psim.abort_reason(), AbortReason::kSimTimeBudget);
+  EXPECT_LE(psim.now(), Time::us(500));
+}
+
+// Two identical runs must produce identical per-shard event traces —
+// including cross-shard delivery times — independent of thread scheduling.
+// Each shard's trace vector is written only by that shard's worker thread
+// (the barrier orders the final reads), so collection itself is race-free.
+std::vector<std::vector<std::pair<int64_t, int>>> trace_run() {
+  ParallelSimulator psim(7, 3);
+  psim.set_lookahead(Time::us(2));
+  std::vector<std::vector<std::pair<int64_t, int>>> trace(3);
+  // Ping-pong between shards: each delivery re-posts to the next shard at
+  // now + lookahead, and shard-local timers interleave.
+  auto hop = std::make_shared<std::function<void(size_t, int)>>();
+  *hop = [&, hop](size_t shard, int depth) {
+    trace[shard].push_back(
+        {psim.shard(shard).now().picos(), static_cast<int>(shard)});
+    if (depth >= 30) return;
+    const size_t next = (shard + 1) % 3;
+    psim.post(shard, next, psim.shard(shard).now() + Time::us(2),
+              [hop, next, depth] { (*hop)(next, depth + 1); });
+  };
+  psim.shard(0).at(Time::us(1), [hop] { (*hop)(0, 0); });
+  psim.shard(1).at(Time::us(1), [hop] { (*hop)(1, 0); });
+  for (size_t s = 0; s < 3; ++s) {
+    Simulator& sim = psim.shard(s);
+    const int tag = 100 + static_cast<int>(s);
+    trace[s].reserve(64);
+    auto* shard_trace = &trace[s];
+    sim.at(Time::us(7), [shard_trace, &sim, tag] {
+      shard_trace->push_back({sim.now().picos(), tag});
+    });
+  }
+  psim.run_until(Time::ms(1));
+  return trace;
+}
+
+TEST(ParallelSim, TwoRunTraceDeterminism) {
+  const auto a = trace_run();
+  const auto b = trace_run();
+  size_t total = 0;
+  for (const auto& t : a) total += t.size();
+  EXPECT_GT(total, 60u);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace xpass::sim

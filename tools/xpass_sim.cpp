@@ -59,6 +59,10 @@ struct Options {
   // run order whatever the thread count.
   size_t runs = 1;
   size_t jobs = 0;  // 0 = XPASS_JOBS / hardware concurrency
+  // --shards=N: run each scenario on the sharded parallel event core with N
+  // worker threads (0/1 = serial core). run_grid / campaign mode divide
+  // --jobs by the shard count so total threads stay bounded.
+  size_t shards = 0;
   // --json=PATH: also emit the run's recorder (every scalar plus any series
   // probes) as JSON. With --runs=M, run i writes PATH.i.
   std::string json_path;
@@ -79,7 +83,7 @@ constexpr const char* kUsage =
     "  [--workload=websearch|webserver|cachefollower|datamining]\n"
     "  [--pairs=N] [--k=N] [--flows=N] [--incast=N] [--bytes=N|long]\n"
     "  [--load=F] [--rate-gbps=F] [--duration-ms=F] [--seed=N]\n"
-    "  [--spraying] [--runs=M] [--jobs=N] [--json=PATH]\n"
+    "  [--spraying] [--runs=M] [--jobs=N] [--shards=N] [--json=PATH]\n"
     "  campaign (crash-safe batches; see EXPERIMENTS.md):\n"
     "  [--cache-dir=DIR] [--resume] [--timeout-ms=T] [--retries=N]\n"
     "  faults (target: first fabric link):\n"
@@ -120,6 +124,7 @@ Options parse(int argc, char** argv) {
   o.seed = args.u64("seed", o.seed);
   o.runs = args.runs();
   o.jobs = args.jobs();
+  o.shards = args.shards();
   o.spraying = args.flag("spraying");
   if (auto v = args.str("flap-ms")) {
     char* rest = nullptr;
@@ -221,6 +226,7 @@ runner::ScenarioSpec make_spec(const Options& o, uint64_t seed) {
   s.faults.errors = o.errors;
   s.fault_seed = o.fault_seed;
   s.check_invariants = o.check_invariants;
+  s.shards = o.shards;
   return s;
 }
 
@@ -318,6 +324,13 @@ int run_campaign_mode(const Options& o,
   copts.retries = o.retries;
   copts.timeout_ms = o.timeout_ms;
   copts.jobs = o.jobs;
+  if (o.shards > 1) {
+    // Each task spins up `shards` worker threads of its own; divide the
+    // task-level parallelism so total threads stay near the core count
+    // (mirrors ScenarioEngine::run_grid's clamp).
+    const size_t j = o.jobs == 0 ? exec::default_jobs() : o.jobs;
+    copts.jobs = std::max<size_t>(1, j / o.shards);
+  }
   copts.seed = o.seed;
   const exec::CampaignReport report = exec::run_campaign(grid, copts);
 
