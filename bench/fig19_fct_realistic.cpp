@@ -1,6 +1,8 @@
 // Fig 19: average and 99th-percentile FCT by flow-size bin under realistic
 // workloads at load 0.6, for ExpressPass, RCP, DCTCP, DX, and HULL on the
-// oversubscribed Clos fabric.
+// oversubscribed Clos fabric — extended into the three-way proactive
+// shootout with SIRD (demand-informed grants) and BFC (per-hop per-flow
+// backpressure, no proactive admission at all).
 //
 // Paper shape: ExpressPass wins on S and M bins across workloads (1.3-5.1x
 // faster average than DCTCP, more at the 99th); DCTCP/RCP win on L/XL
@@ -24,8 +26,9 @@ int main(int argc, char** argv) {
                  workload::WorkloadKind::kWebServer,
                  workload::WorkloadKind::kCacheFollower};
   const std::vector<runner::Protocol> protos = {
-      runner::Protocol::kExpressPass, runner::Protocol::kRcp,
-      runner::Protocol::kDctcp, runner::Protocol::kDx,
+      runner::Protocol::kExpressPass, runner::Protocol::kSird,
+      runner::Protocol::kBfc,         runner::Protocol::kRcp,
+      runner::Protocol::kDctcp,       runner::Protocol::kDx,
       runner::Protocol::kHull};
 
   // The (workload, protocol) grid is embarrassingly parallel: each cell

@@ -29,7 +29,8 @@ Protocol sample_protocol(sim::Rng& rng) {
   if (r < 0.58) return Protocol::kExpressPassNaive;
   return pick(rng, {Protocol::kDctcp, Protocol::kRcp, Protocol::kHull,
                     Protocol::kDx, Protocol::kCubic, Protocol::kDcqcn,
-                    Protocol::kTimely, Protocol::kIdeal});
+                    Protocol::kTimely, Protocol::kSird, Protocol::kBfc,
+                    Protocol::kIdeal});
 }
 
 std::string_view topo_tag(TopologyKind k) {

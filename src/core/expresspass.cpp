@@ -22,6 +22,13 @@ FeedbackParams make_params(const ExpressPassConfig& cfg, double link_bps) {
   p.target_loss = cfg.target_loss;
   return p;
 }
+
+transport::CreditScheduler::Config sched_config(const ExpressPassConfig& cfg) {
+  transport::CreditScheduler::Config c;
+  c.jitter = cfg.jitter;
+  c.cycle_bytes = net::kCreditCycleBytes;
+  return c;
+}
 }  // namespace
 
 ExpressPassConnection::ExpressPassConnection(
@@ -29,7 +36,10 @@ ExpressPassConnection::ExpressPassConnection(
     const ExpressPassConfig& cfg)
     : Connection(sim, spec),
       cfg_(cfg),
-      feedback_(make_params(cfg, spec.dst->nic().config().rate_bps)) {}
+      feedback_(make_params(cfg, spec.dst->nic().config().rate_bps)),
+      credit_sched_(
+          rsim_, sched_config(cfg), [this] { return feedback_.rate(); },
+          [this] { return emit_credit(); }) {}
 
 ExpressPassConnection::~ExpressPassConnection() { stop(); }
 
@@ -53,11 +63,10 @@ void ExpressPassConnection::stop() {
   started_ = false;
   spec_.src->unregister_flow(spec_.id);
   spec_.dst->unregister_flow(spec_.id);
-  rsim_.cancel(credit_timer_);
+  credit_sched_.stop();
   rsim_.cancel(feedback_timer_);
   sim_.cancel(request_timer_);
   while (!release_timers_.empty()) sim_.cancel(release_timers_.pop_front());
-  credits_running_ = false;
 }
 
 // ----- Sender (Fig 7a) ----------------------------------------------------
@@ -90,8 +99,8 @@ void ExpressPassConnection::on_watchdog() {
   // backoff; enough consecutive silent periods means the path (or peer) is
   // dead and the flow aborts instead of hanging forever.
   if (completed() || failed() || sender_done()) return;
-  if (credits_received_ > credits_at_last_watchdog_) {
-    credits_at_last_watchdog_ = credits_received_;
+  if (ledger_.granted() > credits_at_last_watchdog_) {
+    credits_at_last_watchdog_ = ledger_.granted();
     dead_retries_ = 0;
     cur_request_timeout_ = cfg_.request_timeout;
     arm_watchdog();
@@ -116,9 +125,8 @@ void ExpressPassConnection::abort_flow(const std::string& why,
   if (&sim_ == &rsim_) {
     // Serial: one thread owns both halves; tear everything down at once.
     sim_.cancel(request_timer_);
-    sim_.cancel(credit_timer_);
-    sim_.cancel(feedback_timer_);
-    credits_running_ = false;
+    credit_sched_.stop();
+    rsim_.cancel(feedback_timer_);
     done_ = true;
     fail_flow(why);
     return;
@@ -130,9 +138,8 @@ void ExpressPassConnection::abort_flow(const std::string& why,
   if (sender_half) {
     sim_.cancel(request_timer_);
   } else {
-    rsim_.cancel(credit_timer_);
+    credit_sched_.stop();
     rsim_.cancel(feedback_timer_);
-    credits_running_ = false;
     done_ = true;
   }
   fail_flow(why);
@@ -141,7 +148,7 @@ void ExpressPassConnection::abort_flow(const std::string& why,
 void ExpressPassConnection::sender_on_packet(Packet&& p) {
   if (p.type != PktType::kCredit || failed()) return;
   any_credit_seen_ = true;
-  ++credits_received_;
+  ledger_.grant();
 
   const uint64_t size = spec_.size_bytes;
   // The credit's cum-ack tells us what the receiver actually has. If we
@@ -159,7 +166,7 @@ void ExpressPassConnection::sender_on_packet(Packet&& p) {
     // is unacknowledged — if it was lost, the receiver keeps crediting; the
     // arrival of further credits this long after the last stop is exactly
     // that evidence, so re-send it.
-    ++credits_wasted_;
+    ledger_.waste();
     if (p.ack >= size &&
         (!stop_sent_ ||
          sim_.now() - last_stop_time_ >= cfg_.stop_retx_interval)) {
@@ -172,6 +179,7 @@ void ExpressPassConnection::sender_on_packet(Packet&& p) {
       size == kLongRunning ? net::kMssBytes
                            : std::min<uint64_t>(net::kMssBytes,
                                                 size - snd_nxt_));
+  ledger_.consume();  // this credit is answered with data
   Packet data = net::make_data(spec_.id, spec_.src->id(), spec_.dst->id(),
                                snd_nxt_, payload);
   data.ack = p.seq;  // echo credit sequence (loss detection, §3.2)
@@ -215,12 +223,11 @@ void ExpressPassConnection::receiver_on_packet(Packet&& p) {
     case PktType::kCreditRequest:
       // done_ guards against a retransmitted request (Fig 7's timeout can
       // leave one in flight) restarting credits for a finished flow.
-      if (!credits_running_ && !done_) start_credits();
+      if (!credit_sched_.running() && !done_) start_credits();
       return;
     case PktType::kCreditStop:
       done_ = true;
-      credits_running_ = false;
-      rsim_.cancel(credit_timer_);
+      credit_sched_.stop();
       rsim_.cancel(feedback_timer_);
       return;
     case PktType::kData: {
@@ -272,9 +279,8 @@ void ExpressPassConnection::receiver_on_packet(Packet&& p) {
         // Credits already in flight are the unavoidable waste of Fig 8b /
         // Fig 20.
         done_ = true;
-        if (credits_running_) {
-          credits_running_ = false;
-          rsim_.cancel(credit_timer_);
+        if (credit_sched_.running()) {
+          credit_sched_.stop();
           rsim_.cancel(feedback_timer_);
         }
       }
@@ -286,18 +292,18 @@ void ExpressPassConnection::receiver_on_packet(Packet&& p) {
 }
 
 void ExpressPassConnection::start_credits() {
-  credits_running_ = true;
   credits_sent_period_ = 0;
   data_rcvd_period_ = 0;
-  schedule_next_credit();
+  credit_sched_.start();
   feedback_timer_ =
       rsim_.after(cfg_.update_period, [this] { run_feedback(); });
 }
 
-void ExpressPassConnection::send_credit() {
+bool ExpressPassConnection::emit_credit() {
   // failed(): the sender half may have aborted on its own thread; it cannot
-  // cancel our timers, so the credit pump stops itself here.
-  if (!credits_running_ || failed()) return;
+  // cancel our timers, so the credit pump stops itself here (returning
+  // false ends the scheduler's emission chain).
+  if (failed()) return false;
   Packet credit = net::make_control(PktType::kCredit, spec_.id,
                                     spec_.dst->id(), spec_.src->id());
   credit.seq = credit_seq_++;
@@ -310,23 +316,11 @@ void ExpressPassConnection::send_credit() {
   spec_.dst->send(std::move(credit));
   ++credits_sent_total_;
   ++credits_sent_period_;
-  schedule_next_credit();
-}
-
-void ExpressPassConnection::schedule_next_credit() {
-  const double rate = feedback_.rate();
-  // One credit admits one full data frame: at cur_rate (data bps) credits
-  // are spaced by the time a credit+MTU cycle takes at that rate.
-  double gap_sec = net::kCreditCycleBytes * 8.0 / rate;
-  if (cfg_.jitter > 0.0) {
-    gap_sec *= 1.0 + cfg_.jitter * rsim_.rng().uniform(-1.0, 1.0);
-  }
-  credit_timer_ =
-      rsim_.after(sim::Time::seconds(gap_sec), [this] { send_credit(); });
+  return true;
 }
 
 void ExpressPassConnection::run_feedback() {
-  if (!credits_running_ || failed()) return;
+  if (!credit_sched_.running() || failed()) return;
   // Dead-flow detection: credits going out, nothing at all coming back, for
   // long enough that even a min-rate sender (one data packet per ~13ms at
   // 10G) would have shown up many times over. The sender is gone — stop

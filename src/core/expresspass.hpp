@@ -21,6 +21,7 @@
 #include "net/packet.hpp"
 #include "net/ring_buffer.hpp"
 #include "transport/connection.hpp"
+#include "transport/credit_sched.hpp"
 
 namespace xpass::core {
 
@@ -83,9 +84,11 @@ class ExpressPassConnection : public transport::Connection {
   // Introspection for tests/benches.
   double credit_rate_bps() const { return feedback_.rate(); }
   uint64_t credits_sent() const { return credits_sent_total_; }
-  uint64_t credits_received() const { return credits_received_; }
-  uint64_t credits_wasted() const { return credits_wasted_; }
+  uint64_t credits_received() const { return ledger_.granted(); }
+  uint64_t credits_wasted() const { return ledger_.wasted(); }
   const CreditFeedback& feedback() const { return feedback_; }
+  // Sender-side permission accounting (one unit per credit).
+  const transport::GrantLedger& ledger() const { return ledger_; }
   // Host-release data sends scheduled but not yet on the wire.
   size_t pending_releases() const { return release_timers_.size(); }
   // Cumulative credits the receiver detected as lost via echoed-sequence
@@ -116,8 +119,8 @@ class ExpressPassConnection : public transport::Connection {
   // Receiver side.
   void receiver_on_packet(net::Packet&& p);
   void start_credits();
-  void send_credit();
-  void schedule_next_credit();
+  // CreditScheduler's emit callback: builds and sends one CREDIT packet.
+  bool emit_credit();
   void run_feedback();
 
   ExpressPassConfig cfg_;
@@ -143,8 +146,10 @@ class ExpressPassConnection : public transport::Connection {
   net::RingBuffer<sim::TimerId> release_timers_;
   bool any_credit_seen_ = false;
 
-  // Receiver state (Fig 7b).
-  bool credits_running_ = false;
+  // Receiver state (Fig 7b). The credit pump (pacing timer, gap jitter,
+  // running flag) lives in the extracted transport::CreditScheduler; this
+  // class supplies its rate (feedback_) and emission (emit_credit).
+  transport::CreditScheduler credit_sched_;
   // Latched once crediting ends for good (CREDIT_STOP received, or every
   // byte up to the FIN arrived): a retransmitted SYN/CREDIT_REQUEST that
   // was still in flight must not restart crediting for a finished flow.
@@ -165,12 +170,11 @@ class ExpressPassConnection : public transport::Connection {
   uint64_t credits_detected_lost_ = 0;  // run-long sum of the above
   uint64_t data_rcvd_period_ = 0;
   uint32_t dead_periods_ = 0;  // consecutive periods: credits out, no data
-  sim::TimerId credit_timer_;
   sim::TimerId feedback_timer_;
 
-  // Waste accounting (sender side).
-  uint64_t credits_received_ = 0;
-  uint64_t credits_wasted_ = 0;
+  // Waste accounting (sender side): every credit received is consumed
+  // (answered with data) or wasted (Fig 8b / Fig 20).
+  transport::GrantLedger ledger_;
 
   bool started_ = false;
 };

@@ -17,6 +17,12 @@ uint64_t mix64(uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+DropTailQueue::Config data_queue_config(const LinkConfig& cfg) {
+  DropTailQueue::Config q = cfg.data_queue;
+  q.per_flow = cfg.hop_backpressure;  // flow-level pause needs flow queues
+  return q;
+}
 }  // namespace
 
 Port::Port(sim::Simulator& sim, Node& owner, LinkConfig cfg)
@@ -28,7 +34,7 @@ Port::Port(sim::Simulator& sim, Node& owner, LinkConfig cfg)
       shaper_noise_(owner.kind() == Node::Kind::kHost
                         ? cfg.host_credit_shaper_noise
                         : 0.0),
-      data_q_(cfg.data_queue),
+      data_q_(data_queue_config(cfg)),
       class_weights_(cfg.credit_class_weights.empty()
                          ? std::vector<double>{1.0}
                          : cfg.credit_class_weights),
@@ -56,8 +62,10 @@ void Port::enqueue(Packet&& p) {
         p.rcp_rate_bps = rcp_->rate_bps;
       }
     }
+    const FlowId flow = p.flow;
     data_q_.enqueue(std::move(p), now);
     check_pfc();
+    if (cfg_.hop_backpressure) check_flow_bp(flow);
   }
   if (up_ && now < free_at_) {
     // Serializer busy: the queues are non-empty (even a drop-on-full leaves
@@ -103,8 +111,84 @@ void Port::pfc_resume() {
   if (--pause_count_ == 0) try_transmit();
 }
 
+void Port::note_flow_ingress(FlowId flow, Port* upstream) {
+  if (!cfg_.hop_backpressure || upstream == nullptr) return;
+  auto [it, fresh] = bp_ix_.try_emplace(flow, bp_entries_.size());
+  if (fresh) {
+    bp_entries_.push_back(BpEntry{flow, upstream, false, true});
+    ++bp_live_;
+  } else {
+    // A rerouted flow pauses at its latest hop; the stale hop's pause (if
+    // any) lifts when this egress drains below the resume threshold.
+    bp_entries_[it->second].upstream = upstream;
+  }
+}
+
+void Port::check_flow_bp(FlowId flow) {
+  auto it = bp_ix_.find(flow);
+  if (it == bp_ix_.end()) return;  // locally sourced: nothing to pause
+  BpEntry& e = bp_entries_[it->second];
+  const uint64_t backlog = data_q_.flow_bytes(flow);
+  Port* const up = e.upstream;
+  if (!e.paused && backlog > cfg_.flow_pause_bytes) {
+    e.paused = true;
+    ++flow_pause_events_;
+    // Pause frames are link-level control riding the reverse direction of
+    // the ingress link, modeled as a propagation-delayed signal.
+    sim_->after(up->config().prop_delay, [up, flow] { up->flow_pause(flow); });
+  } else if (e.paused && backlog < cfg_.flow_resume_bytes) {
+    e.paused = false;
+    sim_->after(up->config().prop_delay,
+                [up, flow] { up->flow_resume(flow); });
+  } else if (!e.paused && backlog == 0) {
+    // Drained and unpaused: tombstone, keeping the table bounded by the
+    // flows actually queued or paused here.
+    e.live = false;
+    bp_ix_.erase(it);
+    --bp_live_;
+    if (bp_live_ == 0) {
+      bp_entries_.clear();
+    } else if (bp_entries_.size() > 2 * bp_live_ + 16) {
+      // Compact tombstones, preserving arrival order.
+      std::vector<BpEntry> keep;
+      keep.reserve(bp_live_);
+      for (const BpEntry& b : bp_entries_) {
+        if (b.live) keep.push_back(b);
+      }
+      bp_entries_ = std::move(keep);
+      bp_ix_.clear();
+      for (size_t i = 0; i < bp_entries_.size(); ++i) {
+        bp_ix_.emplace(bp_entries_[i].flow, i);
+      }
+    }
+  }
+}
+
+void Port::release_flow_bp() {
+  for (const BpEntry& e : bp_entries_) {
+    if (!e.live || !e.paused) continue;
+    Port* const up = e.upstream;
+    const FlowId flow = e.flow;
+    sim_->after(up->config().prop_delay, [up, flow] { up->flow_resume(flow); });
+  }
+  bp_entries_.clear();
+  bp_ix_.clear();
+  bp_live_ = 0;
+}
+
+void Port::flow_pause(FlowId flow) {
+  if (!cfg_.hop_backpressure) return;
+  data_q_.pause_flow(flow);
+}
+
+void Port::flow_resume(FlowId flow) {
+  if (!cfg_.hop_backpressure) return;
+  data_q_.resume_flow(flow);
+  if (up_) try_transmit();
+}
+
 bool Port::work_queued() const {
-  if (!data_q_.empty()) return true;
+  if (data_q_.serviceable()) return true;
   for (const CreditQueue& q : credit_qs_) {
     if (!q.empty()) return true;
   }
@@ -141,10 +225,11 @@ void Port::try_transmit() {
     class_served_[cls] += pkt.wire_bytes;
     rebase_credit_accumulators();
     ++tx_credits_;
-  } else if (!data_q_.empty() && !data_paused()) {
+  } else if (data_q_.serviceable() && !data_paused()) {
     pkt = data_q_.dequeue(now);
     tx_data_bytes_ += pkt.wire_bytes;
     check_pfc();
+    if (cfg_.hop_backpressure) check_flow_bp(pkt.flow);
   } else if (cls != SIZE_MAX) {
     // Only shaped credits are waiting: wake up when tokens suffice.
     if (!retry_pending_) {
@@ -182,17 +267,18 @@ void Port::try_transmit() {
     // on backlogged ports. (Approximation: a credit arriving mid-burst
     // window waits out the burst instead of preempting between frames.)
     if (pick_credit_class() == SIZE_MAX) {
-      while (!data_q_.empty() && !data_paused()) {
+      while (data_q_.serviceable() && !data_paused()) {
         Packet d = data_q_.dequeue(now);
         ++tx_packets_;
         tx_bytes_ += d.wire_bytes;
         tx_data_bytes_ += d.wire_bytes;
         check_pfc();
+        if (cfg_.hop_backpressure) check_flow_bp(d.flow);
         free_at_ = free_at_ + sim::tx_time(d.wire_bytes, cfg_.rate_bps);
         wire_fifo_.push_back(WireFrame{free_at_ + cfg_.prop_delay,
                                        PacketRef(std::move(d))});
       }
-    } else if (data_q_.empty()) {
+    } else if (!data_q_.serviceable()) {
       // Credit-only burst (the reverse path of a chain): serve the whole
       // shaped backlog in this event by computing each credit's exact token
       // departure analytically. Arrivals on the wire are identical to the
@@ -319,6 +405,9 @@ void Port::fail(LinkFailMode mode) {
     fault_.flushed_data += data_q_.clear(now);
     for (CreditQueue& q : credit_qs_) fault_.flushed_credits += q.clear(now);
   }
+  // A failing egress must not leave flows stuck paused at upstream hops:
+  // drop the pause table and lift every pause it had asserted.
+  if (cfg_.hop_backpressure) release_flow_bp();
 }
 
 void Port::recover() {

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link_error.hpp"
@@ -88,6 +89,18 @@ struct LinkConfig {
   bool pfc = false;
   uint64_t pfc_pause_bytes = 150'000;
   uint64_t pfc_resume_bytes = 75'000;
+  // Per-hop flow-level backpressure (BFC). The egress data queue runs in
+  // per-flow mode (round-robin service over flows); when one flow's backlog
+  // at this egress exceeds flow_pause_bytes, the switch pauses that flow —
+  // and only that flow — at the upstream hop it arrived from, resuming once
+  // it drains below flow_resume_bytes. Contrast with pfc above, which
+  // pauses every ingress link wholesale (the HOL-blocking this fixes).
+  // Upstream state is bounded: the pause table tracks only flows currently
+  // queued or paused here, in arrival order (flow-relabel invariant).
+  // Inert for every existing protocol (plain FIFO, no signaling).
+  bool hop_backpressure = false;
+  uint64_t flow_pause_bytes = 8 * kMaxWireBytes;
+  uint64_t flow_resume_bytes = 4 * kMaxWireBytes;
   // WFQ accumulator rebase threshold. The per-class served-byte
   // accumulators only ever grow; past ~2^53 bytes a double can no longer
   // represent +84-byte increments and low-weight classes starve. When the
@@ -202,6 +215,19 @@ class Port {
   bool data_paused() const { return pause_count_ > 0; }
   uint64_t pause_events() const { return pause_events_; }
 
+  // Per-hop flow-level backpressure (LinkConfig::hop_backpressure).
+  // note_flow_ingress: the owning switch records, per queued flow, the
+  // upstream transmitter the flow last arrived from (the pause target).
+  // flow_pause/flow_resume arrive from a downstream hop and gate just that
+  // flow's queue on this port. All of it is inert unless the flag is set.
+  void note_flow_ingress(FlowId flow, Port* upstream);
+  void flow_pause(FlowId flow);
+  void flow_resume(FlowId flow);
+  uint64_t flow_pause_events() const { return flow_pause_events_; }
+  // Flows currently tracked in this egress's pause table (bounded-state
+  // introspection for tests).
+  size_t bp_tracked_flows() const { return bp_live_; }
+
   // Link-failure modeling (§3.1 mentions excluding failed links from ECMP;
   // route() excludes a link unless both directions are up). set_up is the
   // legacy admin toggle: down == fail(kDrain), up == recover().
@@ -246,6 +272,13 @@ class Port {
   // switch's ingress links.
   void check_pfc();
   void signal_pfc(bool pause);
+  // Flow-level backpressure thresholds for one flow's backlog on this
+  // egress (called after its enqueues/dequeues); signals the flow's
+  // recorded upstream hop and tombstones drained entries.
+  void check_flow_bp(FlowId flow);
+  // Drops the pause table, resuming anything still paused upstream (link
+  // failure must not leave a flow stuck paused forever).
+  void release_flow_bp();
   // The backlogged credit class next in weighted order; SIZE_MAX if none.
   size_t pick_credit_class() const;
   // Re-anchors an idle class's WFQ deficit as it becomes backlogged, so a
@@ -297,6 +330,21 @@ class Port {
   uint32_t pause_count_ = 0;
   uint64_t pause_events_ = 0;
   bool pause_sent_ = false;  // this egress has paused its switch's ingresses
+  // Flow-level pause table (hop_backpressure): per queued-or-paused flow,
+  // its upstream transmitter and whether we paused it there. Kept in
+  // arrival order with tombstones + periodic compaction: iteration order
+  // never depends on flow-id values (relabel invariance), and the live set
+  // is bounded by the flows actually queued here.
+  struct BpEntry {
+    FlowId flow;
+    Port* upstream;
+    bool paused;
+    bool live;
+  };
+  std::vector<BpEntry> bp_entries_;
+  std::unordered_map<FlowId, size_t> bp_ix_;
+  size_t bp_live_ = 0;
+  uint64_t flow_pause_events_ = 0;
   bool up_ = true;
   LinkFailMode fail_mode_ = LinkFailMode::kDrain;
   std::unique_ptr<LinkError> error_;

@@ -40,17 +40,110 @@ bool DropTailQueue::enqueue(Packet&& p, sim::Time now) {
   ++stats_.enqueued;
   stats_.bytes_enqueued += p.wire_bytes;
   stats_.max_bytes = std::max(stats_.max_bytes, bytes_);
-  items_.push_back(Item{std::move(p), now});
-  stats_.max_packets = std::max(stats_.max_packets, items_.size());
+  if (cfg_.per_flow) {
+    const FlowId flow = p.flow;
+    auto [it, fresh] = flow_ix_.try_emplace(flow, flowqs_.size());
+    if (fresh) flowqs_.push_back(std::make_unique<FlowQ>());
+    FlowQ& fq = *flowqs_[it->second];
+    fq.bytes += p.wire_bytes;
+    fq.items.push_back(Item{std::move(p), now});
+    ++pkts_;
+    if (!fq.paused) {
+      ++serviceable_pkts_;
+      if (!fq.in_active) {
+        fq.in_active = true;
+        active_.push_back(size_t(it->second));
+      }
+    }
+    stats_.max_packets = std::max(stats_.max_packets, pkts_);
+  } else {
+    items_.push_back(Item{std::move(p), now});
+    stats_.max_packets = std::max(stats_.max_packets, items_.size());
+  }
   return true;
 }
 
 Packet DropTailQueue::dequeue(sim::Time now) {
   account(now);
+  if (cfg_.per_flow) {
+    // Round-robin over serviceable flows; entries that went stale (paused
+    // or drained) while queued in the rotation are discarded here.
+    for (;;) {
+      const size_t ix = active_.pop_front();
+      FlowQ& fq = *flowqs_[ix];
+      if (fq.paused || fq.items.empty()) {
+        fq.in_active = false;
+        continue;
+      }
+      Item it = fq.items.pop_front();
+      fq.bytes -= it.pkt.wire_bytes;
+      bytes_ -= it.pkt.wire_bytes;
+      --pkts_;
+      --serviceable_pkts_;
+      if (fq.items.empty()) {
+        fq.in_active = false;
+      } else {
+        active_.push_back(size_t(ix));  // back of the rotation
+      }
+      it.pkt.queue_delay += now - it.enq_time;
+      return std::move(it.pkt);
+    }
+  }
   Item it = items_.pop_front();
   bytes_ -= it.pkt.wire_bytes;
   it.pkt.queue_delay += now - it.enq_time;
   return std::move(it.pkt);
+}
+
+DropTailQueue::FlowQ* DropTailQueue::flow_q(FlowId flow) {
+  auto it = flow_ix_.find(flow);
+  return it == flow_ix_.end() ? nullptr : flowqs_[it->second].get();
+}
+
+const DropTailQueue::FlowQ* DropTailQueue::flow_q(FlowId flow) const {
+  auto it = flow_ix_.find(flow);
+  return it == flow_ix_.end() ? nullptr : flowqs_[it->second].get();
+}
+
+void DropTailQueue::pause_flow(FlowId flow) {
+  if (!cfg_.per_flow) return;
+  // First-touch pause: a pause can arrive before the flow's first packet
+  // does (the signal races the data it throttles), so create the flow
+  // queue on demand rather than dropping the pause.
+  auto [it, fresh] = flow_ix_.try_emplace(flow, flowqs_.size());
+  if (fresh) flowqs_.push_back(std::make_unique<FlowQ>());
+  FlowQ& fq = *flowqs_[it->second];
+  if (fq.paused) return;
+  fq.paused = true;
+  serviceable_pkts_ -= fq.items.size();
+}
+
+void DropTailQueue::resume_flow(FlowId flow) {
+  if (!cfg_.per_flow) return;
+  FlowQ* fq = flow_q(flow);
+  if (fq == nullptr || !fq->paused) return;
+  fq->paused = false;
+  serviceable_pkts_ += fq->items.size();
+  if (!fq->items.empty() && !fq->in_active) {
+    fq->in_active = true;
+    active_.push_back(size_t(flow_ix_.find(flow)->second));
+  }
+}
+
+bool DropTailQueue::flow_paused(FlowId flow) const {
+  const FlowQ* fq = flow_q(flow);
+  return fq != nullptr && fq->paused;
+}
+
+uint64_t DropTailQueue::flow_bytes(FlowId flow) const {
+  const FlowQ* fq = flow_q(flow);
+  return fq == nullptr ? 0 : fq->bytes;
+}
+
+size_t DropTailQueue::paused_flows() const {
+  size_t n = 0;
+  for (const auto& fq : flowqs_) n += fq->paused ? 1 : 0;
+  return n;
 }
 
 bool CreditQueue::enqueue(Packet&& p, sim::Time now) {
@@ -73,6 +166,21 @@ Packet CreditQueue::dequeue(sim::Time now) {
 
 size_t DropTailQueue::clear(sim::Time now) {
   account(now);
+  if (cfg_.per_flow) {
+    const size_t n = pkts_;
+    stats_.dropped += n;
+    for (auto& fq : flowqs_) {
+      fq->items.clear();
+      fq->bytes = 0;
+      fq->paused = false;  // a flushed link holds nothing back
+      fq->in_active = false;
+    }
+    active_.clear();
+    pkts_ = 0;
+    serviceable_pkts_ = 0;
+    bytes_ = 0;
+    return n;
+  }
   const size_t n = items_.size();
   stats_.dropped += n;
   items_.clear();

@@ -11,6 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "net/ring_buffer.hpp"
@@ -44,6 +47,14 @@ class DropTailQueue {
     // virtual backlog exceeds phantom_mark_bytes. Disabled when 0.
     double phantom_drain_bps = 0.0;
     uint64_t phantom_mark_bytes = 0;
+    // BFC-style flow-level queueing: packets are kept in per-flow FIFOs
+    // served round-robin in first-arrival order, and individual flows can
+    // be paused/resumed by per-hop backpressure. Admission (capacity, ECN,
+    // phantom) and every statistic operate on total occupancy exactly as in
+    // FIFO mode. Service order is arrival-order round-robin — never keyed
+    // on flow-id values — so runs stay deterministic and flow-relabel
+    // invariant.
+    bool per_flow = false;
   };
 
   DropTailQueue() : DropTailQueue(Config()) {}
@@ -51,16 +62,31 @@ class DropTailQueue {
 
   // Returns false and drops if over capacity. May set p.ecn_ce.
   bool enqueue(Packet&& p, sim::Time now);
-  bool empty() const { return items_.empty(); }
-  // Precondition: !empty(). Adds queue residence time to pkt.queue_delay.
+  bool empty() const { return cfg_.per_flow ? pkts_ == 0 : items_.empty(); }
+  // Anything a scheduler may serve right now? FIFO mode: same as !empty();
+  // per-flow mode: at least one unpaused flow has packets.
+  bool serviceable() const {
+    return cfg_.per_flow ? serviceable_pkts_ > 0 : !items_.empty();
+  }
+  // Precondition: serviceable(). Adds queue residence time to
+  // pkt.queue_delay. Per-flow mode serves flows round-robin.
   Packet dequeue(sim::Time now);
+  // FIFO mode only (per-flow service order is the scheduler's business).
   const Packet& front() const { return items_.front().pkt; }
   // Discards every queued packet (link failure with drop semantics),
-  // counting them as drops. Returns how many were flushed.
+  // counting them as drops; per-flow pause flags reset. Returns the count.
   size_t clear(sim::Time now);
 
+  // Per-flow backpressure (no-ops in FIFO mode). A paused flow's packets
+  // stay queued but are skipped by dequeue until resumed.
+  void pause_flow(FlowId flow);
+  void resume_flow(FlowId flow);
+  bool flow_paused(FlowId flow) const;
+  uint64_t flow_bytes(FlowId flow) const;
+  size_t paused_flows() const;  // introspection (tests)
+
   uint64_t bytes() const { return bytes_; }
-  size_t packets() const { return items_.size(); }
+  size_t packets() const { return cfg_.per_flow ? pkts_ : items_.size(); }
   const QueueStats& stats() const { return stats_; }
   const Config& config() const { return cfg_; }
 
@@ -72,8 +98,26 @@ class DropTailQueue {
     sim::Time enq_time;
   };
 
+  // Per-flow mode: one FIFO per flow, discovered on first arrival.
+  struct FlowQ {
+    RingBuffer<Item> items;
+    uint64_t bytes = 0;
+    bool paused = false;
+    bool in_active = false;  // queued in the active_ rotation
+  };
+  FlowQ* flow_q(FlowId flow);
+  const FlowQ* flow_q(FlowId flow) const;
+
   Config cfg_;
-  RingBuffer<Item> items_;
+  RingBuffer<Item> items_;  // FIFO mode storage
+  // Per-flow mode storage. active_ holds the round-robin rotation of flows
+  // believed serviceable; stale entries (paused or drained since being
+  // queued) are pruned lazily at dequeue.
+  std::vector<std::unique_ptr<FlowQ>> flowqs_;
+  std::unordered_map<FlowId, size_t> flow_ix_;
+  RingBuffer<size_t> active_;
+  size_t pkts_ = 0;
+  size_t serviceable_pkts_ = 0;  // packets in unpaused flows
   uint64_t bytes_ = 0;
   double phantom_bytes_ = 0.0;
   sim::Time phantom_last_;

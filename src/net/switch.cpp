@@ -59,7 +59,6 @@ Port* Switch::route(NodeId src, NodeId dst, FlowId flow) const {
 }
 
 void Switch::receive(Packet&& p, Port& in) {
-  (void)in;
   Port* out = nullptr;
   if (spraying_ && candidates(p.dst).size() > 1) {
     const std::vector<Port*>& live = *live_candidates(p.dst);
@@ -74,6 +73,12 @@ void Switch::receive(Packet&& p, Port& in) {
       ++unroutable_data_;
     }
     return;
+  }
+  // Per-hop backpressure: the egress remembers which upstream transmitter
+  // each queued flow arrived from, so a building flow queue can pause just
+  // that flow one hop back.
+  if (out->config().hop_backpressure && !is_credit_class(p.type)) {
+    out->note_flow_ingress(p.flow, in.peer());
   }
   out->enqueue(std::move(p));
 }

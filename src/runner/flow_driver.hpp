@@ -36,6 +36,10 @@ class FlowDriver {
   void set_parallel(sim::ParallelSimulator& psim,
                     const std::vector<uint32_t>& shard_of);
 
+  // The transport all flows are created through (scalar extraction probes
+  // it for optional capabilities, e.g. transport::GrantAccounting).
+  transport::Transport& transport() const { return transport_; }
+
   // Schedules creation + start of the flow at spec.start_time. Returns the
   // connection (owned by the driver) so callers may re-hook callbacks or
   // inspect protocol state.

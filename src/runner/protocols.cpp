@@ -1,5 +1,8 @@
 #include "runner/protocols.hpp"
 
+#include <algorithm>
+
+#include "transport/bfc.hpp"
 #include "transport/cubic.hpp"
 #include "transport/dcqcn.hpp"
 #include "transport/dctcp.hpp"
@@ -7,6 +10,7 @@
 #include "transport/hull.hpp"
 #include "transport/ideal.hpp"
 #include "transport/rcp.hpp"
+#include "transport/sird.hpp"
 #include "transport/timely.hpp"
 
 namespace xpass::runner {
@@ -22,6 +26,8 @@ std::string_view protocol_name(Protocol p) {
     case Protocol::kCubic: return "Cubic";
     case Protocol::kDcqcn: return "DCQCN";
     case Protocol::kTimely: return "TIMELY";
+    case Protocol::kSird: return "SIRD";
+    case Protocol::kBfc: return "BFC";
     case Protocol::kIdeal: return "Ideal";
   }
   return "?";
@@ -41,16 +47,24 @@ std::optional<Protocol> parse_protocol(std::string_view name) {
   if (name == "cubic" || name == "Cubic") return Protocol::kCubic;
   if (name == "dcqcn" || name == "DCQCN") return Protocol::kDcqcn;
   if (name == "timely" || name == "TIMELY") return Protocol::kTimely;
+  if (name == "sird" || name == "SIRD") return Protocol::kSird;
+  if (name == "bfc" || name == "BFC") return Protocol::kBfc;
   if (name == "ideal" || name == "Ideal") return Protocol::kIdeal;
   return std::nullopt;
 }
 
+double scale_for_rate(double value_at_10g, double rate_bps) {
+  return value_at_10g * rate_bps / 10e9;
+}
+
 uint64_t default_queue_capacity(double rate_bps) {
-  return static_cast<uint64_t>(384'500.0 * rate_bps / 10e9);
+  // 384.5KB = 250 x 1538B MTUs.
+  return static_cast<uint64_t>(scale_for_rate(384'500.0, rate_bps));
 }
 
 uint64_t dctcp_k_bytes(double rate_bps) {
-  return static_cast<uint64_t>(65.0 * net::kMaxWireBytes * rate_bps / 10e9);
+  return static_cast<uint64_t>(
+      scale_for_rate(65.0 * net::kMaxWireBytes, rate_bps));
 }
 
 net::LinkConfig protocol_link_config(Protocol p, double rate_bps,
@@ -78,6 +92,11 @@ net::LinkConfig protocol_link_config(Protocol p, double rate_bps,
       cfg.pfc = true;
       cfg.pfc_pause_bytes = cfg.data_queue.capacity_bytes / 2;
       cfg.pfc_resume_bytes = cfg.data_queue.capacity_bytes / 4;
+      break;
+    case Protocol::kBfc:
+      // The congestion control *is* the fabric: per-flow queues with
+      // flow-granular pause one hop upstream (defaults in net::LinkConfig).
+      cfg.hop_backpressure = true;
       break;
     default:
       break;
@@ -136,6 +155,35 @@ std::unique_ptr<transport::Transport> make_transport(
       cfg.t_low = base_rtt * 1.1;
       cfg.t_high = base_rtt * 3.0;
       return std::make_unique<transport::TimelyTransport>(sim, cfg);
+    }
+    case Protocol::kSird: {
+      transport::SirdConfig cfg;
+      const double rate = topo.hosts().empty()
+                              ? 10e9
+                              : topo.hosts().front()->nic().config().rate_bps;
+      // Solicitation window ~1 fabric BDP, liveness probe one base RTT —
+      // the same period granularity ExpressPass's feedback loop uses.
+      const double bdp_bytes = rate * base_rtt.to_sec() / 8.0;
+      cfg.solicitation_bytes = std::max<uint64_t>(
+          4 * net::kMssBytes, static_cast<uint64_t>(bdp_bytes));
+      cfg.probe_period = base_rtt;
+      return std::make_unique<transport::SirdTransport>(sim, cfg);
+    }
+    case Protocol::kBfc: {
+      transport::BfcConfig cfg;
+      cfg.window.base_rtt = base_rtt;
+      const double rate = topo.hosts().empty()
+                              ? 10e9
+                              : topo.hosts().front()->nic().config().rate_bps;
+      const double bdp_pkts =
+          rate * base_rtt.to_sec() / 8.0 / net::kMaxWireBytes;
+      const uint32_t w = std::max(
+          1u, static_cast<uint32_t>(cfg.bdp_multiplier * bdp_pkts));
+      // Fixed window: no slow start, no congestion response.
+      cfg.window.init_cwnd_pkts = w;
+      cfg.window.min_cwnd_pkts = w;
+      cfg.window.max_cwnd_pkts = w;
+      return std::make_unique<transport::BfcTransport>(sim, cfg);
     }
     case Protocol::kIdeal:
       return std::make_unique<transport::IdealTransport>(sim, topo, 1.0);

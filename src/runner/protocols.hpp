@@ -24,6 +24,9 @@ enum class Protocol {
   // Extension comparators: the PFC-based RDMA status quo (§1's motivation).
   kDcqcn,   // ECN + CNP rate control over PFC-protected links
   kTimely,  // RTT-gradient rate control over PFC-protected links
+  // Proactive/backpressure comparators for the three-way shootout:
+  kSird,    // sender-informed receiver-driven grant allocation
+  kBfc,     // per-hop per-flow backpressure, fixed endpoint window
   // Fig 1's oracle: exact max-min fair shares with perfect pacing.
   kIdeal,
 };
@@ -31,6 +34,12 @@ enum class Protocol {
 std::string_view protocol_name(Protocol p);
 std::optional<Protocol> parse_protocol(std::string_view name);
 
+// The paper states every buffer/threshold constant at its 10Gbps testbed
+// speed; faster links scale them linearly (same number of MTU-times of
+// buffering). Every such constant must go through this one helper — the
+// queue capacity and the DCTCP K used to each scale independently and could
+// drift apart.
+double scale_for_rate(double value_at_10g, double rate_bps);
 // Switch/NIC data-queue capacity at `rate_bps`, scaled from the paper's
 // 384.5KB (250 MTUs) at 10Gbps.
 uint64_t default_queue_capacity(double rate_bps);

@@ -16,6 +16,7 @@
 #include "sim/invariants.hpp"
 #include "sim/parallel.hpp"
 #include "stats/fairness.hpp"
+#include "transport/credit_sched.hpp"
 #include "workload/generators.hpp"
 
 namespace xpass::runner {
@@ -272,6 +273,22 @@ ScenarioResult finish_run(const ScenarioSpec& spec, sim::Simulator& sim,
     res.credits_received = ledger.received;
     res.credits_wasted = ledger.wasted;
     res.credit_waste_ratio = ledger.waste_ratio();
+  } else if (auto* acct = dynamic_cast<const transport::GrantAccounting*>(
+                 &driver.transport())) {
+    // Proactive comparators (SIRD; BFC reports zeros) expose their
+    // grant/credit waste through the framework's accounting hook. Distinct
+    // recorder keys from ExpressPass's xp.* gauges: those count what
+    // *arrived* at senders (credit_telemetry), these count what receivers
+    // *issued* — the Fig-20 comparison normalizes each protocol by its own
+    // denominator.
+    const transport::GrantWaste gw = acct->grant_waste();
+    res.credits_received = gw.issued;
+    res.credits_wasted = gw.wasted;
+    res.credit_waste_ratio = gw.waste_ratio();
+    rec.set("proactive.grants_issued", static_cast<double>(gw.issued));
+    rec.set("proactive.grants_consumed", static_cast<double>(gw.consumed));
+    rec.set("proactive.grants_wasted", static_cast<double>(gw.wasted));
+    rec.set("proactive.waste_ratio", gw.waste_ratio());
   }
   if (has_faults) {
     res.fault_totals = injector.totals();
@@ -328,6 +345,11 @@ void validate_parallel(const ScenarioSpec& spec, const net::Topology& topo) {
   } else if (spec.protocol == Protocol::kDcqcn ||
              spec.protocol == Protocol::kTimely) {
     why = "PFC-based protocols backpressure across link boundaries";
+  } else if (spec.protocol == Protocol::kSird) {
+    why = "SIRD's per-receiver grant allocator is cross-flow shared state";
+  } else if (spec.protocol == Protocol::kBfc) {
+    why = "BFC's per-hop flow backpressure mutates upstream ports across "
+          "the cut";
   }
   if (why != nullptr) {
     throw std::invalid_argument(std::string("ScenarioSpec.shards: protocol ") +
@@ -340,6 +362,11 @@ void validate_parallel(const ScenarioSpec& spec, const net::Topology& topo) {
         throw std::invalid_argument(
             "ScenarioSpec.shards: PFC links cannot run sharded (pause frames "
             "mutate the upstream port across the cut)");
+      }
+      if (p->config().hop_backpressure) {
+        throw std::invalid_argument(
+            "ScenarioSpec.shards: hop-backpressure links cannot run sharded "
+            "(flow pause/resume mutates the upstream port across the cut)");
       }
       if (p->config().train_window > sim::Time::zero()) {
         throw std::invalid_argument(

@@ -1,0 +1,19 @@
+#include "transport/bfc.hpp"
+
+namespace xpass::transport {
+
+void BfcConnection::on_ack_hook(const net::Packet& ack,
+                                uint64_t newly_acked) {
+  (void)ack;
+  (void)newly_acked;
+}
+
+void BfcConnection::on_loss_event(bool timeout) {
+  // Keep the window fixed. The fabric's per-flow backpressure absorbs
+  // congestion losslessly; losses only happen under injected faults, where
+  // the base engine's go-back-N/RTO machinery (which still runs) recovers
+  // the bytes. Collapsing the window too would just slow the recovery.
+  (void)timeout;
+}
+
+}  // namespace xpass::transport

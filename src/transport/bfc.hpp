@@ -1,0 +1,61 @@
+// BFC (Backpressure Flow Control, Goyal et al., NSDI 2022 — arXiv:1909.09923).
+//
+// The congestion control lives in the fabric, not the endpoint: every link
+// runs LinkConfig::hop_backpressure (per-flow queues served round-robin,
+// with flow-granular pause/resume one hop upstream), so a congested egress
+// parks exactly the offending flows' packets one hop back instead of
+// dropping them or pausing whole links. The endpoint is deliberately dumb —
+// a fixed window of a few BDPs that neither slow-starts nor reacts to
+// congestion signals; it exists only to bound per-flow in-network state and
+// to recover the rare losses faults inject. Contrast both with PFC (pause
+// the whole ingress: HOL blocking, see pfc_test) and with the proactive
+// schemes (ExpressPass/SIRD) that keep queues empty by admission instead of
+// by pushback.
+#pragma once
+
+#include "transport/credit_sched.hpp"
+#include "transport/window.hpp"
+
+namespace xpass::transport {
+
+struct BfcConfig {
+  WindowConfig window;
+  // Fixed sending window in BDPs (runner::make_transport converts to
+  // packets from the fabric's base RTT and link rate). The paper sizes
+  // per-hop flow state for roughly one BDP per active flow; a small
+  // multiple keeps the pipe full across pause/resume cycles.
+  double bdp_multiplier = 2.0;
+};
+
+class BfcConnection : public WindowConnection {
+ public:
+  BfcConnection(sim::Simulator& sim, const FlowSpec& spec,
+                const BfcConfig& cfg)
+      : WindowConnection(sim, spec, cfg.window) {}
+
+ protected:
+  // No endpoint congestion control: the window is a constant.
+  void on_ack_hook(const net::Packet& ack, uint64_t newly_acked) override;
+  void on_loss_event(bool timeout) override;
+};
+
+class BfcTransport : public Transport, public GrantAccounting {
+ public:
+  explicit BfcTransport(sim::Simulator& sim, BfcConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override {
+    return std::make_unique<BfcConnection>(sim_, spec, cfg_);
+  }
+  std::string_view name() const override { return "BFC"; }
+  const BfcConfig& config() const { return cfg_; }
+  // BFC issues no credits/grants; its waste scalar is identically zero —
+  // reported anyway so the three-way shootout prints one column per
+  // protocol.
+  GrantWaste grant_waste() const override { return GrantWaste{}; }
+
+ private:
+  sim::Simulator& sim_;
+  BfcConfig cfg_;
+};
+
+}  // namespace xpass::transport

@@ -1,0 +1,41 @@
+#include "transport/credit_sched.hpp"
+
+namespace xpass::transport {
+
+void CreditScheduler::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void CreditScheduler::stop() {
+  sim_.cancel(timer_);
+  running_ = false;
+}
+
+void CreditScheduler::fire() {
+  if (!running_) return;
+  // The emit callback may refuse (flow settled under the timer, or a shared
+  // allocator ran out of grantable flows): the pump does not re-arm and
+  // reports !running(), so a later start() can revive it. The no-re-arm part
+  // is exactly the pre-extraction ExpressPass behavior, where a failed
+  // flow's credit timer chain ended without touching other state.
+  if (!emit_()) {
+    running_ = false;
+    return;
+  }
+  ++emitted_;
+  schedule_next();
+}
+
+void CreditScheduler::schedule_next() {
+  // Draw order per cycle is fixed: the emit callback's own randomization
+  // (credit size) happened first, then this gap jitter — byte-identity with
+  // the pre-extraction ExpressPass stream depends on it.
+  double gap = gap_sec(rate_(), cfg_.cycle_bytes);
+  if (cfg_.jitter > 0.0) {
+    gap *= 1.0 + cfg_.jitter * sim_.rng().uniform(-1.0, 1.0);
+  }
+  timer_ = sim_.after(sim::Time::seconds(gap), [this] { fire(); });
+}
+
+}  // namespace xpass::transport

@@ -1,0 +1,197 @@
+// SIRD (Sender-Informed Receiver-Driven transport, arXiv:2312.15403).
+//
+// Like ExpressPass, the receiver paces permission-to-send packets; unlike
+// it, the allocation is *informed*: senders advertise their demand (the
+// flow's remaining bytes, carried in the request), and each receiver runs
+// one grant allocator per host that round-robins its NIC's bandwidth over
+// exactly the flows with unmet demand. Two consequences distinguish the
+// protocols in the shootout:
+//  * Incast: N flows into one host share one allocator pacing at the NIC
+//    rate, so aggregate grants never oversubscribe the last hop — there is
+//    no per-flow feedback loop that must converge (ExpressPass Algorithm 1)
+//    and no credit-drop signal to wait for.
+//  * Waste: grants stop the moment advertised demand is covered, so the
+//    overcommit waste of blind crediting (Fig 8b / Fig 20) shrinks to the
+//    grants already in flight when the tail arrives, plus a bounded
+//    solicitation window per flow.
+//
+// Reuses the extracted framework: CreditScheduler paces the allocator's
+// grant emissions (grants are kCredit-class on the wire, so the per-port
+// credit shapers and WFQ classes apply unchanged), and GrantLedger tracks
+// consume/waste on the sender side, surfaced through GrantAccounting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/ring_buffer.hpp"
+#include "transport/connection.hpp"
+#include "transport/credit_sched.hpp"
+
+namespace xpass::transport {
+
+struct SirdConfig {
+  // Grant pacing jitter, same role as ExpressPass's credit jitter (Fig 6a).
+  double jitter = 0.1;
+  // Receiver-side solicitation window: grant-bytes in flight (granted but
+  // not yet answered by data) per flow. Bounds queue buildup at the
+  // granting NIC exactly like SIRD's solicitation cap; the runner sizes it
+  // to ~1 BDP of the fabric.
+  uint64_t solicitation_bytes = 16 * net::kMssBytes;
+  // Receiver liveness/tail-recovery timer: each period without data
+  // progress while grants are outstanding forgives those grants (so the
+  // allocator re-solicits the missing range) and counts toward the dead
+  // verdict. The runner sets this to the fabric base RTT.
+  sim::Time probe_period = sim::Time::us(100);
+  uint32_t receiver_dead_periods = 600;
+  // Sender request watchdog, identical in role (and defaults) to
+  // ExpressPass's: re-advertise demand with backoff while no grants arrive,
+  // abort after max_dead_retries consecutive silent periods.
+  sim::Time request_timeout = sim::Time::us(400);
+  double request_backoff = 2.0;
+  sim::Time request_timeout_cap = sim::Time::ms(25);
+  double request_jitter = 0.2;
+  uint32_t max_dead_retries = 12;
+  sim::Time stop_retx_interval = sim::Time::us(400);
+};
+
+// Transport-wide grant accounting (all receivers + senders of one run).
+struct SirdStats {
+  uint64_t grants_issued = 0;
+  uint64_t grants_consumed = 0;
+  uint64_t grants_wasted = 0;
+};
+
+class SirdConnection;
+
+// One per destination host: owns the grant pump pacing that host's NIC
+// rate and the round-robin rotation over flows with unmet demand. The
+// rotation is kept in *activation order* (first demand first), never keyed
+// by flow id — scheduling decisions must survive flow relabeling.
+class SirdAllocator {
+ public:
+  SirdAllocator(net::Host& host, const SirdConfig& cfg, SirdStats& stats);
+
+  // Ensure `c` is in the rotation and the pump is running. Idempotent;
+  // called on demand arrival and whenever data progress reopens a flow's
+  // solicitation window.
+  void activate(SirdConnection* c);
+  // Physically drop `c` from the rotation (connection teardown — the
+  // pointer is about to dangle).
+  void remove(SirdConnection* c);
+
+  size_t rotation_size() const { return rotation_.size(); }
+  bool pumping() const { return sched_.running(); }
+
+ private:
+  bool emit_grant();
+
+  net::Host& host_;
+  const SirdConfig& cfg_;
+  SirdStats& stats_;
+  CreditScheduler sched_;
+  std::deque<SirdConnection*> rotation_;
+};
+
+class SirdConnection : public Connection {
+ public:
+  SirdConnection(sim::Simulator& sim, const FlowSpec& spec,
+                 const SirdConfig& cfg, SirdStats& stats,
+                 SirdAllocator& alloc);
+  ~SirdConnection() override;
+
+  void start() override;
+  void stop() override;
+
+  // Receiver-side: does this flow want a grant right now? (Unmet advertised
+  // demand and an open solicitation window.)
+  bool grantable() const;
+  // Emit one MSS-worth grant (allocator only).
+  void send_grant();
+
+  const GrantLedger& ledger() const { return ledger_; }
+  uint64_t grants_sent() const { return grant_seq_; }
+
+ private:
+  friend class SirdAllocator;
+
+  void sender_on_packet(net::Packet&& p);
+  void receiver_on_packet(net::Packet&& p);
+  void send_request();
+  void send_grant_stop();
+  void arm_watchdog();
+  void on_watchdog();
+  void arm_probe();
+  void on_probe();
+  void abort_flow(const std::string& why);
+  uint64_t outstanding_grant_bytes() const {
+    return granted_bytes_ - std::min(granted_bytes_, received_bytes_);
+  }
+
+  const SirdConfig& cfg_;
+  SirdStats& stats_;
+  SirdAllocator* alloc_;
+  bool started_ = false;
+
+  // Sender half.
+  uint64_t snd_nxt_ = 0;
+  GrantLedger ledger_;
+  sim::Time last_data_sent_;
+  sim::Time host_release_;
+  net::RingBuffer<sim::TimerId> release_timers_;
+  sim::TimerId request_timer_;
+  sim::Time cur_request_timeout_;
+  uint32_t dead_retries_ = 0;
+  uint64_t grants_at_last_watchdog_ = 0;
+  bool stop_sent_ = false;
+  sim::Time last_stop_time_;
+
+  // Receiver half.
+  uint64_t advertised_end_ = 0;   // sender-informed demand (bytes)
+  uint64_t granted_bytes_ = 0;    // grant budget issued so far
+  uint64_t received_bytes_ = 0;   // payload bytes arrived (any order)
+  uint64_t rcv_next_ = 0;         // in-order delivery edge
+  std::map<uint64_t, uint32_t> rcv_ooo_;
+  uint64_t fin_end_ = 0;
+  uint64_t grant_seq_ = 0;
+  bool in_rotation_ = false;
+  bool done_ = false;
+  bool probe_armed_ = false;
+  sim::TimerId probe_timer_;
+  uint64_t progress_at_probe_ = 0;
+  uint32_t dead_periods_ = 0;
+};
+
+class SirdTransport : public Transport, public GrantAccounting {
+ public:
+  explicit SirdTransport(sim::Simulator& sim, SirdConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {}
+
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override;
+  std::string_view name() const override { return "SIRD"; }
+  const SirdConfig& config() const { return cfg_; }
+
+  GrantWaste grant_waste() const override {
+    return GrantWaste{stats_.grants_issued, stats_.grants_consumed,
+                      stats_.grants_wasted};
+  }
+
+ private:
+  SirdAllocator& allocator_for(net::Host& dst);
+
+  sim::Simulator& sim_;
+  SirdConfig cfg_;
+  SirdStats stats_;
+  // One allocator per destination host, created on first flow toward it.
+  // NOTE: connections hold a pointer to their allocator and deregister in
+  // stop(); the transport must outlive its connections (FlowDriver holds
+  // the transport by reference, so the owner's declaration order already
+  // guarantees this).
+  std::unordered_map<net::NodeId, std::unique_ptr<SirdAllocator>> allocators_;
+};
+
+}  // namespace xpass::transport

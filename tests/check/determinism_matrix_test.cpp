@@ -22,6 +22,7 @@ constexpr Protocol kAllProtocols[] = {
     Protocol::kHull,        Protocol::kDx,
     Protocol::kCubic,       Protocol::kDcqcn,
     Protocol::kTimely,      Protocol::kIdeal,
+    Protocol::kSird,        Protocol::kBfc,
 };
 
 // Run-to-run determinism over the full protocol matrix: same spec, same

@@ -1,0 +1,85 @@
+// Recorder-output goldens over the protocol matrix.
+//
+// Each protocol runs one pinned scenario and its full xpass.recorder.v1
+// JSON must match the committed golden byte-for-byte. The goldens for the
+// ten pre-framework protocols were captured *before* the credit-scheduler
+// extraction (transport/credit_sched.hpp) refactored core::ExpressPass, so
+// this test is the proof that the extraction changed no recorder output —
+// and, going forward, that no refactor silently shifts any protocol's
+// trajectory. Regenerate deliberately with:
+//   XPASS_REGEN_RECORDER_GOLDEN=1 ./test_recorder_golden
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/protocols.hpp"
+#include "runner/scenario.hpp"
+
+namespace {
+
+using xpass::runner::Protocol;
+using xpass::runner::protocol_name;
+using xpass::runner::ScenarioEngine;
+using xpass::runner::ScenarioResult;
+using xpass::runner::ScenarioSpec;
+using xpass::runner::StopSpec;
+using xpass::runner::TrafficKind;
+using xpass::sim::Time;
+
+constexpr Protocol kAllProtocols[] = {
+    Protocol::kExpressPass, Protocol::kExpressPassNaive,
+    Protocol::kDctcp,       Protocol::kRcp,
+    Protocol::kHull,        Protocol::kDx,
+    Protocol::kCubic,       Protocol::kDcqcn,
+    Protocol::kTimely,      Protocol::kIdeal,
+    // Proactive comparators (added with the credit-scheduler framework;
+    // their goldens carry the proactive.* grant-waste scalars).
+    Protocol::kSird,        Protocol::kBfc,
+};
+
+std::string golden_path(Protocol p) {
+  return std::string(XPASS_RECORDER_GOLDEN_DIR) + "/" +
+         std::string(protocol_name(p)) + ".json";
+}
+
+TEST(RecorderGolden, EveryProtocolMatchesCommittedJson) {
+  const bool regen = std::getenv("XPASS_REGEN_RECORDER_GOLDEN") != nullptr;
+  for (const Protocol p : kAllProtocols) {
+    ScenarioSpec spec;
+    spec.topology.scale = 3;
+    spec.topology.host_prop = Time::us(2);
+    spec.traffic.kind = TrafficKind::kIncast;
+    spec.traffic.flows = 5;
+    spec.traffic.bytes = 80'000;
+    spec.stop = StopSpec::completion(Time::sec(1));
+    spec.check_invariants = true;
+    spec.protocol = p;
+    spec.seed = 42;
+    spec.name =
+        std::string("recorder-golden/") + std::string(protocol_name(p));
+
+    const ScenarioResult r = ScenarioEngine().run(spec);
+    const std::string json = r.recorder.to_json(spec.name);
+
+    const std::string path = golden_path(p);
+    if (regen) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << json;
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden " << path
+                           << " (regenerate with "
+                              "XPASS_REGEN_RECORDER_GOLDEN=1)";
+    std::ostringstream want;
+    want << in.rdbuf();
+    EXPECT_EQ(json, want.str())
+        << spec.name << ": recorder JSON diverged from the committed golden";
+  }
+}
+
+}  // namespace

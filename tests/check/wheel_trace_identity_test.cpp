@@ -32,6 +32,7 @@ constexpr Protocol kAllProtocols[] = {
     Protocol::kHull,        Protocol::kDx,
     Protocol::kCubic,       Protocol::kDcqcn,
     Protocol::kTimely,      Protocol::kIdeal,
+    Protocol::kSird,        Protocol::kBfc,
 };
 
 TEST(WheelTraceIdentity, EveryProtocolHybridMatchesHeapOnly) {

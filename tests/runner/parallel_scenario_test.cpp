@@ -5,6 +5,7 @@
 // and campaign cache-key identity across shard counts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
@@ -101,12 +102,50 @@ TEST(ParallelScenario, FaultsAtBarriersAreDeterministic) {
   EXPECT_EQ(a, run_json(spec));
 }
 
-TEST(ParallelScenario, UnshardableProtocolsThrow) {
-  for (Protocol p : {Protocol::kIdeal, Protocol::kDcqcn, Protocol::kTimely}) {
+TEST(ParallelScenario, UnshardableProtocolsThrowNamingTheProtocol) {
+  for (Protocol p : {Protocol::kIdeal, Protocol::kDcqcn, Protocol::kTimely,
+                     Protocol::kSird, Protocol::kBfc}) {
     ScenarioSpec spec = base_spec(p, 1, 2);
     ScenarioEngine engine;
-    EXPECT_THROW(engine.run(spec), std::invalid_argument)
-        << protocol_name(p) << " must be rejected by the parallel envelope";
+    try {
+      engine.run(spec);
+      FAIL() << protocol_name(p)
+             << " must be rejected by the parallel envelope";
+    } catch (const std::invalid_argument& e) {
+      // The error must name the offending protocol, not just a mechanism —
+      // campaign logs bucket rejections by this string.
+      EXPECT_NE(std::string(e.what()).find(protocol_name(p)),
+                std::string::npos)
+          << "rejection must name " << protocol_name(p) << ", got: "
+          << e.what();
+    }
+  }
+}
+
+TEST(ParallelScenario, EveryProtocolIsClassifiedByTheEnvelope) {
+  // Exhaustive over the Protocol enum: every value either runs sharded or
+  // is rejected with std::invalid_argument — nothing may fall through to a
+  // crash or a silently-wrong sharded run. A new protocol must be added to
+  // exactly one of these two lists.
+  const Protocol kAll[] = {
+      Protocol::kExpressPass, Protocol::kExpressPassNaive, Protocol::kDctcp,
+      Protocol::kRcp,         Protocol::kHull,             Protocol::kDx,
+      Protocol::kCubic,       Protocol::kDcqcn,            Protocol::kTimely,
+      Protocol::kSird,        Protocol::kBfc,              Protocol::kIdeal,
+  };
+  for (Protocol p : kAll) {
+    const bool shardable =
+        std::find(std::begin(kShardable), std::end(kShardable), p) !=
+        std::end(kShardable);
+    ScenarioSpec spec = base_spec(p, 1, 2);
+    ScenarioEngine engine;
+    if (shardable) {
+      EXPECT_NO_THROW(engine.run(spec)) << protocol_name(p);
+    } else {
+      EXPECT_THROW(engine.run(spec), std::invalid_argument)
+          << protocol_name(p) << " is not in kShardable, so the envelope "
+          << "must reject it";
+    }
   }
 }
 

@@ -1,0 +1,45 @@
+// Pins the paper's 10Gbps anchor constants and their linear link-speed
+// scaling, all routed through runner::scale_for_rate (the single source of
+// truth; default_queue_capacity and dctcp_k_bytes used to scale
+// independently and could drift).
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "runner/protocols.hpp"
+
+namespace xpass::runner {
+namespace {
+
+TEST(ProtocolScaling, QueueCapacityAnchor) {
+  // 384.5KB at 10G — exactly 250 MTU-sized (1538B) frames.
+  EXPECT_EQ(default_queue_capacity(10e9), 384'500u);
+  EXPECT_EQ(default_queue_capacity(10e9), 250u * net::kMaxWireBytes);
+}
+
+TEST(ProtocolScaling, DctcpKAnchor) {
+  // K = 65 full-size packets at 10G.
+  EXPECT_EQ(dctcp_k_bytes(10e9), 65u * net::kMaxWireBytes);
+}
+
+TEST(ProtocolScaling, LinearInLinkRate) {
+  EXPECT_EQ(default_queue_capacity(40e9), 4u * default_queue_capacity(10e9));
+  EXPECT_EQ(dctcp_k_bytes(40e9), 4u * dctcp_k_bytes(10e9));
+  EXPECT_EQ(default_queue_capacity(100e9),
+            10u * default_queue_capacity(10e9));
+  EXPECT_DOUBLE_EQ(scale_for_rate(1.0, 10e9), 1.0);
+  EXPECT_DOUBLE_EQ(scale_for_rate(384'500.0, 25e9), 961'250.0);
+}
+
+TEST(ProtocolScaling, LinkConfigUsesScaledCapacity) {
+  // protocol_link_config derives every byte threshold from the same scaled
+  // capacity, at any rate.
+  for (double rate : {10e9, 40e9}) {
+    const net::LinkConfig cfg =
+        protocol_link_config(Protocol::kDctcp, rate, sim::Time::us(1));
+    EXPECT_EQ(cfg.data_queue.capacity_bytes, default_queue_capacity(rate));
+    EXPECT_EQ(cfg.data_queue.ecn_threshold_bytes, dctcp_k_bytes(rate));
+  }
+}
+
+}  // namespace
+}  // namespace xpass::runner

@@ -1,0 +1,158 @@
+// The extracted receiver-driven credit primitives, in isolation: the
+// GrantLedger's conservation identity and the CreditScheduler's shaped
+// emission pacing. Byte-identity of the ExpressPass port onto these
+// primitives is proven separately by test_recorder_golden.
+#include "transport/credit_sched.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace xpass::transport {
+namespace {
+
+using sim::Time;
+
+TEST(GrantLedger, ConservationHoldsAtEveryStep) {
+  GrantLedger ledger;
+  // Interleave grants, consumes, and wastes; the identity
+  // granted == consumed + wasted + outstanding must hold after every op.
+  auto check = [&] {
+    EXPECT_EQ(ledger.granted(),
+              ledger.consumed() + ledger.wasted() + ledger.outstanding());
+  };
+  for (int i = 0; i < 100; ++i) {
+    ledger.grant();
+    check();
+    if (i % 3 == 0) ledger.consume();
+    if (i % 7 == 0) ledger.waste();
+    check();
+  }
+  // At i=0 the waste clamps to zero: the lone grant was just consumed.
+  EXPECT_EQ(ledger.granted(), 100u);
+  EXPECT_EQ(ledger.consumed(), 34u);
+  EXPECT_EQ(ledger.wasted(), 14u);
+  EXPECT_EQ(ledger.outstanding(), 52u);
+  EXPECT_DOUBLE_EQ(ledger.waste_ratio(), 14.0 / 100.0);
+}
+
+TEST(GrantLedger, ConsumeAndWasteClampToOutstanding) {
+  GrantLedger ledger;
+  // Nothing granted: consume/waste move zero units, never underflow.
+  EXPECT_EQ(ledger.consume(5), 0u);
+  EXPECT_EQ(ledger.waste(5), 0u);
+  ledger.grant(10);
+  EXPECT_EQ(ledger.consume(7), 7u);
+  EXPECT_EQ(ledger.waste(7), 3u);  // only 3 left outstanding
+  EXPECT_EQ(ledger.outstanding(), 0u);
+  EXPECT_EQ(ledger.granted(), ledger.consumed() + ledger.wasted());
+}
+
+TEST(GrantLedger, WasteRatioIsFig20Metric) {
+  GrantLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.waste_ratio(), 0.0);  // no grants: defined as 0
+  ledger.grant(4);
+  ledger.consume(3);
+  ledger.waste(1);
+  EXPECT_DOUBLE_EQ(ledger.waste_ratio(), 0.25);
+}
+
+TEST(CreditScheduler, GapIsOneCycleAtTargetRate) {
+  // 10G data rate, 1538+84=1622B cycle: one credit per ~1.2976us.
+  EXPECT_DOUBLE_EQ(CreditScheduler::gap_sec(10e9, net::kCreditCycleBytes),
+                   net::kCreditCycleBytes * 8.0 / 10e9);
+  // Halving the rate doubles the gap.
+  EXPECT_DOUBLE_EQ(CreditScheduler::gap_sec(5e9, 1622),
+                   2.0 * CreditScheduler::gap_sec(10e9, 1622));
+}
+
+TEST(CreditScheduler, PacesEmissionsAtSuppliedRate) {
+  sim::Simulator sim;
+  const double rate = 10e9;
+  uint64_t emitted = 0;
+  CreditScheduler::Config cfg;
+  cfg.jitter = 0.0;  // exact pacing for this test
+  CreditScheduler sched(
+      sim, cfg, [&] { return rate; },
+      [&] {
+        ++emitted;
+        return true;
+      });
+  sched.start();
+  EXPECT_TRUE(sched.running());
+  const Time horizon = Time::ms(1);
+  sim.run_until(horizon);
+  // Expected one emission per cycle gap over the horizon (first fires one
+  // gap after start).
+  const double gap = CreditScheduler::gap_sec(rate, cfg.cycle_bytes);
+  const auto expected = static_cast<uint64_t>(horizon.to_sec() / gap);
+  EXPECT_EQ(emitted, expected);
+  EXPECT_EQ(sched.emitted(), emitted);
+}
+
+TEST(CreditScheduler, JitterBoundsTheGap) {
+  // With jitter j, every inter-emission gap lies in [(1-j), (1+j)] x gap.
+  sim::Simulator sim;
+  const double rate = 10e9;
+  CreditScheduler::Config cfg;
+  cfg.jitter = 0.1;
+  Time last = Time::zero();
+  bool first = true;
+  double min_gap = 1e9, max_gap = 0.0;
+  CreditScheduler sched(
+      sim, cfg, [&] { return rate; },
+      [&] {
+        if (!first) {
+          const double g = (sim.now() - last).to_sec();
+          min_gap = std::min(min_gap, g);
+          max_gap = std::max(max_gap, g);
+        }
+        first = false;
+        last = sim.now();
+        return true;
+      });
+  sched.start();
+  sim.run_until(Time::ms(1));
+  const double gap = CreditScheduler::gap_sec(rate, cfg.cycle_bytes);
+  EXPECT_GE(min_gap, gap * (1.0 - cfg.jitter));
+  EXPECT_LE(max_gap, gap * (1.0 + cfg.jitter));
+  // Jitter actually jitters: the spread is a meaningful fraction of the gap.
+  EXPECT_GT(max_gap - min_gap, gap * 0.05);
+}
+
+TEST(CreditScheduler, StopCancelsPendingEmission) {
+  sim::Simulator sim;
+  uint64_t emitted = 0;
+  CreditScheduler sched(
+      sim, {}, [] { return 10e9; },
+      [&] {
+        ++emitted;
+        return true;
+      });
+  sched.start();
+  sim.run_until(Time::us(10));
+  const uint64_t at_stop = emitted;
+  EXPECT_GT(at_stop, 0u);
+  sched.stop();
+  EXPECT_FALSE(sched.running());
+  sim.run_until(Time::ms(1));
+  EXPECT_EQ(emitted, at_stop);
+  // start() re-arms after a stop.
+  sched.start();
+  sim.run_until(Time::ms(2));
+  EXPECT_GT(emitted, at_stop);
+}
+
+TEST(CreditScheduler, EmitReturningFalseEndsThePump) {
+  sim::Simulator sim;
+  uint64_t calls = 0;
+  CreditScheduler sched(
+      sim, {}, [] { return 10e9; }, [&] { return ++calls < 5; });
+  sched.start();
+  sim.run_until(Time::ms(1));
+  EXPECT_EQ(calls, 5u);          // the fifth call refused; no more fire
+  EXPECT_EQ(sched.emitted(), 4u);  // refused emissions don't count
+}
+
+}  // namespace
+}  // namespace xpass::transport
