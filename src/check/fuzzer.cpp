@@ -49,6 +49,17 @@ const Injection kInjections[] = {
        xp.naive = true;
        s.xp = xp;
      }},
+    {"starved-reservation",
+     "cap the credit schedule's max rate to ~1% of the host line rate — the "
+     "observable effect of losing the §4.3 minimum credit-rate reservation "
+     "on a shared fabric: reactive cross-traffic takes the bottleneck and "
+     "the ExpressPass groups collapse; caught by the coexistence oracle on "
+     "mixed-protocol specs",
+     [](ScenarioSpec& s) {
+       auto xp = xp_config(s);
+       xp.max_rate_bps = 0.01 * s.topology.host_rate_bps;
+       s.xp = xp;
+     }},
     {"silent-data-loss",
      "a marginal link drops ~1 in 500 data frames while the declared model "
      "says the fabric is healthy — violates the paper's zero-data-loss "

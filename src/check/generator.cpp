@@ -28,9 +28,20 @@ Protocol sample_protocol(sim::Rng& rng) {
   if (r < 0.50) return Protocol::kExpressPass;
   if (r < 0.58) return Protocol::kExpressPassNaive;
   return pick(rng, {Protocol::kDctcp, Protocol::kRcp, Protocol::kHull,
-                    Protocol::kDx, Protocol::kCubic, Protocol::kDcqcn,
-                    Protocol::kTimely, Protocol::kSird, Protocol::kBfc,
-                    Protocol::kIdeal});
+                    Protocol::kDx, Protocol::kCubic, Protocol::kBbr,
+                    Protocol::kDcqcn, Protocol::kTimely, Protocol::kSird,
+                    Protocol::kBfc, Protocol::kIdeal});
+}
+
+bool xp_primary(Protocol p) {
+  return p == Protocol::kExpressPass || p == Protocol::kExpressPassNaive;
+}
+
+// Protocols allowed as cross-traffic on an ExpressPass fabric (the
+// drop-tail-compatible reactive set scenario.cpp admits into flow_groups).
+Protocol sample_cross_protocol(sim::Rng& rng) {
+  return pick(rng, {Protocol::kCubic, Protocol::kDctcp, Protocol::kBbr,
+                    Protocol::kTimely, Protocol::kDx, Protocol::kRcp});
 }
 
 std::string_view topo_tag(TopologyKind k) {
@@ -53,11 +64,15 @@ ScenarioSpec generate_spec(sim::Rng& rng, uint64_t name_index,
   s.check_invariants = true;
 
   // --- protocol ----------------------------------------------------------
-  s.protocol = opts.protocol ? *opts.protocol : sample_protocol(rng);
+  s.protocol = opts.protocol ? *opts.protocol
+               : opts.mixed  ? Protocol::kExpressPass
+                             : sample_protocol(rng);
 
   // --- topology ----------------------------------------------------------
   {
-    const double r = rng.uniform();
+    // Forced-mixed runs pin the coexistence oracle's calibrated scenario:
+    // an ExpressPass dumbbell (see coexistence_scenario in oracles.cpp).
+    const double r = opts.mixed ? 0.0 : rng.uniform();
     if (r < 0.40) {
       s.topology.kind = TopologyKind::kDumbbell;
     } else if (r < 0.60) {
@@ -119,6 +134,13 @@ ScenarioSpec generate_spec(sim::Rng& rng, uint64_t name_index,
       s.topology.credit_queue_pkts =
           static_cast<size_t>(rng.uniform_int(4, 16));
     }
+    // A sliver of per-link propagation jitter (1-3us, can reorder packets).
+    // Kept small relative to the us-scale props so the queue-bound slack
+    // still covers the perturbed dynamics; the always-on oracles hunt for
+    // reorder-sensitive state machines.
+    if (rng.uniform() < 0.10) {
+      s.topology.link_jitter = Time::us(rng.uniform_int(1, 3));
+    }
   }
 
   // --- traffic -----------------------------------------------------------
@@ -126,23 +148,58 @@ ScenarioSpec generate_spec(sim::Rng& rng, uint64_t name_index,
   const bool chain_topology =
       s.topology.kind == TopologyKind::kParkingLot ||
       s.topology.kind == TopologyKind::kMultiBottleneck;
-  if (chain_topology) {
+  const bool want_mixed =
+      opts.mixed ||
+      (xp_primary(s.protocol) &&
+       s.topology.kind == TopologyKind::kDumbbell && rng.uniform() < 0.15);
+  if (want_mixed) {
+    // Mixed-protocol coexistence: all traffic comes from flow_groups (the
+    // engine ignores spec.traffic then, but the long-running sentinel
+    // below steers stop sampling onto the measurement-window path the
+    // coexistence oracle requires).
+    s.traffic.kind = TrafficKind::kPairwise;
+    s.traffic.bytes = transport::kLongRunning;
+    runner::FlowGroupSpec xp;
+    xp.protocol = s.protocol;
+    xp.traffic.kind = TrafficKind::kPairwise;
+    xp.traffic.bytes = transport::kLongRunning;
+    xp.traffic.flows = static_cast<size_t>(rng.uniform_int(2, 4));
+    s.flow_groups.push_back(xp);
+    const size_t cross = rng.uniform() < 0.3 ? 2 : 1;
+    for (size_t i = 0; i < cross; ++i) {
+      runner::FlowGroupSpec g;
+      g.protocol = sample_cross_protocol(rng);
+      g.traffic.bytes = transport::kLongRunning;
+      if (rng.uniform() < 0.35) {
+        // Real-time-style on/off bursts: the hostile regime for the credit
+        // reservation (synchronized reactive bursts hammer the queue).
+        g.traffic.kind = TrafficKind::kOnOff;
+        g.traffic.on_period_sec = rng.uniform(2e-3, 8e-3);
+        g.traffic.on_duty = rng.uniform(0.2, 0.8);
+        g.traffic.flows = static_cast<size_t>(rng.uniform_int(2, 4));
+      } else {
+        g.traffic.kind = TrafficKind::kPairwise;
+        g.traffic.flows = static_cast<size_t>(rng.uniform_int(2, 6));
+      }
+      s.flow_groups.push_back(g);
+    }
+  } else if (chain_topology) {
     s.traffic.kind = TrafficKind::kChain;
     s.traffic.bytes = transport::kLongRunning;
   } else {
     const double r = rng.uniform();
-    if (r < 0.50) {
+    if (r < 0.45) {
       s.traffic.kind = TrafficKind::kPairwise;
       s.traffic.flows = std::min(
           max_flows, static_cast<size_t>(rng.uniform_int(2, 12)));
       s.traffic.bytes = transport::kLongRunning;
       s.traffic.start_spread_sec = rng.uniform() < 0.5 ? 0.0 : 1e-3;
-    } else if (r < 0.78) {
+    } else if (r < 0.70) {
       s.traffic.kind = TrafficKind::kIncast;
       s.traffic.flows = std::min(
           max_flows, static_cast<size_t>(rng.uniform_int(2, 16)));
       s.traffic.bytes = static_cast<uint64_t>(rng.uniform_int(50, 500)) * 1000;
-    } else {
+    } else if (r < 0.90) {
       s.traffic.kind = TrafficKind::kPoisson;
       s.traffic.flows = std::min(
           max_flows, static_cast<size_t>(rng.uniform_int(4, 16)));
@@ -152,6 +209,16 @@ ScenarioSpec generate_spec(sim::Rng& rng, uint64_t name_index,
                 workload::WorkloadKind::kCacheFollower,
                 workload::WorkloadKind::kDataMining});
       s.traffic.load = rng.uniform(0.3, 0.8);
+    } else {
+      // Duty-cycled bursts from long-lived sources: exercises the burst
+      // scheduler and the engine oracles under non-stationary load (the
+      // steady-state oracles deliberately disarm on kOnOff).
+      s.traffic.kind = TrafficKind::kOnOff;
+      s.traffic.flows = std::min(
+          max_flows, static_cast<size_t>(rng.uniform_int(2, 8)));
+      s.traffic.bytes = transport::kLongRunning;
+      s.traffic.on_period_sec = rng.uniform(2e-3, 8e-3);
+      s.traffic.on_duty = rng.uniform(0.2, 0.8);
     }
   }
 

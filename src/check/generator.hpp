@@ -25,6 +25,11 @@ struct GenOptions {
   // comparators mostly exercise engine-level oracles (determinism,
   // relabeling).
   std::optional<runner::Protocol> protocol;
+  // Force mixed-protocol coexistence specs (the fuzz CLI's --mixed): every
+  // spec is an ExpressPass dumbbell sharing its bottleneck with 1-2
+  // reactive cross-traffic flow groups, which arms the coexistence oracle.
+  // Unset: ~15% of ExpressPass dumbbell specs sample mixed anyway.
+  bool mixed = false;
 };
 
 // Samples one spec from `rng`. `name_index` only labels spec.name

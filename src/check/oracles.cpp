@@ -35,8 +35,15 @@ bool is_xp(Protocol p) {
   return p == Protocol::kExpressPass || p == Protocol::kExpressPassNaive;
 }
 
+// Mixed-protocol coexistence runs draw all traffic from spec.flow_groups;
+// the XP-only and equal-share oracles below do not apply to them.
+bool mixed(const ScenarioSpec& s) { return !s.flow_groups.empty(); }
+
 bool long_running(const ScenarioSpec& s) {
-  return s.traffic.bytes == transport::kLongRunning;
+  // kOnOff keeps the long-running sentinel in `bytes` but chops sources
+  // into duty-cycle bursts — never a steady-state measurement.
+  return s.traffic.bytes == transport::kLongRunning &&
+         s.traffic.kind != TrafficKind::kOnOff;
 }
 
 // Steady-state measurement: long-running flows, a real measurement window
@@ -45,7 +52,7 @@ bool long_running(const ScenarioSpec& s) {
 // feedback loop still carries visible start-up skew at 5ms (empirically
 // flow shares sit ~30% apart), which washes out by ~10ms.
 bool steady_state(const ScenarioSpec& s) {
-  return long_running(s) && s.stop.kind == StopKind::kWindow &&
+  return long_running(s) && !mixed(s) && s.stop.kind == StopKind::kWindow &&
          s.stop.window >= Time::ms(10) && s.stop.warmup >= Time::ms(10) &&
          !s.faults.any();
 }
@@ -78,6 +85,34 @@ bool fair_share_scenario(const ScenarioSpec& s) {
 double fabric_rate(const ScenarioSpec& s) {
   return s.topology.fabric_rate_bps > 0 ? s.topology.fabric_rate_bps
                                         : s.topology.host_rate_bps;
+}
+
+// The coexistence scenario: an ExpressPass fabric sharing a dumbbell
+// bottleneck with at least one reactive (non-credit) flow group, measured
+// over a converged window. The protected ExpressPass group(s) must be
+// long-running so their bottleneck share is well-defined; the cross-traffic
+// groups may be anything (on/off bursts included — that is the point).
+bool coexistence_scenario(const ScenarioSpec& s) {
+  if (!is_xp(s.protocol) || s.flow_groups.size() < 2) return false;
+  if (s.topology.kind != TopologyKind::kDumbbell) return false;
+  if (s.stop.kind != StopKind::kWindow || s.stop.window < Time::ms(10) ||
+      s.stop.warmup < Time::ms(10) || s.faults.any()) {
+    return false;
+  }
+  bool has_xp = false;
+  bool has_other = false;
+  for (const auto& g : s.flow_groups) {
+    if (is_xp(g.protocol)) {
+      if (g.traffic.bytes != transport::kLongRunning ||
+          g.traffic.kind == TrafficKind::kOnOff || g.traffic.flows == 0) {
+        return false;
+      }
+      has_xp = true;
+    } else {
+      has_other = true;
+    }
+  }
+  return has_xp && has_other;
 }
 
 Time fabric_prop(const ScenarioSpec& s) {
@@ -214,7 +249,10 @@ const Oracle kOracles[] = {
 
     {"zero-data-loss",
      [](const ScenarioSpec& s, const OracleOptions&) {
-       return is_xp(s.protocol) && !s.faults.any();
+       // Mixed fabrics carry reactive cross-traffic that fills drop-tail
+       // queues; loss there is the cross-traffic's control signal, not a
+       // broken credit schedule.
+       return is_xp(s.protocol) && !s.faults.any() && !mixed(s);
      },
      [](const ScenarioSpec&, const ScenarioResult& r, const RunFn&,
         const OracleOptions&) {
@@ -242,7 +280,9 @@ const Oracle kOracles[] = {
 
     {"queue-bound",
      [](const ScenarioSpec& s, const OracleOptions&) {
-       return is_xp(s.protocol) && !s.faults.any();
+       // The §3.1 calculus only bounds credit-scheduled arrivals; reactive
+       // cross-traffic on a mixed fabric fills queues by design.
+       return is_xp(s.protocol) && !s.faults.any() && !mixed(s);
      },
      [](const ScenarioSpec& s, const ScenarioResult& r, const RunFn&,
         const OracleOptions& o) {
@@ -290,6 +330,52 @@ const Oracle kOracles[] = {
                         "%.1f Gbps bottleneck",
                         r.sum_rate_bps / 1e9, o.utilization_floor * 100,
                         cap / 1e9));
+     }},
+
+    {"coexistence",
+     [](const ScenarioSpec& s, const OracleOptions&) {
+       return coexistence_scenario(s);
+     },
+     [](const ScenarioSpec& s, const ScenarioResult& r, const RunFn&,
+        const OracleOptions& o) {
+       // The §4.3 minimum credit-rate reservation is the paper's answer to
+       // "can ExpressPass share a fabric with loss-based TCP?": even when
+       // reactive cross-traffic keeps the bottleneck saturated, the credit
+       // schedule keeps issuing at least w_min of the credit budget, so the
+       // ExpressPass groups' aggregate goodput has a hard floor. Judge that
+       // floor, plus per-flow survival (no ExpressPass flow starved).
+       double xp_goodput = 0;
+       size_t xp_starved = 0;
+       size_t xp_groups = 0;
+       for (const auto& g : r.groups) {
+         if (!is_xp(g.protocol)) continue;
+         ++xp_groups;
+         xp_goodput += g.goodput_bps;
+         xp_starved += g.starved;
+       }
+       if (xp_groups == 0) {
+         return fail("coexistence",
+                     "spec declares ExpressPass flow groups but the result "
+                     "carries none — group extraction is broken");
+       }
+       if (xp_starved > 0) {
+         return fail("coexistence",
+                     strf("%zu ExpressPass flow(s) starved under reactive "
+                          "cross-traffic despite the minimum credit-rate "
+                          "reservation",
+                          xp_starved));
+       }
+       const double floor_bps = o.coexist_share_floor * fabric_rate(s);
+       if (xp_goodput < floor_bps) {
+         return fail(
+             "coexistence",
+             strf("ExpressPass aggregate goodput %.3f Gbps below the "
+                  "reservation floor %.3f Gbps (%.0f%% of the %.1f Gbps "
+                  "bottleneck)",
+                  xp_goodput / 1e9, floor_bps / 1e9,
+                  o.coexist_share_floor * 100, fabric_rate(s) / 1e9));
+       }
+       return pass("coexistence");
      }},
 
     {"maxmin-diff",
@@ -388,6 +474,9 @@ const Oracle kOracles[] = {
        base.topology.host_credit_shaper_noise = 0.0;
        ScenarioSpec relabeled = base;
        relabeled.traffic.flow_id_salt += 1000;
+       // Mixed specs draw ids from per-group salts (spec.traffic unused);
+       // shift every group inside its 2^20-wide id band.
+       for (auto& g : relabeled.flow_groups) g.traffic.flow_id_salt += 1000;
        const ScenarioResult r = run(base);
        const ScenarioResult r2 = run(relabeled);
        auto mismatch = [](const char* what) {

@@ -14,6 +14,9 @@
 //                        prediction, with slack (Table 1 / Fig 5)
 //      fairness          Jain index at steady state >= floor (§6.1)
 //      utilization       aggregate goodput >= floor x bottleneck capacity
+//      coexistence       on a mixed-protocol fabric the credit reservation
+//                        keeps ExpressPass above a minimum bottleneck share
+//                        and no ExpressPass flow starves (§4.3)
 //  * metamorphic — relations between transformed runs (no ground truth
 //    needed, so they apply to every protocol):
 //      determinism       same spec twice => byte-identical recorder JSON
@@ -56,6 +59,13 @@ struct OracleOptions {
   double maxmin_rel_tol = 0.30;    // per-flow |rate - ref| / fair-share
   double rescale_goodput_tol = 0.25;
   double rescale_queue_factor = 4.0;
+  // Coexistence: aggregate ExpressPass goodput on a mixed-protocol dumbbell
+  // must stay above this fraction of the bottleneck rate — the observable
+  // face of the §4.3 minimum credit-rate reservation (w_min = 0.05 of the
+  // credit budget, i.e. ~4.7% of wire rate once credit overhead is paid).
+  // The floor sits below the entitlement so only a broken reservation (or a
+  // sabotaged rate cap) lands under it.
+  double coexist_share_floor = 0.02;
   bool metamorphic = true;   // determinism / flow-relabel / rescale
   bool differential = true;  // maxmin-diff
 };

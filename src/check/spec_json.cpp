@@ -60,6 +60,7 @@ std::string_view traffic_kind_name(TrafficKind k) {
     case TrafficKind::kShuffle: return "shuffle";
     case TrafficKind::kPoisson: return "poisson";
     case TrafficKind::kChain: return "chain";
+    case TrafficKind::kOnOff: return "onoff";
   }
   return "?";
 }
@@ -67,7 +68,7 @@ std::string_view traffic_kind_name(TrafficKind k) {
 std::optional<TrafficKind> parse_traffic_kind(std::string_view s) {
   for (TrafficKind k :
        {TrafficKind::kPairwise, TrafficKind::kIncast, TrafficKind::kShuffle,
-        TrafficKind::kPoisson, TrafficKind::kChain}) {
+        TrafficKind::kPoisson, TrafficKind::kChain, TrafficKind::kOnOff}) {
     if (s == traffic_kind_name(k)) return k;
   }
   return std::nullopt;
@@ -155,6 +156,50 @@ Enum parse_enum_member(const Json& obj, const std::string& key, Enum dflt,
   return *parsed;
 }
 
+// --- traffic (shared by spec.traffic and flow_groups[i].traffic) ----------
+
+Json traffic_json(const runner::TrafficSpec& tr) {
+  Json traffic = Json::object();
+  traffic.set("kind", Json::str(std::string(traffic_kind_name(tr.kind))));
+  traffic.set("flows", Json::u64(tr.flows));
+  traffic.set("bytes", Json::u64(tr.bytes));
+  traffic.set("start_spread_sec", Json::number(tr.start_spread_sec));
+  traffic.set("tasks_per_host", Json::u64(tr.tasks_per_host));
+  traffic.set("workload",
+              Json::str(std::string(workload_kind_name(tr.workload))));
+  traffic.set("load", Json::number(tr.load));
+  if (tr.capacity_bps) {
+    traffic.set("capacity_bps", Json::number(*tr.capacity_bps));
+  }
+  // On/off parameters only for on/off traffic: every pre-existing canonical
+  // document (and campaign cache key) must stay byte-identical.
+  if (tr.kind == TrafficKind::kOnOff) {
+    traffic.set("on_period_sec", Json::number(tr.on_period_sec));
+    traffic.set("on_duty", Json::number(tr.on_duty));
+  }
+  traffic.set("flow_id_salt", Json::u64(tr.flow_id_salt));
+  return traffic;
+}
+
+void traffic_from(const Json& t, runner::TrafficSpec& tr, ErrorSink& sink) {
+  tr.kind = parse_enum_member(t, "kind", tr.kind, parse_traffic_kind, sink);
+  tr.flows = static_cast<size_t>(t.get_u64("flows", tr.flows));
+  tr.bytes = t.get_u64("bytes", tr.bytes);
+  tr.start_spread_sec = t.get_double("start_spread_sec", tr.start_spread_sec);
+  tr.tasks_per_host =
+      static_cast<size_t>(t.get_u64("tasks_per_host", tr.tasks_per_host));
+  tr.workload = parse_enum_member(t, "workload", tr.workload,
+                                  parse_workload_kind, sink);
+  tr.load = t.get_double("load", tr.load);
+  if (const Json* v = t.find("capacity_bps")) {
+    tr.capacity_bps = v->as_double(0.0);
+  }
+  tr.on_period_sec = t.get_double("on_period_sec", tr.on_period_sec);
+  tr.on_duty = t.get_double("on_duty", tr.on_duty);
+  tr.flow_id_salt =
+      static_cast<uint32_t>(t.get_u64("flow_id_salt", tr.flow_id_salt));
+}
+
 }  // namespace
 
 Json spec_to_json_doc(const ScenarioSpec& spec) {
@@ -192,6 +237,11 @@ Json spec_to_json_doc(const ScenarioSpec& spec) {
   topo.set("host_delay",
            Json::str(std::string(host_delay_name(ts.host_delay))));
   topo.set("packet_spraying", Json::boolean(ts.packet_spraying));
+  // Only when jittered: zero-jitter specs canonicalize byte-identically to
+  // their pre-jitter documents.
+  if (ts.link_jitter > sim::Time::zero()) {
+    topo.set("link_jitter_ps", time_json(ts.link_jitter));
+  }
   doc.set("topology", std::move(topo));
 
   if (spec.xp) {
@@ -218,21 +268,22 @@ Json spec_to_json_doc(const ScenarioSpec& spec) {
     doc.set("xp", std::move(xp));
   }
 
-  Json traffic = Json::object();
-  const runner::TrafficSpec& tr = spec.traffic;
-  traffic.set("kind", Json::str(std::string(traffic_kind_name(tr.kind))));
-  traffic.set("flows", Json::u64(tr.flows));
-  traffic.set("bytes", Json::u64(tr.bytes));
-  traffic.set("start_spread_sec", Json::number(tr.start_spread_sec));
-  traffic.set("tasks_per_host", Json::u64(tr.tasks_per_host));
-  traffic.set("workload",
-              Json::str(std::string(workload_kind_name(tr.workload))));
-  traffic.set("load", Json::number(tr.load));
-  if (tr.capacity_bps) {
-    traffic.set("capacity_bps", Json::number(*tr.capacity_bps));
+  doc.set("traffic", traffic_json(spec.traffic));
+
+  // Mixed-protocol coexistence groups, only when present: single-group
+  // specs canonicalize byte-identically to their pre-coexistence documents.
+  if (!spec.flow_groups.empty()) {
+    Json groups = Json::array();
+    for (const runner::FlowGroupSpec& g : spec.flow_groups) {
+      Json entry = Json::object();
+      entry.set("protocol",
+                Json::str(std::string(runner::protocol_name(g.protocol))));
+      entry.set("share", Json::number(g.share));
+      entry.set("traffic", traffic_json(g.traffic));
+      groups.push(std::move(entry));
+    }
+    doc.set("flow_groups", std::move(groups));
   }
-  traffic.set("flow_id_salt", Json::u64(tr.flow_id_salt));
-  doc.set("traffic", std::move(traffic));
 
   Json stop = Json::object();
   stop.set("kind", Json::str(std::string(stop_kind_name(spec.stop.kind))));
@@ -350,6 +401,7 @@ std::optional<ScenarioSpec> spec_from_json_doc(const Json& doc,
     ts.host_delay = parse_enum_member(*t, "host_delay", ts.host_delay,
                                       parse_host_delay, sink);
     ts.packet_spraying = t->get_bool("packet_spraying", ts.packet_spraying);
+    ts.link_jitter = time_from(*t, "link_jitter_ps", ts.link_jitter);
   }
 
   if (const Json* x = doc.find("xp")) {
@@ -383,22 +435,30 @@ std::optional<ScenarioSpec> spec_from_json_doc(const Json& doc,
   }
 
   if (const Json* t = doc.find("traffic")) {
-    runner::TrafficSpec& tr = spec.traffic;
-    tr.kind = parse_enum_member(*t, "kind", tr.kind, parse_traffic_kind, sink);
-    tr.flows = static_cast<size_t>(t->get_u64("flows", tr.flows));
-    tr.bytes = t->get_u64("bytes", tr.bytes);
-    tr.start_spread_sec =
-        t->get_double("start_spread_sec", tr.start_spread_sec);
-    tr.tasks_per_host =
-        static_cast<size_t>(t->get_u64("tasks_per_host", tr.tasks_per_host));
-    tr.workload = parse_enum_member(*t, "workload", tr.workload,
-                                    parse_workload_kind, sink);
-    tr.load = t->get_double("load", tr.load);
-    if (const Json* v = t->find("capacity_bps")) {
-      tr.capacity_bps = v->as_double(0.0);
+    traffic_from(*t, spec.traffic, sink);
+  }
+
+  if (const Json* gs = doc.find("flow_groups")) {
+    if (gs->type() != Json::Type::kArray) {
+      sink.set("flow_groups is not an array");
+      return std::nullopt;
     }
-    tr.flow_id_salt =
-        static_cast<uint32_t>(t->get_u64("flow_id_salt", tr.flow_id_salt));
+    for (const Json& entry : gs->items()) {
+      runner::FlowGroupSpec g;
+      if (const Json* p = entry.find("protocol")) {
+        auto parsed = runner::parse_protocol(p->as_string());
+        if (!parsed) {
+          sink.set("unknown flow_groups protocol '" + p->as_string() + "'");
+          return std::nullopt;
+        }
+        g.protocol = *parsed;
+      }
+      g.share = entry.get_double("share", g.share);
+      if (const Json* t = entry.find("traffic")) {
+        traffic_from(*t, g.traffic, sink);
+      }
+      spec.flow_groups.push_back(std::move(g));
+    }
   }
 
   if (const Json* s = doc.find("stop")) {

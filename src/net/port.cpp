@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 #include "net/node.hpp"
@@ -41,6 +42,12 @@ Port::Port(sim::Simulator& sim, Node& owner, LinkConfig cfg)
       class_served_(class_weights_.size(), 0.0),
       credit_shaper_(cfg.rate_bps / 8.0 * cfg.credit_rate_fraction,
                      cfg.credit_burst_bytes) {
+  if (cfg_.prop_jitter > sim::Time::zero() &&
+      cfg_.train_window > sim::Time::zero()) {
+    throw std::invalid_argument(
+        "LinkConfig: prop_jitter is incompatible with train_window (the "
+        "train FIFO assumes monotonic wire arrivals)");
+  }
   for (size_t i = 0; i < class_weights_.size(); ++i) {
     credit_qs_.emplace_back(cfg.credit_queue_pkts);
   }
@@ -330,7 +337,12 @@ void Port::try_transmit() {
   // The packet rides the wire in a pool slot: the capture is [this + one
   // pointer], which stays inside the event queue's inline callback buffer
   // (a by-value Packet capture would spill to the allocator every hop).
-  sim_->after(tx + cfg_.prop_delay,
+  sim::Time prop = cfg_.prop_delay;
+  if (cfg_.prop_jitter > sim::Time::zero()) {
+    prop = prop + sim::Time::seconds(
+                      sim_->rng().uniform(0.0, cfg_.prop_jitter.to_sec()));
+  }
+  sim_->after(tx + prop,
              [this, r = PacketRef(std::move(pkt))]() mutable {
                deliver_to_peer(std::move(*r));
              });

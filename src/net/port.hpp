@@ -122,6 +122,15 @@ struct LinkConfig {
   // matter — a few frame times). Zero = exact per-frame delivery (default;
   // all golden scenarios run exact).
   sim::Time train_window = sim::Time::zero();
+  // Per-packet propagation jitter: each exact-mode delivery adds
+  // U(0, prop_jitter) to prop_delay, drawn from the simulator RNG. Models
+  // wifi-style variable last hops / late-comer real-time scenarios; note a
+  // draw wider than one serialization time can reorder packets on the wire
+  // (which is the point — reactive stacks must ride out the dup-ACKs).
+  // Zero (default) draws nothing, keeping legacy runs byte-identical.
+  // Incompatible with train_window (the train FIFO assumes monotonic
+  // arrivals) — the Port constructor rejects the combination.
+  sim::Time prop_jitter = sim::Time::zero();
   // Pre-coalescing event pattern: schedule a serializer-done wakeup for
   // every transmission, even when nothing is waiting to follow it. The
   // default self-scheduling path skips that event whenever the port's

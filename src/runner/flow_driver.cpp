@@ -40,6 +40,33 @@ transport::Connection& FlowDriver::add(const transport::FlowSpec& spec) {
   return *raw;
 }
 
+transport::Connection& FlowDriver::add_grouped(const transport::FlowSpec& spec,
+                                               transport::Transport& t,
+                                               size_t group) {
+  while (groups_.size() <= group) {
+    groups_.push_back(std::make_unique<GroupStats>());
+  }
+  GroupStats& gs = *groups_[group];
+  ++gs.scheduled;
+  ++scheduled_;
+  auto conn = t.create(spec);
+  conn->set_rate_tracker(&rates_);
+  conn->set_on_complete([this, &gs](transport::Connection& c) {
+    fcts_.record(c.spec().size_bytes, c.fct());
+    gs.fcts.record(c.spec().size_bytes, c.fct());
+  });
+  conn->set_on_fail([this, &gs](transport::Connection&) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    gs.failed.fetch_add(1, std::memory_order_relaxed);
+  });
+  flow_group_.emplace_back(spec.id, group);
+  std::sort(flow_group_.begin(), flow_group_.end());
+  transport::Connection* raw = conn.get();
+  conns_.push_back(std::move(conn));
+  sim_.at(spec.start_time, [raw] { raw->start(); });
+  return *raw;
+}
+
 bool FlowDriver::run_to_completion(sim::Time deadline) {
   const sim::Time chunk = sim::Time::ms(1);
   while (sim_.now() < deadline) {

@@ -13,6 +13,7 @@
 // either half of a connection, so failed_ is a plain atomic counter.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -46,6 +47,35 @@ class FlowDriver {
   transport::Connection& add(const transport::FlowSpec& spec);
   void add_all(const std::vector<transport::FlowSpec>& specs) {
     for (const auto& s : specs) add(s);
+  }
+
+  // Mixed-protocol (coexistence) flows: create through `t` instead of the
+  // primary transport and tag the flow with a group index for per-group
+  // result extraction. Serial runs only (the parallel envelope rejects
+  // mixed-protocol specs). The global collectors (fcts(), rates(),
+  // scheduled()/completed()/failed()) still see every grouped flow.
+  transport::Connection& add_grouped(const transport::FlowSpec& spec,
+                                     transport::Transport& t, size_t group);
+
+  // Per-group collectors (empty unless add_grouped was used).
+  size_t group_count() const { return groups_.size(); }
+  size_t group_scheduled(size_t g) const { return groups_[g]->scheduled; }
+  size_t group_completed(size_t g) const {
+    return groups_[g]->fcts.completed();
+  }
+  size_t group_failed(size_t g) const {
+    return groups_[g]->failed.load(std::memory_order_relaxed);
+  }
+  const stats::FctCollector& group_fcts(size_t g) const {
+    return groups_[g]->fcts;
+  }
+  // Group index of a flow id, or SIZE_MAX for ungrouped flows.
+  size_t group_of(uint32_t flow_id) const {
+    auto it = std::lower_bound(
+        flow_group_.begin(), flow_group_.end(), flow_id,
+        [](const auto& e, uint32_t id) { return e.first < id; });
+    return it != flow_group_.end() && it->first == flow_id ? it->second
+                                                          : SIZE_MAX;
   }
 
   // Runs until every scheduled flow is settled (completed or failed) or
@@ -118,6 +148,13 @@ class FlowDriver {
     stats::RateTracker rates;
     std::vector<Completion> completions;
   };
+  // Per-group sinks for coexistence runs (serial only, so plain counters
+  // would do — failed stays atomic for symmetry with failed_).
+  struct GroupStats {
+    size_t scheduled = 0;
+    std::atomic<size_t> failed{0};
+    stats::FctCollector fcts;
+  };
 
   sim::Simulator& sim_;
   transport::Transport& transport_;
@@ -126,6 +163,8 @@ class FlowDriver {
   stats::RateTracker rates_;
   std::vector<std::unique_ptr<ShardSink>> sinks_;  // empty = serial
   const std::vector<uint32_t>* shard_of_ = nullptr;
+  std::vector<std::unique_ptr<GroupStats>> groups_;   // empty = ungrouped
+  std::vector<std::pair<uint32_t, size_t>> flow_group_;  // sorted by flow id
   size_t scheduled_ = 0;
   std::atomic<size_t> failed_{0};
 };

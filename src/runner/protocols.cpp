@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "transport/bbr.hpp"
 #include "transport/bfc.hpp"
 #include "transport/cubic.hpp"
 #include "transport/dcqcn.hpp"
@@ -24,6 +25,7 @@ std::string_view protocol_name(Protocol p) {
     case Protocol::kHull: return "HULL";
     case Protocol::kDx: return "DX";
     case Protocol::kCubic: return "Cubic";
+    case Protocol::kBbr: return "BBR";
     case Protocol::kDcqcn: return "DCQCN";
     case Protocol::kTimely: return "TIMELY";
     case Protocol::kSird: return "SIRD";
@@ -45,6 +47,7 @@ std::optional<Protocol> parse_protocol(std::string_view name) {
   if (name == "hull" || name == "HULL") return Protocol::kHull;
   if (name == "dx" || name == "DX") return Protocol::kDx;
   if (name == "cubic" || name == "Cubic") return Protocol::kCubic;
+  if (name == "bbr" || name == "BBR") return Protocol::kBbr;
   if (name == "dcqcn" || name == "DCQCN") return Protocol::kDcqcn;
   if (name == "timely" || name == "TIMELY") return Protocol::kTimely;
   if (name == "sird" || name == "SIRD") return Protocol::kSird;
@@ -142,6 +145,11 @@ std::unique_ptr<transport::Transport> make_transport(
       transport::CubicConfig cfg;
       cfg.window.base_rtt = base_rtt;
       return std::make_unique<transport::CubicTransport>(sim, cfg);
+    }
+    case Protocol::kBbr: {
+      transport::BbrConfig cfg;
+      cfg.window.base_rtt = base_rtt;
+      return std::make_unique<transport::BbrTransport>(sim, cfg);
     }
     case Protocol::kDcqcn: {
       transport::DcqcnConfig cfg;

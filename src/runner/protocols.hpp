@@ -21,6 +21,7 @@ enum class Protocol {
   kHull,
   kDx,
   kCubic,
+  kBbr,  // model-based (BtlBw x RTprop) baseline for coexistence studies
   // Extension comparators: the PFC-based RDMA status quo (§1's motivation).
   kDcqcn,   // ECN + CNP rate control over PFC-protected links
   kTimely,  // RTT-gradient rate control over PFC-protected links

@@ -34,18 +34,34 @@ struct Built {
   std::vector<std::pair<net::Host*, net::Host*>> chain;
 };
 
-Built build_network(const TopologySpec& ts, Protocol proto,
-                    net::Topology& topo, double fabric_rate_bps,
-                    sim::Time fabric_prop) {
+Built build_network(const ScenarioSpec& spec, net::Topology& topo,
+                    double fabric_rate_bps, sim::Time fabric_prop) {
+  const TopologySpec& ts = spec.topology;
+  const Protocol proto = spec.protocol;
   net::LinkConfig host_cfg =
       protocol_link_config(proto, ts.host_rate_bps, ts.host_prop);
   net::LinkConfig fabric_cfg =
       protocol_link_config(proto, fabric_rate_bps, fabric_prop);
+  // Coexistence: a kDctcp group needs marking on the shared queues even
+  // when the primary protocol's fabric has none.
+  bool want_ecn = false;
+  for (const FlowGroupSpec& g : spec.flow_groups) {
+    want_ecn = want_ecn || g.protocol == Protocol::kDctcp;
+  }
+  const double rates[] = {ts.host_rate_bps, fabric_rate_bps};
+  size_t i = 0;
   for (net::LinkConfig* cfg : {&host_cfg, &fabric_cfg}) {
     if (ts.credit_queue_pkts) cfg->credit_queue_pkts = *ts.credit_queue_pkts;
     if (ts.host_credit_shaper_noise) {
       cfg->host_credit_shaper_noise = *ts.host_credit_shaper_noise;
     }
+    if (ts.link_jitter > sim::Time::zero()) {
+      cfg->prop_jitter = ts.link_jitter;
+    }
+    if (want_ecn && cfg->data_queue.ecn_threshold_bytes == 0) {
+      cfg->data_queue.ecn_threshold_bytes = dctcp_k_bytes(rates[i]);
+    }
+    ++i;
   }
 
   Built b;
@@ -112,10 +128,24 @@ Built build_network(const TopologySpec& ts, Protocol proto,
   return b;
 }
 
-void add_traffic(const ScenarioSpec& spec, const Built& b,
-                 sim::Simulator& sim, FlowDriver& driver,
-                 double fabric_rate_bps) {
-  const TrafficSpec& tr = spec.traffic;
+// Adds `tr`'s flows. With `group_t` null this is the classic single-protocol
+// path (driver.add, primary transport) — its RNG draw order is golden-pinned.
+// With `group_t` set, flows are created through that group's transport and
+// tagged with `group` for per-group result extraction.
+void add_traffic(const ScenarioSpec& spec, const TrafficSpec& tr,
+                 const Built& b, sim::Simulator& sim, FlowDriver& driver,
+                 double fabric_rate_bps, transport::Transport* group_t,
+                 size_t group) {
+  const auto add_one = [&](const transport::FlowSpec& s) {
+    if (group_t != nullptr) {
+      driver.add_grouped(s, *group_t, group);
+    } else {
+      driver.add(s);
+    }
+  };
+  const auto add_many = [&](const std::vector<transport::FlowSpec>& specs) {
+    for (const auto& s : specs) add_one(s);
+  };
   switch (tr.kind) {
     case TrafficKind::kPairwise: {
       for (size_t i = 0; i < tr.flows; ++i) {
@@ -133,21 +163,21 @@ void add_traffic(const ScenarioSpec& spec, const Built& b,
           s.start_time =
               sim::Time::seconds(sim.rng().uniform(0.0, tr.start_spread_sec));
         }
-        driver.add(s);
+        add_one(s);
       }
       break;
     }
     case TrafficKind::kIncast: {
       std::vector<net::Host*> workers(b.hosts.begin() + 1, b.hosts.end());
-      driver.add_all(workload::incast_flows(workers, b.hosts[0], tr.bytes,
-                                            tr.flows, sim::Time::zero(),
-                                            tr.flow_id_salt + 1));
+      add_many(workload::incast_flows(workers, b.hosts[0], tr.bytes,
+                                      tr.flows, sim::Time::zero(),
+                                      tr.flow_id_salt + 1));
       break;
     }
     case TrafficKind::kShuffle: {
-      driver.add_all(workload::shuffle_flows(b.hosts, tr.tasks_per_host,
-                                             tr.bytes, sim::Time::zero(),
-                                             tr.flow_id_salt + 1));
+      add_many(workload::shuffle_flows(b.hosts, tr.tasks_per_host,
+                                       tr.bytes, sim::Time::zero(),
+                                       tr.flow_id_salt + 1));
       break;
     }
     case TrafficKind::kPoisson: {
@@ -167,9 +197,9 @@ void add_traffic(const ScenarioSpec& spec, const Built& b,
                           spec.topology.host_rate_bps / 3.0;
       const double lambda =
           workload::lambda_for_load(tr.load, capacity, dist.mean());
-      driver.add_all(workload::poisson_flows(sim.rng(), pool, dist, lambda,
-                                             tr.flows, sim::Time::zero(),
-                                             tr.flow_id_salt + 1));
+      add_many(workload::poisson_flows(sim.rng(), pool, dist, lambda,
+                                       tr.flows, sim::Time::zero(),
+                                       tr.flow_id_salt + 1));
       break;
     }
     case TrafficKind::kChain: {
@@ -180,16 +210,103 @@ void add_traffic(const ScenarioSpec& spec, const Built& b,
         s.src = src;
         s.dst = dst;
         s.size_bytes = tr.bytes;
-        driver.add(s);
+        add_one(s);
+      }
+      break;
+    }
+    case TrafficKind::kOnOff: {
+      // Media-style on/off sources: each source emits one refresh burst per
+      // cycle, phase-shifted by a per-source U(0, period) draw (one draw
+      // per source, in source order). The cycle schedule covers the stop
+      // horizon; bursts that would start past it are not scheduled.
+      const double period = tr.on_period_sec > 0 ? tr.on_period_sec : 0.01;
+      const double duty = std::clamp(tr.on_duty, 0.01, 1.0);
+      const sim::Time horizon = spec.stop.kind == StopKind::kWindow
+                                    ? spec.stop.warmup + spec.stop.window
+                                    : spec.stop.horizon;
+      size_t cycles =
+          static_cast<size_t>(horizon.to_sec() / period) + 1;
+      cycles = std::min<size_t>(cycles, 1024);  // runaway-spec backstop
+      const uint64_t burst =
+          tr.bytes != transport::kLongRunning
+              ? tr.bytes
+              : std::max<uint64_t>(
+                    net::kMssBytes,
+                    static_cast<uint64_t>(duty * period *
+                                          spec.topology.host_rate_bps / 8.0));
+      uint32_t id = tr.flow_id_salt + 1;
+      for (size_t i = 0; i < tr.flows; ++i) {
+        net::Host* src = b.hosts[i % b.hosts.size()];
+        net::Host* dst =
+            b.peers.empty()
+                ? b.hosts[(i + 1 + b.hosts.size() / 2) % b.hosts.size()]
+                : b.peers[i % b.peers.size()];
+        if (dst == src) dst = b.hosts[(i + 1) % b.hosts.size()];
+        const double phase = sim.rng().uniform(0.0, period);
+        for (size_t k = 0; k < cycles; ++k) {
+          const sim::Time start =
+              sim::Time::seconds(phase + static_cast<double>(k) * period);
+          if (start >= horizon) break;
+          transport::FlowSpec s;
+          s.id = id++;
+          s.src = src;
+          s.dst = dst;
+          s.size_bytes = burst;
+          s.start_time = start;
+          add_one(s);
+        }
       }
       break;
     }
   }
 }
 
+void add_traffic(const ScenarioSpec& spec, const Built& b,
+                 sim::Simulator& sim, FlowDriver& driver,
+                 double fabric_rate_bps) {
+  add_traffic(spec, spec.traffic, b, sim, driver, fabric_rate_bps,
+              /*group_t=*/nullptr, /*group=*/0);
+}
+
 bool is_expresspass(Protocol p) {
   return p == Protocol::kExpressPass || p == Protocol::kExpressPassNaive;
 }
+
+// Mixed-fabric admission: a group either shares the primary protocol (and
+// its transport) or must be one of the drop-tail-compatible reactive stacks
+// that can run on whatever fabric the primary configured. Everything else
+// needs link machinery (credit shapers, PFC, per-flow pause, a central
+// oracle) the shared fabric does not provide per-group.
+void validate_flow_groups(const ScenarioSpec& spec) {
+  for (const FlowGroupSpec& g : spec.flow_groups) {
+    if (g.share <= 0) {
+      throw std::invalid_argument(
+          "ScenarioSpec.flow_groups: share must be > 0");
+    }
+    if (g.protocol == spec.protocol) continue;
+    if (is_expresspass(g.protocol) && is_expresspass(spec.protocol)) {
+      continue;  // naive/feedback variants share the credit fabric
+    }
+    const bool groupable = g.protocol == Protocol::kDctcp ||
+                           g.protocol == Protocol::kRcp ||
+                           g.protocol == Protocol::kDx ||
+                           g.protocol == Protocol::kCubic ||
+                           g.protocol == Protocol::kTimely ||
+                           g.protocol == Protocol::kBbr;
+    if (!groupable) {
+      throw std::invalid_argument(
+          std::string("ScenarioSpec.flow_groups: protocol ") +
+          std::string(protocol_name(g.protocol)) +
+          " cannot join a mixed fabric (it needs link machinery the primary "
+          "protocol's fabric does not provide)");
+    }
+  }
+}
+
+// Per-group flow-id salt stride: keeps group id spaces disjoint while
+// preserving the per-group flow-relabel invariant (shifting a group's salt
+// relabels only that group).
+constexpr uint32_t kGroupSaltStride = 1u << 20;
 
 // Everything after the run loop: final sweeps, scalar extraction, recorder
 // mirroring, teardown. Shared verbatim by the serial and sharded paths —
@@ -267,6 +384,55 @@ ScenarioResult finish_run(const ScenarioSpec& spec, sim::Simulator& sim,
   }
 
   res.fcts = driver.fcts();
+
+  // Per-group coexistence extraction. A group flow counts as starved when
+  // it neither completed nor sustained >= 5% of the all-flow mean goodput —
+  // the quantitative answer to "does the 5% credit reservation protect
+  // ExpressPass, or does cross-traffic starve it?".
+  if (driver.group_count() > 0) {
+    const double mean_rate =
+        res.flow_rates.empty()
+            ? 0.0
+            : res.sum_rate_bps / static_cast<double>(res.flow_rates.size());
+    const double starve_floor = 0.05 * mean_rate;
+    res.groups.resize(driver.group_count());
+    std::vector<size_t> ok_flows(res.groups.size(), 0);
+    for (const auto& [id, r] : res.flow_rates) {
+      const size_t g = driver.group_of(id);
+      if (g >= res.groups.size()) continue;
+      res.groups[g].goodput_bps += r;
+      if (r >= starve_floor && r > 0.0) ++ok_flows[g];
+    }
+    for (size_t g = 0; g < res.groups.size(); ++g) {
+      ScenarioResult::GroupResult& gr = res.groups[g];
+      gr.protocol = g < spec.flow_groups.size() ? spec.flow_groups[g].protocol
+                                                : spec.protocol;
+      gr.scheduled = driver.group_scheduled(g);
+      gr.completed = driver.group_completed(g);
+      gr.failed = driver.group_failed(g);
+      const size_t settled = gr.completed + gr.failed + ok_flows[g];
+      gr.starved = gr.scheduled > settled ? gr.scheduled - settled : 0;
+      gr.goodput_share =
+          res.sum_rate_bps > 0 ? gr.goodput_bps / res.sum_rate_bps : 0.0;
+      const auto& f = driver.group_fcts(g);
+      if (f.completed() > 0) {
+        gr.fct_avg_sec = f.all().mean();
+        gr.fct_p99_sec = f.all().percentile(0.99);
+      }
+      const std::string pre = "group." + std::to_string(g) + ".";
+      rec.set(pre + "goodput_bps", gr.goodput_bps);
+      rec.set(pre + "goodput_share", gr.goodput_share);
+      rec.set(pre + "flows", static_cast<double>(gr.scheduled));
+      rec.set(pre + "completed", static_cast<double>(gr.completed));
+      rec.set(pre + "failed", static_cast<double>(gr.failed));
+      rec.set(pre + "starved", static_cast<double>(gr.starved));
+      if (f.completed() > 0) {
+        rec.set(pre + "fct.avg_sec", gr.fct_avg_sec);
+        rec.set(pre + "fct.p99_sec", gr.fct_p99_sec);
+      }
+    }
+  }
+
   if (is_expresspass(spec.protocol)) {
     const core::CreditLedger ledger =
         core::credit_ledger(topo, driver.connections());
@@ -339,6 +505,12 @@ ScenarioResult finish_run(const ScenarioSpec& spec, sim::Simulator& sim,
 // reach into the upstream port's state, delivery trains batch across the
 // cut, kIdeal's oracle and the PFC protocols' control loops are global).
 void validate_parallel(const ScenarioSpec& spec, const net::Topology& topo) {
+  if (!spec.flow_groups.empty()) {
+    throw std::invalid_argument(
+        "ScenarioSpec.shards: mixed-protocol flow_groups cannot run sharded "
+        "(per-group transports and result extraction are serial-engine "
+        "machinery)");
+  }
   const char* why = nullptr;
   if (spec.protocol == Protocol::kIdeal) {
     why = "kIdeal's central max-min oracle is global state";
@@ -373,6 +545,13 @@ void validate_parallel(const ScenarioSpec& spec, const net::Topology& topo) {
             "ScenarioSpec.shards: delivery trains cannot run sharded (train "
             "batching is not modeled across the cut)");
       }
+      if (p->config().prop_jitter > sim::Time::zero()) {
+        throw std::invalid_argument(
+            "ScenarioSpec.shards: jittered links cannot run sharded "
+            "(per-delivery RNG draws would come from the wrong shard's "
+            "stream, and jittered arrivals can land inside the lookahead "
+            "window)");
+      }
     }
   }
 }
@@ -405,7 +584,7 @@ ScenarioResult run_parallel_scenario(const ScenarioSpec& spec,
       ts.fabric_rate_bps > 0 ? ts.fabric_rate_bps : ts.host_rate_bps;
   const sim::Time fabric_prop =
       ts.fabric_prop > sim::Time::zero() ? ts.fabric_prop : ts.host_prop;
-  Built b = build_network(ts, spec.protocol, topo, fabric_rate, fabric_prop);
+  Built b = build_network(spec, topo, fabric_rate, fabric_prop);
   validate_parallel(spec, topo);
 
   const net::Partition part = net::partition_topology(topo, spec.shards);
@@ -580,12 +759,33 @@ ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec,
       ts.fabric_rate_bps > 0 ? ts.fabric_rate_bps : ts.host_rate_bps;
   const sim::Time fabric_prop =
       ts.fabric_prop > sim::Time::zero() ? ts.fabric_prop : ts.host_prop;
-  Built b = build_network(ts, spec.protocol, topo, fabric_rate, fabric_prop);
+  Built b = build_network(spec, topo, fabric_rate, fabric_prop);
 
   auto transport = make_transport(spec.protocol, sim, topo, spec.base_rtt,
                                   spec.xp ? &*spec.xp : nullptr);
   FlowDriver driver(sim, *transport);
-  add_traffic(spec, b, sim, driver, fabric_rate);
+  // Group transports must outlive the driver's connections; declared after
+  // `transport` so they tear down first (connections are stopped explicitly
+  // in finish_run before anything is destroyed).
+  std::vector<std::unique_ptr<transport::Transport>> group_transports;
+  if (spec.flow_groups.empty()) {
+    add_traffic(spec, b, sim, driver, fabric_rate);
+  } else {
+    validate_flow_groups(spec);
+    for (size_t g = 0; g < spec.flow_groups.size(); ++g) {
+      const FlowGroupSpec& fg = spec.flow_groups[g];
+      transport::Transport* t = transport.get();
+      if (fg.protocol != spec.protocol) {
+        group_transports.push_back(make_transport(
+            fg.protocol, sim, topo, spec.base_rtt,
+            is_expresspass(fg.protocol) && spec.xp ? &*spec.xp : nullptr));
+        t = group_transports.back().get();
+      }
+      TrafficSpec tr = fg.traffic;
+      tr.flow_id_salt += static_cast<uint32_t>(g) * kGroupSaltStride;
+      add_traffic(spec, tr, b, sim, driver, fabric_rate, t, g);
+    }
+  }
 
   // Faults target the first switch--switch link, falling back to the first
   // link for single-switch topologies.
@@ -614,7 +814,13 @@ ScenarioResult ScenarioEngine::run(const ScenarioSpec& spec,
   sim::InvariantChecker checker(sim);
   if (spec.check_invariants) {
     NetInvariantOptions iopts;
-    iopts.expect_zero_data_loss = is_expresspass(spec.protocol);
+    // Zero-data-loss holds only when *every* flow is credit-scheduled: one
+    // reactive cross-traffic group probes the queues by filling them.
+    bool all_xp = is_expresspass(spec.protocol);
+    for (const FlowGroupSpec& g : spec.flow_groups) {
+      all_xp = all_xp && is_expresspass(g.protocol);
+    }
+    iopts.expect_zero_data_loss = all_xp;
     register_network_invariants(checker, topo, driver,
                                 has_faults ? &plan : nullptr, iopts);
     checker.start(sim::Time::us(100));

@@ -78,6 +78,12 @@ struct TopologySpec {
   std::optional<double> host_credit_shaper_noise;
   HostDelay host_delay = HostDelay::kNone;
   bool packet_spraying = false;
+  // Per-packet propagation jitter applied to every link (host and fabric):
+  // each exact-mode delivery adds U(0, link_jitter) to the propagation
+  // delay. Models variable last hops for the real-time scenarios; zero
+  // (default) draws nothing, so legacy runs stay byte-identical. Serial
+  // engine only — the parallel envelope rejects jittered links.
+  sim::Time link_jitter;
 };
 
 // --- Traffic --------------------------------------------------------------
@@ -87,6 +93,7 @@ enum class TrafficKind {
   kShuffle,   // all-to-all between tasks_per_host tasks on every host
   kPoisson,   // poisson arrivals from a Table-2 size distribution @ `load`
   kChain,     // the topology-defined flows of parking-lot/multi-bottleneck
+  kOnOff,     // media-style on/off sources: periodic refresh bursts
 };
 
 struct TrafficSpec {
@@ -102,10 +109,36 @@ struct TrafficSpec {
   // Poisson load base override (bps). Unset: Clos uses the aggregate ToR
   // up-link capacity (§6.3), other topologies aggregate-host-rate / 3.
   std::optional<double> capacity_bps;
+  // kOnOff: each of `flows` sources emits one refresh burst per cycle of
+  // `on_period_sec`, phase-shifted by a per-source U(0, period) draw (one
+  // draw per source, in source order, from the scenario RNG). The burst is
+  // `bytes` when set; kLongRunning (the default) sizes it so the source
+  // averages `on_duty` of its line rate — an application-limited pattern no
+  // other TrafficKind can produce. Cycles cover the stop horizon.
+  double on_period_sec = 0.01;
+  double on_duty = 0.5;
   // Added to every flow id (flow i gets id salt + i + 1). Pure relabeling:
   // nothing else in the run may depend on it — the check::flow-relabel
   // metamorphic oracle pins that aggregate results are salt-invariant.
   uint32_t flow_id_salt = 0;
+};
+
+// --- Mixed-protocol flow groups -------------------------------------------
+// Heterogeneous coexistence: when ScenarioSpec::flow_groups is non-empty,
+// *all* traffic comes from the groups (spec.traffic is unused) and each
+// group's flows are created through its own protocol's transport on the one
+// shared fabric. The fabric's link configuration still comes from
+// spec.protocol (the "primary" — put ExpressPass there so credit shapers
+// exist); a kDctcp group additionally merges its ECN marking threshold into
+// the shared queues. Group flow ids are salted apart (group g adds g<<20),
+// preserving the flow-relabel invariant per group.
+struct FlowGroupSpec {
+  Protocol protocol = Protocol::kCubic;
+  TrafficSpec traffic;
+  // Informational entitlement weight used by the coexistence oracle and the
+  // ext_coexistence bench (goodput share is normalized against it); the
+  // engine itself does not enforce shares.
+  double share = 1.0;
 };
 
 // --- Stop condition -------------------------------------------------------
@@ -154,6 +187,10 @@ struct ScenarioSpec {
   std::optional<core::ExpressPassConfig> xp;
   sim::Time base_rtt = sim::Time::us(100);
   TrafficSpec traffic;
+  // Mixed-protocol coexistence groups (see FlowGroupSpec). Empty = the
+  // classic single-protocol path, byte-identical to every pre-existing run.
+  // Serial engine only; the parallel envelope rejects mixed specs.
+  std::vector<FlowGroupSpec> flow_groups;
   StopSpec stop;
   TelemetrySpec telemetry;
   // Faults target the first switch--switch link (or the first link when
@@ -233,6 +270,24 @@ struct ScenarioResult {
   }
 
   stats::FctCollector fcts;
+
+  // Per-group coexistence results (empty unless spec.flow_groups was set),
+  // indexed like spec.flow_groups. goodput_share is this group's fraction
+  // of sum_rate_bps; starved counts measured flows whose goodput fell under
+  // 5% of the all-flow mean (the starvation criterion the coexistence
+  // oracle and ext_coexistence bench both use).
+  struct GroupResult {
+    Protocol protocol = Protocol::kCubic;
+    size_t scheduled = 0;
+    size_t completed = 0;
+    size_t failed = 0;
+    size_t starved = 0;
+    double goodput_bps = 0;
+    double goodput_share = 0;
+    double fct_avg_sec = 0;
+    double fct_p99_sec = 0;
+  };
+  std::vector<GroupResult> groups;
 
   // ExpressPass only: wasted / received credits at senders, strays counted
   // in both (the Fig 20 metric).

@@ -1,0 +1,229 @@
+#include "transport/bbr.hpp"
+
+#include <algorithm>
+
+namespace xpass::transport {
+
+using sim::Time;
+
+namespace {
+// Probe-bw gain cycle: one probing phase, one draining phase, six cruise
+// phases. Gains 0/1 come from the config; the rest are 1.0.
+constexpr int kCyclePhases = 8;
+}  // namespace
+
+BbrConnection::BbrConnection(sim::Simulator& sim, const FlowSpec& spec,
+                             const BbrConfig& cfg)
+    : WindowConnection(sim, spec, cfg.window),
+      cfg_(cfg),
+      pacing_gain_(cfg.startup_gain),
+      cwnd_gain_(cfg.startup_gain) {
+  rtprop_ = cfg_.window.base_rtt;
+  rtprop_stamp_ = sim.now();
+}
+
+double BbrConnection::btlbw_bps() const {
+  double best = 0.0;
+  for (const auto& [round, bw] : btlbw_samples_) best = std::max(best, bw);
+  return best;
+}
+
+double BbrConnection::bdp_pkts() const {
+  const double bw = btlbw_bps();
+  if (bw <= 0.0 || !have_rtprop_) return 0.0;
+  return bw * rtprop_.to_sec() / (config().mss * 8.0);
+}
+
+void BbrConnection::on_ack_hook(const net::Packet& ack,
+                                uint64_t newly_acked) {
+  update_rtprop(sim_.now() - ack.ts);
+  update_round(newly_acked);
+  advance_machine();
+  update_cwnd();
+}
+
+void BbrConnection::update_round(uint64_t newly_acked) {
+  delivered_pkts_ += newly_acked;
+  if (!round_armed_) {
+    round_armed_ = true;
+    round_end_seq_ = snd_nxt();
+    round_start_delivered_ = delivered_pkts_;
+    round_start_time_ = sim_.now();
+    return;
+  }
+  if (snd_una() < round_end_seq_) return;
+
+  // Round complete: one delivery-rate sample per round keeps the filter
+  // robust against per-ack burstiness.
+  const Time span = sim_.now() - round_start_time_;
+  const uint64_t pkts = delivered_pkts_ - round_start_delivered_;
+  if (span > Time::zero() && pkts > 0) {
+    const double bw = static_cast<double>(pkts) * config().mss * 8.0 /
+                      span.to_sec();
+    ++round_count_;
+    btlbw_samples_.emplace_back(round_count_, bw);
+    const uint64_t horizon =
+        static_cast<uint64_t>(cfg_.btlbw_window_rounds);
+    while (!btlbw_samples_.empty() &&
+           btlbw_samples_.front().first + horizon <= round_count_) {
+      btlbw_samples_.pop_front();
+    }
+    check_full_pipe();
+  }
+  round_end_seq_ = snd_nxt();
+  round_start_delivered_ = delivered_pkts_;
+  round_start_time_ = sim_.now();
+}
+
+void BbrConnection::update_rtprop(Time sample) {
+  if (sample <= Time::zero()) return;
+  // Latch the probe-rtt trigger BEFORE the filter refreshes the stamp
+  // (the draft's rtprop_expired): otherwise accepting the replacement
+  // sample would forever mask the staleness the state machine keys on.
+  rtprop_expired_ = sim_.now() - rtprop_stamp_ > cfg_.probe_rtt_interval;
+  const bool filter_expired =
+      sim_.now() - rtprop_stamp_ > cfg_.rtprop_window;
+  // Strictly-lower samples only: on this deterministic simulator an
+  // uncontended path reproduces the minimum exactly on every ack, and the
+  // draft's tie-refresh (`<=`) would postpone probe-rtt forever.
+  if (!have_rtprop_ || sample < rtprop_ || filter_expired) {
+    rtprop_ = sample;
+    rtprop_stamp_ = sim_.now();
+    have_rtprop_ = true;
+  }
+}
+
+void BbrConnection::check_full_pipe() {
+  if (filled_pipe_) return;
+  const double bw = btlbw_bps();
+  if (bw >= full_bw_ * cfg_.startup_growth_thresh) {
+    full_bw_ = bw;
+    full_bw_rounds_ = 0;
+    return;
+  }
+  if (++full_bw_rounds_ >= cfg_.startup_full_bw_rounds) filled_pipe_ = true;
+}
+
+void BbrConnection::advance_machine() {
+  const Time now = sim_.now();
+  const double inflight = static_cast<double>(snd_nxt() - snd_una());
+
+  // Probe-rtt entry dominates every state: a stale RTprop means the model
+  // may be tracking its own queue.
+  if (state_ != State::kProbeRtt && rtprop_expired_) {
+    state_ = State::kProbeRtt;
+    probe_rtt_timed_ = false;
+    set_gains_for_state();
+    return;
+  }
+
+  switch (state_) {
+    case State::kStartup:
+      if (filled_pipe_) {
+        state_ = State::kDrain;
+        set_gains_for_state();
+      }
+      break;
+    case State::kDrain:
+      if (inflight <= std::max(bdp_pkts(), min_cwnd())) enter_probe_bw();
+      break;
+    case State::kProbeBw:
+      if (now - cycle_stamp_ > rtprop_) {
+        cycle_index_ = (cycle_index_ + 1) % kCyclePhases;
+        cycle_stamp_ = now;
+        set_gains_for_state();
+      }
+      break;
+    case State::kProbeRtt:
+      // Start the dwell clock only once inflight has actually drained to
+      // the probe-rtt floor, then hold for the configured duration.
+      if (!probe_rtt_timed_) {
+        if (inflight <= cfg_.probe_rtt_cwnd_pkts) {
+          probe_rtt_timed_ = true;
+          probe_rtt_done_ = now + cfg_.probe_rtt_duration;
+        }
+      } else if (now >= probe_rtt_done_) {
+        rtprop_stamp_ = now;
+        rtprop_expired_ = false;
+        if (filled_pipe_) {
+          enter_probe_bw();
+        } else {
+          state_ = State::kStartup;
+          set_gains_for_state();
+        }
+      }
+      break;
+  }
+}
+
+void BbrConnection::enter_probe_bw() {
+  state_ = State::kProbeBw;
+  // Deterministic-by-seed random initial phase, excluding the drain phase
+  // (index 1) per the BBR draft.
+  const int64_t pick = sim_.rng().uniform_int(0, kCyclePhases - 2);
+  cycle_index_ = pick == 0 ? 0 : static_cast<int>(pick) + 1;
+  cycle_stamp_ = sim_.now();
+  set_gains_for_state();
+}
+
+void BbrConnection::set_gains_for_state() {
+  switch (state_) {
+    case State::kStartup:
+      pacing_gain_ = cfg_.startup_gain;
+      cwnd_gain_ = cfg_.startup_gain;
+      break;
+    case State::kDrain:
+      pacing_gain_ = 1.0 / cfg_.startup_gain;
+      cwnd_gain_ = cfg_.cwnd_gain;
+      break;
+    case State::kProbeBw:
+      if (cycle_index_ == 0) {
+        pacing_gain_ = cfg_.probe_gain_up;
+      } else if (cycle_index_ == 1) {
+        pacing_gain_ = cfg_.probe_gain_down;
+      } else {
+        pacing_gain_ = 1.0;
+      }
+      cwnd_gain_ = cfg_.cwnd_gain;
+      break;
+    case State::kProbeRtt:
+      pacing_gain_ = 1.0;
+      cwnd_gain_ = 1.0;
+      break;
+  }
+}
+
+void BbrConnection::update_cwnd() {
+  if (state_ == State::kProbeRtt) {
+    set_cwnd(std::min(cwnd(), cfg_.probe_rtt_cwnd_pkts));
+    return;
+  }
+  const double bdp = bdp_pkts();
+  if (bdp <= 0.0) {
+    // No model yet: grow exponentially like slow start so the first rounds
+    // generate bandwidth samples.
+    set_cwnd(cwnd() + 1.0);
+    return;
+  }
+  set_cwnd(std::max(cwnd_gain_ * bdp, min_cwnd()));
+}
+
+double BbrConnection::pace_rate_bps() const {
+  const double bw = btlbw_bps();
+  if (bw <= 0.0) return pacing_gain_ * WindowConnection::pace_rate_bps();
+  return pacing_gain_ * bw;
+}
+
+void BbrConnection::on_loss_event(bool timeout) {
+  // BBR is not loss-driven: fast retransmit repairs the hole without
+  // touching the model. A full RTO means the model badly overshot (or the
+  // path died) — collapse cwnd conservatively and let the filters rebuild.
+  if (timeout) {
+    set_cwnd(min_cwnd());
+    btlbw_samples_.clear();
+    full_bw_ = 0.0;
+    full_bw_rounds_ = 0;
+  }
+}
+
+}  // namespace xpass::transport

@@ -1,0 +1,126 @@
+// BBR (Cardwell et al., ACM Queue 2016) — model-based baseline.
+//
+// Estimates the bottleneck bandwidth (windowed-max filter over per-round
+// delivery-rate samples) and the round-trip propagation delay (windowed-min
+// filter over raw RTT samples), then paces at pacing_gain * BtlBw with
+// cwnd = cwnd_gain * BDP. The classic four-state machine drives the gains:
+//
+//   kStartup  — pacing_gain 2/ln2 until BtlBw stops growing (three rounds
+//               under +25%), doubling the sending rate each RTT.
+//   kDrain    — inverse gain until inflight <= BDP, draining the queue the
+//               startup overshoot built.
+//   kProbeBw  — eight-phase gain cycle [1.25, 0.75, 1 x6], one phase per
+//               RTprop, sustaining full utilization while periodically
+//               probing for more bandwidth and yielding what it found.
+//   kProbeRtt — every probe_rtt_interval without a new RTprop low, cwnd is
+//               clamped to probe_rtt_cwnd_pkts for probe_rtt_duration so the
+//               queue empties and RTprop can be re-measured.
+//
+// Filter windows are configurable so unit tests can shrink them from the
+// 10 s wall-clock defaults to simulation-friendly spans.
+#pragma once
+
+#include <deque>
+
+#include "transport/window.hpp"
+
+namespace xpass::transport {
+
+struct BbrConfig {
+  WindowConfig window;
+  double startup_gain = 2.885;        // 2/ln2
+  double cwnd_gain = 2.0;
+  double probe_gain_up = 1.25;        // probe-bw phase 0
+  double probe_gain_down = 0.75;      // probe-bw phase 1
+  double startup_growth_thresh = 1.25;  // full-pipe: <25% growth ...
+  int startup_full_bw_rounds = 3;       // ... for this many rounds
+  int btlbw_window_rounds = 10;         // max-filter span (rounds)
+  sim::Time rtprop_window = sim::Time::sec(10);    // min-filter span
+  sim::Time probe_rtt_interval = sim::Time::sec(10);
+  sim::Time probe_rtt_duration = sim::Time::ms(200);
+  double probe_rtt_cwnd_pkts = 4.0;
+};
+
+class BbrConnection : public WindowConnection {
+ public:
+  enum class State { kStartup, kDrain, kProbeBw, kProbeRtt };
+
+  BbrConnection(sim::Simulator& sim, const FlowSpec& spec,
+                const BbrConfig& cfg);
+
+  State state() const { return state_; }
+  double btlbw_bps() const;
+  sim::Time rtprop() const { return rtprop_; }
+  double pacing_gain() const { return pacing_gain_; }
+
+ protected:
+  void on_ack_hook(const net::Packet& ack, uint64_t newly_acked) override;
+  void on_loss_event(bool timeout) override;
+  double pace_rate_bps() const override;
+
+ private:
+  double bdp_pkts() const;
+  void update_round(uint64_t newly_acked);
+  void update_rtprop(sim::Time sample);
+  void check_full_pipe();
+  void advance_machine();
+  void enter_probe_bw();
+  void set_gains_for_state();
+  void update_cwnd();
+
+  BbrConfig cfg_;
+  State state_ = State::kStartup;
+  double pacing_gain_;
+  double cwnd_gain_;
+
+  // Delivery-rate rounds: a round ends when snd_una passes the snd_nxt
+  // recorded at the round's start; the sample is delivered-bytes / span.
+  uint64_t delivered_pkts_ = 0;
+  uint64_t round_end_seq_ = 0;
+  uint64_t round_start_delivered_ = 0;
+  sim::Time round_start_time_;
+  bool round_armed_ = false;
+  uint64_t round_count_ = 0;
+
+  // Windowed max-filter of bandwidth samples, keyed by round.
+  std::deque<std::pair<uint64_t, double>> btlbw_samples_;
+
+  // Windowed min-filter of RTT samples (value + stamp of current min).
+  sim::Time rtprop_;
+  sim::Time rtprop_stamp_;
+  bool have_rtprop_ = false;
+  // probe_rtt_interval elapsed without a new low, latched pre-refresh (the
+  // draft's rtprop_expired) — the kProbeRtt entry trigger.
+  bool rtprop_expired_ = false;
+
+  // Startup full-pipe detection.
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+  bool filled_pipe_ = false;
+
+  // Probe-bw gain cycling.
+  int cycle_index_ = 0;
+  sim::Time cycle_stamp_;
+
+  // Probe-rtt bookkeeping.
+  sim::Time probe_rtt_done_;
+  bool probe_rtt_timed_ = false;
+};
+
+class BbrTransport : public Transport {
+ public:
+  explicit BbrTransport(sim::Simulator& sim, BbrConfig cfg = {})
+      : sim_(sim), cfg_(cfg) {
+    cfg_.window.pacing = true;  // BBR is defined by its pacing
+  }
+  std::unique_ptr<Connection> create(const FlowSpec& spec) override {
+    return std::make_unique<BbrConnection>(sim_, spec, cfg_);
+  }
+  std::string_view name() const override { return "BBR"; }
+
+ private:
+  sim::Simulator& sim_;
+  BbrConfig cfg_;
+};
+
+}  // namespace xpass::transport

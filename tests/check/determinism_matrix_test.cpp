@@ -23,6 +23,7 @@ constexpr Protocol kAllProtocols[] = {
     Protocol::kCubic,       Protocol::kDcqcn,
     Protocol::kTimely,      Protocol::kIdeal,
     Protocol::kSird,        Protocol::kBfc,
+    Protocol::kBbr,
 };
 
 // Run-to-run determinism over the full protocol matrix: same spec, same
@@ -70,6 +71,63 @@ TEST(DeterminismMatrix, EveryProtocolThreeSeedsTwoRuns) {
       // time is seed-sensitive through randomized start/pacing draws, but
       // completion counts must not be.
       EXPECT_EQ(a.scheduled, 6u) << spec.name;
+    }
+  }
+}
+
+// The mixed-protocol engine path (per-group transports, grouped collectors,
+// on/off bursts, jittered links) pulls extra RNG draws in a fixed order;
+// this pins it to the same two-runs-identical bar as the single-protocol
+// matrix, including the per-group recorder scalars.
+TEST(DeterminismMatrix, MixedProtocolCoexistenceTwoRuns) {
+  ScenarioSpec spec;
+  spec.name = "determinism/mixed";
+  spec.protocol = Protocol::kExpressPass;
+  spec.topology.scale = 4;
+  spec.topology.host_prop = Time::us(2);
+  spec.topology.link_jitter = Time::us(1);
+  spec.stop = StopSpec::measure_window(Time::ms(5), Time::ms(10));
+  spec.check_invariants = true;
+
+  xpass::runner::FlowGroupSpec xp;
+  xp.protocol = Protocol::kExpressPass;
+  xp.traffic.kind = TrafficKind::kPairwise;
+  xp.traffic.bytes = xpass::transport::kLongRunning;
+  xp.traffic.flows = 2;
+  spec.flow_groups.push_back(xp);
+
+  xpass::runner::FlowGroupSpec cubic;
+  cubic.protocol = Protocol::kCubic;
+  cubic.traffic.kind = TrafficKind::kOnOff;
+  cubic.traffic.bytes = xpass::transport::kLongRunning;
+  cubic.traffic.flows = 2;
+  cubic.traffic.on_period_sec = 4e-3;
+  cubic.traffic.on_duty = 0.5;
+  spec.flow_groups.push_back(cubic);
+
+  xpass::runner::FlowGroupSpec bbr;
+  bbr.protocol = Protocol::kBbr;
+  bbr.traffic.kind = TrafficKind::kPairwise;
+  bbr.traffic.bytes = xpass::transport::kLongRunning;
+  bbr.traffic.flows = 2;
+  spec.flow_groups.push_back(bbr);
+
+  for (const uint64_t seed : {1ull, 42ull}) {
+    spec.seed = seed;
+    const ScenarioResult a = ScenarioEngine().run(spec);
+    const ScenarioResult b = ScenarioEngine().run(spec);
+    EXPECT_EQ(a.recorder.to_json(spec.name), b.recorder.to_json(spec.name))
+        << "seed " << seed << ": recorder JSON differs";
+    EXPECT_EQ(a.end_time, b.end_time);
+    EXPECT_EQ(a.sum_rate_bps, b.sum_rate_bps);
+    ASSERT_EQ(a.groups.size(), 3u);
+    ASSERT_EQ(b.groups.size(), 3u);
+    for (size_t g = 0; g < a.groups.size(); ++g) {
+      EXPECT_EQ(a.groups[g].goodput_bps, b.groups[g].goodput_bps)
+          << "group " << g;
+      EXPECT_EQ(a.groups[g].starved, b.groups[g].starved) << "group " << g;
+      EXPECT_EQ(a.groups[g].completed, b.groups[g].completed)
+          << "group " << g;
     }
   }
 }

@@ -55,10 +55,11 @@ void expect_verdict(const ScenarioSpec& spec, const std::string& oracle,
 
 TEST(Injections, RegistryAndUnknownNames) {
   const auto list = injections();
-  ASSERT_EQ(list.size(), 3u);
+  ASSERT_EQ(list.size(), 4u);
   EXPECT_EQ(list[0].name, "no-jitter");
   EXPECT_EQ(list[1].name, "naive-feedback");
-  EXPECT_EQ(list[2].name, "silent-data-loss");
+  EXPECT_EQ(list[2].name, "starved-reservation");
+  EXPECT_EQ(list[3].name, "silent-data-loss");
 
   ScenarioSpec spec;
   EXPECT_TRUE(apply_injection("", spec));  // identity

@@ -38,6 +38,8 @@ constexpr Protocol kAllProtocols[] = {
     // Proactive comparators (added with the credit-scheduler framework;
     // their goldens carry the proactive.* grant-waste scalars).
     Protocol::kSird,        Protocol::kBfc,
+    // Model-based baseline (added with the coexistence framework).
+    Protocol::kBbr,
 };
 
 std::string golden_path(Protocol p) {
@@ -80,6 +82,58 @@ TEST(RecorderGolden, EveryProtocolMatchesCommittedJson) {
     EXPECT_EQ(json, want.str())
         << spec.name << ": recorder JSON diverged from the committed golden";
   }
+}
+
+// One pinned mixed-protocol scenario: the golden carries the group.<g>.*
+// scalar family, so any refactor that shifts the grouped engine path (per
+// -group transports, on/off bursts, link jitter, group extraction) diffs
+// here byte-for-byte.
+TEST(RecorderGolden, MixedCoexistenceMatchesCommittedJson) {
+  const bool regen = std::getenv("XPASS_REGEN_RECORDER_GOLDEN") != nullptr;
+  ScenarioSpec spec;
+  spec.name = "recorder-golden/mixed";
+  spec.protocol = Protocol::kExpressPass;
+  spec.seed = 42;
+  spec.topology.scale = 4;
+  spec.topology.host_prop = Time::us(2);
+  spec.topology.link_jitter = Time::us(1);
+  spec.stop = StopSpec::measure_window(Time::ms(5), Time::ms(10));
+  spec.check_invariants = true;
+
+  xpass::runner::FlowGroupSpec xp;
+  xp.protocol = Protocol::kExpressPass;
+  xp.traffic.kind = TrafficKind::kPairwise;
+  xp.traffic.bytes = xpass::transport::kLongRunning;
+  xp.traffic.flows = 2;
+  spec.flow_groups.push_back(xp);
+
+  xpass::runner::FlowGroupSpec cubic;
+  cubic.protocol = Protocol::kCubic;
+  cubic.traffic.kind = TrafficKind::kOnOff;
+  cubic.traffic.bytes = xpass::transport::kLongRunning;
+  cubic.traffic.flows = 2;
+  cubic.traffic.on_period_sec = 4e-3;
+  cubic.traffic.on_duty = 0.5;
+  spec.flow_groups.push_back(cubic);
+
+  const ScenarioResult r = ScenarioEngine().run(spec);
+  const std::string json = r.recorder.to_json(spec.name);
+  const std::string path =
+      std::string(XPASS_RECORDER_GOLDEN_DIR) + "/mixed_coexistence.json";
+  if (regen) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << json;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (regenerate with "
+                            "XPASS_REGEN_RECORDER_GOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(json, want.str())
+      << spec.name << ": recorder JSON diverged from the committed golden";
 }
 
 }  // namespace

@@ -170,6 +170,100 @@ TEST(SpecJson, RejectsWrongSchemaAndBadEnums) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST(SpecJson, RoundTripsFlowGroupsAndRealtimeFields) {
+  // The coexistence additions: mixed-protocol flow groups, per-link jitter,
+  // and the on/off traffic shape. Every field must survive exactly — repro
+  // files for mixed-fabric fuzz findings depend on it.
+  ScenarioSpec spec;
+  spec.protocol = xpass::runner::Protocol::kExpressPass;
+  spec.topology.link_jitter = Time::us(2);
+
+  xpass::runner::FlowGroupSpec xp;
+  xp.protocol = xpass::runner::Protocol::kExpressPass;
+  xp.traffic.kind = xpass::runner::TrafficKind::kPairwise;
+  xp.traffic.flows = 3;
+  xp.traffic.flow_id_salt = 7;
+  spec.flow_groups.push_back(xp);
+
+  xpass::runner::FlowGroupSpec ct;
+  ct.protocol = xpass::runner::Protocol::kCubic;
+  ct.traffic.kind = xpass::runner::TrafficKind::kOnOff;
+  ct.traffic.flows = 5;
+  ct.traffic.on_period_sec = 3.5e-3;
+  ct.traffic.on_duty = 0.35;
+  ct.share = 2.5;
+  spec.flow_groups.push_back(ct);
+
+  const std::string text = spec_to_json(spec);
+  std::string err;
+  auto back = spec_from_json(text, &err);
+  ASSERT_TRUE(back.has_value()) << err << "\n" << text;
+  expect_same_spec(spec, *back);
+  EXPECT_EQ(spec_to_json(*back), text);
+  ASSERT_EQ(back->flow_groups.size(), 2u);
+  EXPECT_EQ(back->flow_groups[0].protocol,
+            xpass::runner::Protocol::kExpressPass);
+  EXPECT_EQ(back->flow_groups[0].traffic.flows, 3u);
+  EXPECT_EQ(back->flow_groups[0].traffic.flow_id_salt, 7u);
+  EXPECT_EQ(back->flow_groups[1].protocol, xpass::runner::Protocol::kCubic);
+  EXPECT_EQ(back->flow_groups[1].traffic.kind,
+            xpass::runner::TrafficKind::kOnOff);
+  EXPECT_EQ(back->flow_groups[1].traffic.on_period_sec, 3.5e-3);
+  EXPECT_EQ(back->flow_groups[1].traffic.on_duty, 0.35);
+  EXPECT_EQ(back->flow_groups[1].share, 2.5);
+  EXPECT_EQ(back->topology.link_jitter, Time::us(2));
+}
+
+TEST(SpecJson, LegacySpecsOmitCoexistenceKeys) {
+  // Omission-when-default is what keeps every pre-coexistence campaign
+  // cache key and committed repro byte-stable: a single-group, jitter-free
+  // spec must serialize with none of the new keys present.
+  ScenarioSpec spec;
+  spec.traffic.kind = xpass::runner::TrafficKind::kPairwise;
+  spec.traffic.flows = 4;
+  const std::string text = spec_to_json(spec);
+  for (const char* key :
+       {"flow_groups", "link_jitter_ps", "on_period_sec", "on_duty"}) {
+    EXPECT_EQ(text.find(key), std::string::npos)
+        << key << " leaked into a legacy spec:\n" << text;
+  }
+}
+
+TEST(SpecJson, RoundTripsForcedMixedGeneratedSpecs) {
+  // The probabilistic sweep above only sometimes samples the mixed path;
+  // force it so every run covers group serialization end to end.
+  xpass::sim::Rng rng(20260809);
+  GenOptions opts;
+  opts.mixed = true;
+  for (int i = 0; i < 50; ++i) {
+    const ScenarioSpec spec =
+        generate_spec(rng, static_cast<uint64_t>(i), opts);
+    ASSERT_GE(spec.flow_groups.size(), 2u) << "generator ignored opts.mixed";
+    const std::string text = spec_to_json(spec);
+    std::string err;
+    auto back = spec_from_json(text, &err);
+    ASSERT_TRUE(back.has_value()) << err << "\n" << text;
+    expect_same_spec(spec, *back);
+    EXPECT_EQ(spec_to_json(*back), text);
+    ASSERT_EQ(back->flow_groups.size(), spec.flow_groups.size());
+    for (size_t g = 0; g < spec.flow_groups.size(); ++g) {
+      EXPECT_EQ(back->flow_groups[g].protocol, spec.flow_groups[g].protocol);
+      EXPECT_EQ(back->flow_groups[g].traffic.flows,
+                spec.flow_groups[g].traffic.flows);
+    }
+  }
+}
+
+TEST(SpecJson, RejectsUnknownFlowGroupProtocol) {
+  std::string err;
+  EXPECT_FALSE(
+      spec_from_json(R"({"schema":"xpass.scenario.v1",)"
+                     R"("flow_groups":[{"protocol":"smoke-signals"}]})",
+                     &err)
+          .has_value());
+  EXPECT_NE(err.find("smoke-signals"), std::string::npos) << err;
+}
+
 TEST(SpecJson, TimesSurviveAsExactPicoseconds) {
   ScenarioSpec spec;
   spec.base_rtt = Time::ps(123456789);

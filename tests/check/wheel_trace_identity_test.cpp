@@ -33,6 +33,7 @@ constexpr Protocol kAllProtocols[] = {
     Protocol::kCubic,       Protocol::kDcqcn,
     Protocol::kTimely,      Protocol::kIdeal,
     Protocol::kSird,        Protocol::kBfc,
+    Protocol::kBbr,
 };
 
 TEST(WheelTraceIdentity, EveryProtocolHybridMatchesHeapOnly) {
@@ -64,6 +65,49 @@ TEST(WheelTraceIdentity, EveryProtocolHybridMatchesHeapOnly) {
     EXPECT_EQ(wheel.end_time, heap.end_time) << spec.name;
     EXPECT_EQ(wheel.completed, heap.completed) << spec.name;
     EXPECT_EQ(wheel.data_drops, heap.data_drops) << spec.name;
+  }
+}
+
+// Same bar for the mixed-protocol path: per-link jitter draws and on/off
+// burst scheduling must pop identically from the wheel and the heap.
+TEST(WheelTraceIdentity, MixedProtocolHybridMatchesHeapOnly) {
+  ScenarioSpec spec;
+  spec.name = "wheel-identity/mixed";
+  spec.protocol = Protocol::kExpressPass;
+  spec.seed = 42;
+  spec.topology.scale = 4;
+  spec.topology.host_prop = Time::us(2);
+  spec.topology.link_jitter = Time::us(1);
+  spec.stop = StopSpec::measure_window(Time::ms(5), Time::ms(10));
+  spec.check_invariants = true;
+
+  xpass::runner::FlowGroupSpec xp;
+  xp.protocol = Protocol::kExpressPass;
+  xp.traffic.kind = TrafficKind::kPairwise;
+  xp.traffic.bytes = xpass::transport::kLongRunning;
+  xp.traffic.flows = 2;
+  spec.flow_groups.push_back(xp);
+
+  xpass::runner::FlowGroupSpec cross;
+  cross.protocol = Protocol::kBbr;
+  cross.traffic.kind = TrafficKind::kOnOff;
+  cross.traffic.bytes = xpass::transport::kLongRunning;
+  cross.traffic.flows = 2;
+  cross.traffic.on_period_sec = 4e-3;
+  cross.traffic.on_duty = 0.5;
+  spec.flow_groups.push_back(cross);
+
+  ScenarioSpec heap_spec = spec;
+  heap_spec.heap_only_events = true;
+
+  const ScenarioResult wheel = ScenarioEngine().run(spec);
+  const ScenarioResult heap = ScenarioEngine().run(heap_spec);
+  EXPECT_EQ(wheel.recorder.to_json(spec.name),
+            heap.recorder.to_json(spec.name));
+  EXPECT_EQ(wheel.end_time, heap.end_time);
+  ASSERT_EQ(wheel.groups.size(), heap.groups.size());
+  for (size_t g = 0; g < wheel.groups.size(); ++g) {
+    EXPECT_EQ(wheel.groups[g].goodput_bps, heap.groups[g].goodput_bps);
   }
 }
 

@@ -1,0 +1,207 @@
+// Heterogeneous coexistence, end to end: an ExpressPass credit fabric
+// sharing one dumbbell bottleneck with reactive cross-traffic through
+// ScenarioSpec::flow_groups.
+//
+// The headline assertion is the paper's §4.3 open question made executable:
+// the minimum credit-rate reservation (w_min) must keep the ExpressPass
+// group alive — zero starved flows and aggregate goodput above a hard floor
+// — no matter what the loss-based cross-traffic does to the queue. The
+// bands are calibrated against bench/ext_coexistence (EXPERIMENTS.md
+// "Coexistence & real-time scenarios"): healthy runs hold 60-83% of the
+// bottleneck for ExpressPass, so the floors here sit far below healthy and
+// far above a broken reservation (a 1%-capped credit schedule lands under
+// them, which the oracle test at the bottom proves).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/oracles.hpp"
+#include "runner/protocols.hpp"
+#include "runner/scenario.hpp"
+
+namespace {
+
+using xpass::check::OracleSuite;
+using xpass::runner::FlowGroupSpec;
+using xpass::runner::Protocol;
+using xpass::runner::ScenarioEngine;
+using xpass::runner::ScenarioResult;
+using xpass::runner::ScenarioSpec;
+using xpass::runner::StopSpec;
+using xpass::runner::TrafficKind;
+using xpass::sim::Time;
+
+// The oracle-applicable shape: XP primary, dumbbell, kWindow stop with
+// >=10ms warmup and window, one long-running XP group plus cross-traffic.
+ScenarioSpec coexist_spec(Protocol cross, TrafficKind cross_kind) {
+  ScenarioSpec s;
+  s.name = "coexist-test";
+  s.protocol = Protocol::kExpressPass;
+  s.seed = 17;
+  s.topology.kind = xpass::runner::TopologyKind::kDumbbell;
+  s.topology.scale = 8;
+  s.stop = StopSpec::measure_window(Time::ms(10), Time::ms(20));
+
+  FlowGroupSpec xp;
+  xp.protocol = Protocol::kExpressPass;
+  xp.traffic.kind = TrafficKind::kPairwise;
+  xp.traffic.bytes = xpass::transport::kLongRunning;
+  xp.traffic.flows = 4;
+  s.flow_groups.push_back(xp);
+
+  FlowGroupSpec ct;
+  ct.protocol = cross;
+  ct.traffic.kind = cross_kind;
+  ct.traffic.bytes = xpass::transport::kLongRunning;
+  ct.traffic.flows = 4;
+  if (cross_kind == TrafficKind::kOnOff) {
+    ct.traffic.on_period_sec = 5e-3;
+    ct.traffic.on_duty = 0.5;
+  }
+  s.flow_groups.push_back(ct);
+  return s;
+}
+
+double bottleneck_bps(const ScenarioSpec& s) {
+  return s.topology.fabric_rate_bps > 0 ? s.topology.fabric_rate_bps
+                                        : s.topology.host_rate_bps;
+}
+
+TEST(Coexistence, ReservationProtectsExpressPassAgainstCubic) {
+  const ScenarioSpec spec =
+      coexist_spec(Protocol::kCubic, TrafficKind::kPairwise);
+  const ScenarioResult r = ScenarioEngine().run(spec);
+
+  ASSERT_EQ(r.groups.size(), 2u);
+  const auto& xp = r.groups[0];
+  const auto& ct = r.groups[1];
+  EXPECT_EQ(xp.protocol, Protocol::kExpressPass);
+  EXPECT_EQ(ct.protocol, Protocol::kCubic);
+  EXPECT_EQ(xp.scheduled, 4u);
+  EXPECT_EQ(ct.scheduled, 4u);
+
+  // The protection band. The oracle floor is 2% of the bottleneck; a
+  // healthy fabric sits an order of magnitude above it (calibrated ~70%
+  // share for this cell), so assert a band between them: well above the
+  // floor, without pinning the exact Cubic-dependent split.
+  const double cap = bottleneck_bps(spec);
+  EXPECT_GT(xp.goodput_bps, 0.30 * cap)
+      << "ExpressPass held only " << xp.goodput_bps / 1e9 << " Gbps";
+  EXPECT_EQ(xp.starved, 0u);
+  // Coexistence, not conquest: the reactive group must also get real
+  // bandwidth — the credit fabric may not lock Cubic out.
+  EXPECT_GT(ct.goodput_bps, 0.05 * cap)
+      << "Cubic cross-traffic starved at " << ct.goodput_bps / 1e9
+      << " Gbps";
+  EXPECT_NEAR(xp.goodput_share + ct.goodput_share, 1.0, 1e-9);
+
+  // The per-group scalar family the CI smoke validates must be present.
+  const std::string json = r.recorder.to_json(spec.name);
+  for (const char* key :
+       {"group.0.goodput_bps", "group.0.goodput_share", "group.0.starved",
+        "group.1.goodput_bps", "group.1.flows"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(Coexistence, ReservationHoldsUnderOnOffBursts) {
+  // Real-time-style on/off cross-traffic: bursts hammer the queue at 50%
+  // duty. The ExpressPass floor must hold through the bursts, and the
+  // burst group itself must not be starved out by the credit schedule.
+  const ScenarioSpec spec = coexist_spec(Protocol::kDctcp, TrafficKind::kOnOff);
+  const ScenarioResult r = ScenarioEngine().run(spec);
+
+  ASSERT_EQ(r.groups.size(), 2u);
+  const double cap = bottleneck_bps(spec);
+  EXPECT_GT(r.groups[0].goodput_bps, 0.30 * cap);
+  EXPECT_EQ(r.groups[0].starved, 0u);
+  EXPECT_GT(r.groups[1].goodput_bps, 0.0);
+}
+
+TEST(Coexistence, CubicVsBbrConvergenceBands) {
+  // The two reactive baselines head to head on a drop-tail dumbbell, no
+  // credit fabric involved (Cubic primary supplies the link config). The
+  // 250-MTU buffer is ~8x the 2-flow BDP, which is BBRv1's documented
+  // losing regime: Cubic fills the deep queue, inflating BBR's delivery
+  // samples' RTT while BBR's inflight cap stops it from competing for
+  // buffer, so Cubic takes the lion's share. Pin that regime as bands —
+  // bottleneck utilized, Cubic dominant but BBR alive, queue actually
+  // driven into Cubic's full-buffer operating point — so a change to
+  // either stack that flips the balance (or collapses it) diffs here.
+  ScenarioSpec s;
+  s.name = "coexist-test/cubic-vs-bbr";
+  s.protocol = Protocol::kCubic;
+  s.seed = 17;
+  s.topology.kind = xpass::runner::TopologyKind::kDumbbell;
+  s.topology.scale = 4;
+  s.stop = StopSpec::measure_window(Time::ms(10), Time::ms(20));
+
+  FlowGroupSpec cubic;
+  cubic.protocol = Protocol::kCubic;
+  cubic.traffic.kind = TrafficKind::kPairwise;
+  cubic.traffic.bytes = xpass::transport::kLongRunning;
+  cubic.traffic.flows = 2;
+  s.flow_groups.push_back(cubic);
+
+  FlowGroupSpec bbr;
+  bbr.protocol = Protocol::kBbr;
+  bbr.traffic.kind = TrafficKind::kPairwise;
+  bbr.traffic.bytes = xpass::transport::kLongRunning;
+  bbr.traffic.flows = 2;
+  s.flow_groups.push_back(bbr);
+
+  const ScenarioResult r = ScenarioEngine().run(s);
+  ASSERT_EQ(r.groups.size(), 2u);
+  const double cap = bottleneck_bps(s);
+  EXPECT_GT(r.sum_rate_bps, 0.60 * cap)
+      << "mixed Cubic/BBR left the bottleneck at " << r.sum_rate_bps / 1e9
+      << " Gbps";
+  EXPECT_GT(r.groups[0].goodput_share, 0.60) << "Cubic lost its deep-buffer "
+      << "dominance (share " << r.groups[0].goodput_share << ")";
+  EXPECT_LT(r.groups[0].goodput_share, 0.99);
+  EXPECT_GT(r.groups[1].goodput_share, 0.02) << "BBR fully collapsed";
+  EXPECT_LT(r.groups[1].goodput_share, 0.40);
+  EXPECT_EQ(r.groups[0].starved, 0u);
+  // Queue band: Cubic's loss probing must actually reach the full-buffer
+  // operating point — a queue that never fills means the run measured
+  // slow-start, not the competition regime the shares above pin.
+  const uint64_t buf =
+      xpass::runner::default_queue_capacity(s.topology.host_rate_bps);
+  EXPECT_GE(r.bottleneck_max_queue_bytes, buf / 2);
+  EXPECT_LE(r.bottleneck_max_queue_bytes, buf);
+}
+
+TEST(Coexistence, OracleAcceptsHealthyRunAndCatchesBrokenReservation) {
+  const ScenarioSpec spec =
+      coexist_spec(Protocol::kCubic, TrafficKind::kPairwise);
+  OracleSuite suite;
+
+  // Healthy engine: the coexistence oracle applies to this spec and passes.
+  const auto healthy = suite.evaluate_one(
+      "coexistence", spec,
+      [](const ScenarioSpec& s) { return ScenarioEngine().run(s); });
+  ASSERT_TRUE(healthy.has_value())
+      << "coexistence oracle did not consider this spec applicable";
+  EXPECT_TRUE(healthy->pass) << healthy->details;
+
+  // Sabotaged engine (the fuzzer's starved-reservation injection, turned up
+  // to a deterministic kill): cap each flow's credit schedule at 0.1% of
+  // the line rate behind the oracle's back — 4 flows x 10 Mbps = 0.4% of
+  // the bottleneck, under both the 2% aggregate floor and the per-flow
+  // starvation line. The declared spec is unchanged, so the oracle still
+  // applies — and must fail, because the executed run breaks w_min.
+  const auto sabotaged = suite.evaluate_one(
+      "coexistence", spec, [](const ScenarioSpec& s) {
+        ScenarioSpec executed = s;
+        xpass::core::ExpressPassConfig xp =
+            executed.xp ? *executed.xp : xpass::core::ExpressPassConfig{};
+        xp.max_rate_bps = 0.001 * executed.topology.host_rate_bps;
+        executed.xp = xp;
+        return ScenarioEngine().run(executed);
+      });
+  ASSERT_TRUE(sabotaged.has_value());
+  EXPECT_FALSE(sabotaged->pass)
+      << "a 1%-capped credit schedule must trip the coexistence oracle";
+}
+
+}  // namespace

@@ -47,7 +47,7 @@ std::string run_json(const ScenarioSpec& spec) {
 const Protocol kShardable[] = {
     Protocol::kExpressPass, Protocol::kExpressPassNaive, Protocol::kDctcp,
     Protocol::kRcp,         Protocol::kHull,             Protocol::kDx,
-    Protocol::kCubic,
+    Protocol::kCubic,       Protocol::kBbr,
 };
 
 TEST(ParallelScenario, DeterminismMatrixFixedShardCount) {
@@ -132,6 +132,7 @@ TEST(ParallelScenario, EveryProtocolIsClassifiedByTheEnvelope) {
       Protocol::kRcp,         Protocol::kHull,             Protocol::kDx,
       Protocol::kCubic,       Protocol::kDcqcn,            Protocol::kTimely,
       Protocol::kSird,        Protocol::kBfc,              Protocol::kIdeal,
+      Protocol::kBbr,
   };
   for (Protocol p : kAll) {
     const bool shardable =
@@ -146,6 +147,45 @@ TEST(ParallelScenario, EveryProtocolIsClassifiedByTheEnvelope) {
           << protocol_name(p) << " is not in kShardable, so the envelope "
           << "must reject it";
     }
+  }
+}
+
+TEST(ParallelScenario, MixedProtocolSpecsRejectedByName) {
+  // flow_groups run per-group transports and grouped result extraction —
+  // serial-engine machinery. The envelope must say so, not crash or run a
+  // silently-ungrouped sharded scenario.
+  ScenarioSpec spec = base_spec(Protocol::kExpressPass, 1, 2);
+  FlowGroupSpec xp;
+  xp.protocol = Protocol::kExpressPass;
+  xp.traffic = spec.traffic;
+  spec.flow_groups.push_back(xp);
+  FlowGroupSpec cubic;
+  cubic.protocol = Protocol::kCubic;
+  cubic.traffic = spec.traffic;
+  spec.flow_groups.push_back(cubic);
+  ScenarioEngine engine;
+  try {
+    engine.run(spec);
+    FAIL() << "mixed-protocol flow_groups must be rejected by the envelope";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("flow_groups"), std::string::npos)
+        << "rejection must name flow_groups, got: " << e.what();
+  }
+}
+
+TEST(ParallelScenario, JitteredLinkSpecsRejectedByName) {
+  // Per-hop jitter draws from the serial simulator's RNG on every
+  // transmission; shard-local RNG streams would diverge from the serial
+  // trace, so the envelope rejects jittered topologies outright.
+  ScenarioSpec spec = base_spec(Protocol::kExpressPass, 1, 2);
+  spec.topology.link_jitter = Time::us(1);
+  ScenarioEngine engine;
+  try {
+    engine.run(spec);
+    FAIL() << "jittered links must be rejected by the envelope";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("jitter"), std::string::npos)
+        << "rejection must name the jitter feature, got: " << e.what();
   }
 }
 

@@ -34,6 +34,7 @@ constexpr const char* kUsage =
     "  --inject NAME       apply a hidden bug to every executed scenario\n"
     "  --protocol NAME     restrict generation to one protocol\n"
     "  --max-flows N       generator flow-count ceiling (default 16)\n"
+    "  --mixed             force mixed-protocol coexistence scenarios\n"
     "  --no-faults         generate fault-free scenarios only\n"
     "  --no-shrink         keep failing specs unshrunk\n"
     "  --no-metamorphic    skip metamorphic oracles (faster)\n"
@@ -125,6 +126,7 @@ int main(int argc, char** argv) {
   opts.inject = args.str("inject").value_or("");
   opts.gen.max_flows = args.u64("max-flows", opts.gen.max_flows);
   opts.gen.faults = !args.flag("no-faults");
+  opts.gen.mixed = args.flag("mixed");
   opts.shrink = !args.flag("no-shrink");
   opts.oracles.metamorphic = !args.flag("no-metamorphic");
   opts.oracles.differential = !args.flag("no-differential");

@@ -47,6 +47,16 @@ struct Options {
   double duration_ms = 100.0;
   uint64_t seed = runner::kDefaultSeed;
   bool spraying = false;
+  // Mixed-protocol coexistence: --cross=PROTO adds a reactive cross-traffic
+  // flow group beside the primary protocol's flows (ScenarioSpec
+  // flow_groups; pairwise/fixed-size mode only). --cross-onoff turns the
+  // cross group into on/off media-style sources.
+  std::string cross;
+  size_t cross_flows = 0;  // 0 = same as --flows
+  bool cross_onoff = false;
+  double onoff_period_ms = 5.0;
+  double onoff_duty = 0.5;
+  double link_jitter_us = 0.0;  // per-link propagation jitter
   // Fault injection (all target the first switch--switch link, or the
   // first link if the topology has no fabric link).
   double flap_down_ms = 0.0, flap_up_ms = 0.0;  // --flap-ms=D,U
@@ -79,11 +89,15 @@ struct Options {
 
 constexpr const char* kUsage =
     "usage: xpass_sim [--topology=dumbbell|star|fattree|clos]\n"
-    "  [--protocol=expresspass|naive|dctcp|rcp|hull|dx|cubic|dcqcn|timely]\n"
+    "  [--protocol=expresspass|naive|dctcp|rcp|hull|dx|cubic|dcqcn|timely|\n"
+    "              sird|bfc|bbr]\n"
     "  [--workload=websearch|webserver|cachefollower|datamining]\n"
     "  [--pairs=N] [--k=N] [--flows=N] [--incast=N] [--bytes=N|long]\n"
     "  [--load=F] [--rate-gbps=F] [--duration-ms=F] [--seed=N]\n"
     "  [--spraying] [--runs=M] [--jobs=N] [--shards=N] [--json=PATH]\n"
+    "  coexistence (mixed-protocol flow groups; pairwise mode only):\n"
+    "  [--cross=PROTO] [--cross-flows=N] [--cross-onoff]\n"
+    "  [--onoff-period-ms=F] [--onoff-duty=F] [--link-jitter-us=F]\n"
     "  campaign (crash-safe batches; see EXPERIMENTS.md):\n"
     "  [--cache-dir=DIR] [--resume] [--timeout-ms=T] [--retries=N]\n"
     "  faults (target: first fabric link):\n"
@@ -126,6 +140,12 @@ Options parse(int argc, char** argv) {
   o.jobs = args.jobs();
   o.shards = args.shards();
   o.spraying = args.flag("spraying");
+  if (auto v = args.str("cross")) o.cross = *v;
+  o.cross_flows = args.u64("cross-flows", o.cross_flows);
+  o.cross_onoff = args.flag("cross-onoff");
+  o.onoff_period_ms = args.f64("onoff-period-ms", o.onoff_period_ms);
+  o.onoff_duty = args.f64("onoff-duty", o.onoff_duty);
+  o.link_jitter_us = args.f64("link-jitter-us", o.link_jitter_us);
   if (auto v = args.str("flap-ms")) {
     char* rest = nullptr;
     o.flap_down_ms = std::strtod(v->c_str(), &rest);
@@ -218,6 +238,30 @@ runner::ScenarioSpec make_spec(const Options& o, uint64_t seed) {
     s.traffic.start_spread_sec = 1e-3;
   }
 
+  if (o.link_jitter_us > 0) {
+    s.topology.link_jitter = Time::seconds(o.link_jitter_us * 1e-6);
+  }
+  if (!o.cross.empty()) {
+    // Two groups on the shared fabric: the primary protocol keeps the
+    // pairwise traffic configured above, the cross group rides beside it
+    // (validated to pairwise/fixed-size mode in main).
+    runner::FlowGroupSpec primary;
+    primary.protocol = s.protocol;
+    primary.traffic = s.traffic;
+    s.flow_groups.push_back(primary);
+
+    runner::FlowGroupSpec cg;
+    cg.protocol = *runner::parse_protocol(o.cross);
+    cg.traffic = s.traffic;
+    cg.traffic.flows = o.cross_flows > 0 ? o.cross_flows : o.flows;
+    if (o.cross_onoff) {
+      cg.traffic.kind = runner::TrafficKind::kOnOff;
+      cg.traffic.on_period_sec = o.onoff_period_ms * 1e-3;
+      cg.traffic.on_duty = o.onoff_duty;
+    }
+    s.flow_groups.push_back(cg);
+  }
+
   s.stop = runner::StopSpec::completion(Time::seconds(o.duration_ms * 1e-3));
 
   s.faults.flap_down = Time::seconds(o.flap_down_ms * 1e-3);
@@ -262,6 +306,15 @@ std::string format_report(const Options& o, bool has_faults,
     appendf(out, "  FCT avg/p50/p99 : %.3f / %.3f / %.3f ms\n",
             f.mean() * 1e3, f.percentile(0.5) * 1e3,
             f.percentile(0.99) * 1e3);
+  }
+  for (size_t g = 0; g < r.groups.size(); ++g) {
+    const auto& gr = r.groups[g];
+    appendf(out,
+            "  group %zu %-9s: %.3f Gbps (%.1f%% share), %zu/%zu done, "
+            "%zu starved\n",
+            g, std::string(runner::protocol_name(gr.protocol)).c_str(),
+            gr.goodput_bps / 1e9, gr.goodput_share * 100, gr.completed,
+            gr.scheduled, gr.starved);
   }
   appendf(out, "  max switch queue: %.1f KB\n",
           r.max_switch_queue_bytes / 1e3);
@@ -384,6 +437,13 @@ int main(int argc, char** argv) {
   }
   if (!o.workload.empty() && !parse_workload(o.workload)) {
     usage("unknown workload");
+  }
+
+  if (!o.cross.empty()) {
+    if (!runner::parse_protocol(o.cross)) usage("unknown --cross protocol");
+    if (!o.workload.empty() || o.incast > 0) {
+      usage("--cross needs pairwise mode (no --workload / --incast)");
+    }
   }
 
   if (o.resume && o.cache_dir.empty()) usage("--resume requires --cache-dir");
